@@ -1,0 +1,77 @@
+//! E10 — single-threaded building blocks: insert / contains / remove latency of
+//! the lock-free BST against the sequential baselines (sanity check that the
+//! lock-free machinery costs only a modest constant factor when uncontended).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lfbst::LfBst;
+use locked_bst::SeqBst;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const N: u64 = 10_000;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_sequential");
+    group.sample_size(20).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+
+    group.bench_function("lfbst_insert_10k", |b| {
+        b.iter_batched(
+            LfBst::new,
+            |t| {
+                for k in 0..N {
+                    t.insert(k.wrapping_mul(2654435761) % N);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("seqbst_insert_10k", |b| {
+        b.iter_batched(
+            SeqBst::new,
+            |mut t| {
+                for k in 0..N {
+                    t.insert(k.wrapping_mul(2654435761) % N);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("btreeset_insert_10k", |b| {
+        b.iter_batched(
+            BTreeSet::new,
+            |mut t| {
+                for k in 0..N {
+                    t.insert(k.wrapping_mul(2654435761) % N);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let tree = LfBst::new();
+    for k in 0..N {
+        tree.insert(k);
+    }
+    group.bench_function("lfbst_contains_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % N;
+            std::hint::black_box(tree.contains(&k))
+        })
+    });
+    group.bench_function("lfbst_insert_remove_pair", |b| {
+        let mut k = N;
+        b.iter(|| {
+            k += 1;
+            tree.insert(k);
+            tree.remove(&k)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(e10, benches);
+criterion_main!(e10);

@@ -1,0 +1,53 @@
+//! E2 — mixed throughput vs thread count (70/20/10, key range 2^16).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ellen_bst::EllenBst;
+use lfbst::LfBst;
+use lflist::LockFreeList;
+use locked_bst::{CoarseLockBst, RwLockBst};
+use natarajan_bst::NatarajanBst;
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+
+fn mix() -> OperationMix {
+    OperationMix::new(70, 20, 10)
+}
+
+fn bench_set<S: cset::ConcurrentSet<u64> + 'static>(
+    c: &mut Criterion,
+    group_name: &str,
+    name: &str,
+    set: Arc<S>,
+) {
+    let spec = WorkloadSpec::new(KEY_RANGE, mix());
+    prefill(&*set, &spec);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    let mut thread_counts = vec![1usize];
+    if bench_threads() > 1 {
+        thread_counts.push(bench_threads());
+    }
+    for threads in thread_counts {
+        group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+            b.iter_custom(|iters| timed_mixed_ops(&set, t, iters.max(1), mix(), KEY_RANGE, 7));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_set(c, "e2_threads_mixed", "lfbst", Arc::new(LfBst::new()));
+    bench_set(c, "e2_threads_mixed", "ellen", Arc::new(EllenBst::new()));
+    bench_set(c, "e2_threads_mixed", "natarajan", Arc::new(NatarajanBst::new()));
+    bench_set(c, "e2_threads_mixed", "harris-list", Arc::new(LockFreeList::new()));
+    bench_set(c, "e2_threads_mixed", "coarse-lock", Arc::new(CoarseLockBst::new()));
+    bench_set(c, "e2_threads_mixed", "rwlock", Arc::new(RwLockBst::new()));
+}
+
+criterion_group!(e2, benches);
+criterion_main!(e2);

@@ -1,0 +1,51 @@
+//! E4 — throughput vs key range (contention sweep), 50% updates.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ellen_bst::EllenBst;
+use lfbst::LfBst;
+use locked_bst::CoarseLockBst;
+use natarajan_bst::NatarajanBst;
+use workload::{OperationMix, WorkloadSpec};
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mix = OperationMix::updates(50);
+    let mut group = c.benchmark_group("e4_key_range");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    for shift in [7u32, 11, 15] {
+        let range = 1u64 << shift;
+        let spec = WorkloadSpec::new(range, mix);
+
+        let lfbst = Arc::new(LfBst::new());
+        prefill(&*lfbst, &spec);
+        group.bench_with_input(BenchmarkId::new("lfbst", range), &range, |b, &r| {
+            b.iter_custom(|iters| timed_mixed_ops(&lfbst, threads, iters.max(1), mix, r, 11));
+        });
+
+        let ellen = Arc::new(EllenBst::new());
+        prefill(&*ellen, &spec);
+        group.bench_with_input(BenchmarkId::new("ellen", range), &range, |b, &r| {
+            b.iter_custom(|iters| timed_mixed_ops(&ellen, threads, iters.max(1), mix, r, 11));
+        });
+
+        let nat = Arc::new(NatarajanBst::new());
+        prefill(&*nat, &spec);
+        group.bench_with_input(BenchmarkId::new("natarajan", range), &range, |b, &r| {
+            b.iter_custom(|iters| timed_mixed_ops(&nat, threads, iters.max(1), mix, r, 11));
+        });
+
+        let coarse = Arc::new(CoarseLockBst::new());
+        prefill(&*coarse, &spec);
+        group.bench_with_input(BenchmarkId::new("coarse-lock", range), &range, |b, &r| {
+            b.iter_custom(|iters| timed_mixed_ops(&coarse, threads, iters.max(1), mix, r, 11));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e4, benches);
+criterion_main!(e4);

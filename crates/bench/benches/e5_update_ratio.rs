@@ -1,0 +1,52 @@
+//! E5 — throughput vs update ratio (0%, 20%, 50%, 100%), key range 2^16.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ellen_bst::EllenBst;
+use lfbst::LfBst;
+use locked_bst::RwLockBst;
+use natarajan_bst::NatarajanBst;
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e5_update_ratio");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    for updates in [0u8, 20, 50, 100] {
+        let mix = OperationMix::updates(updates);
+        let spec = WorkloadSpec::new(KEY_RANGE, mix);
+
+        let lfbst = Arc::new(LfBst::new());
+        prefill(&*lfbst, &spec);
+        group.bench_with_input(BenchmarkId::new("lfbst", updates), &updates, |b, _| {
+            b.iter_custom(|iters| timed_mixed_ops(&lfbst, threads, iters.max(1), mix, KEY_RANGE, 5));
+        });
+
+        let ellen = Arc::new(EllenBst::new());
+        prefill(&*ellen, &spec);
+        group.bench_with_input(BenchmarkId::new("ellen", updates), &updates, |b, _| {
+            b.iter_custom(|iters| timed_mixed_ops(&ellen, threads, iters.max(1), mix, KEY_RANGE, 5));
+        });
+
+        let nat = Arc::new(NatarajanBst::new());
+        prefill(&*nat, &spec);
+        group.bench_with_input(BenchmarkId::new("natarajan", updates), &updates, |b, _| {
+            b.iter_custom(|iters| timed_mixed_ops(&nat, threads, iters.max(1), mix, KEY_RANGE, 5));
+        });
+
+        let rw = Arc::new(RwLockBst::new());
+        prefill(&*rw, &spec);
+        group.bench_with_input(BenchmarkId::new("rwlock", updates), &updates, |b, _| {
+            b.iter_custom(|iters| timed_mixed_ops(&rw, threads, iters.max(1), mix, KEY_RANGE, 5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e5, benches);
+criterion_main!(e5);

@@ -1,0 +1,31 @@
+//! E6 — restart-from-vicinity vs restart-from-root ablation (the O(H+c) claim),
+//! write-heavy workload on a small key range (high contention).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::{Config, LfBst, RestartPolicy};
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 10;
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mix = OperationMix::new(0, 50, 50);
+    let spec = WorkloadSpec::new(KEY_RANGE, mix);
+    let mut group = c.benchmark_group("e6_restart_policy");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    for (name, policy) in [("vicinity", RestartPolicy::Vicinity), ("root", RestartPolicy::Root)] {
+        let set = Arc::new(LfBst::with_config(Config::new().restart_policy(policy)));
+        prefill(&*set, &spec);
+        group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+            b.iter_custom(|iters| timed_mixed_ops(&set, t, iters.max(1), mix, KEY_RANGE, 6));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e6, benches);
+criterion_main!(e6);

@@ -1,0 +1,39 @@
+//! E7 — helping policy adaptivity: read-optimized vs write-optimized (eager)
+//! helping under read-heavy and write-heavy mixes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::{Config, HelpPolicy, LfBst};
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 12;
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e7_help_policy");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    for (mix_name, mix) in [
+        ("read_heavy", OperationMix::new(95, 3, 2)),
+        ("write_heavy", OperationMix::new(0, 50, 50)),
+    ] {
+        for (policy_name, policy) in [
+            ("read-optimized", HelpPolicy::ReadOptimized),
+            ("write-optimized", HelpPolicy::WriteOptimized),
+        ] {
+            let set = Arc::new(LfBst::with_config(Config::new().help_policy(policy)));
+            let spec = WorkloadSpec::new(KEY_RANGE, mix);
+            prefill(&*set, &spec);
+            let id = format!("{mix_name}/{policy_name}");
+            group.bench_with_input(BenchmarkId::new(id, threads), &threads, |b, &t| {
+                b.iter_custom(|iters| timed_mixed_ops(&set, t, iters.max(1), mix, KEY_RANGE, 77));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(e7, benches);
+criterion_main!(e7);

@@ -1,0 +1,91 @@
+//! E8 — disjoint-access parallelism: threads operate on disjoint key
+//! partitions; link-level coordination (lfbst, natarajan) should interfere less
+//! than node-holding (ellen) or global locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bench::bench_threads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cset::ConcurrentSet;
+use ellen_bst::EllenBst;
+use lfbst::LfBst;
+use locked_bst::CoarseLockBst;
+use natarajan_bst::NatarajanBst;
+
+const PER_THREAD_RANGE: u64 = 1 << 12;
+
+/// Runs `iters` partitioned update operations across `threads` threads.
+fn partitioned_updates<S: ConcurrentSet<u64> + 'static>(
+    set: &Arc<S>,
+    threads: usize,
+    iters: u64,
+) -> Duration {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let per_thread = (iters / threads as u64).max(1);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let spawned = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(set);
+            let barrier = Arc::clone(&barrier);
+            let spawned = Arc::clone(&spawned);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t as u64 + 3);
+                let base = t as u64 * PER_THREAD_RANGE;
+                spawned.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let k = base + rng.gen_range(0..PER_THREAD_RANGE);
+                    if rng.gen_bool(0.5) {
+                        std::hint::black_box(set.insert(k));
+                    } else {
+                        std::hint::black_box(set.remove(&k));
+                    }
+                }
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    elapsed
+}
+
+fn bench_one<S: ConcurrentSet<u64> + 'static>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    set: Arc<S>,
+    threads: usize,
+) {
+    // Prefill each partition to half full.
+    for t in 0..threads as u64 {
+        for k in 0..PER_THREAD_RANGE / 2 {
+            set.insert(t * PER_THREAD_RANGE + k * 2);
+        }
+    }
+    group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+        b.iter_custom(|iters| partitioned_updates(&set, t, iters.max(1)));
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e8_disjoint_access");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    bench_one(&mut group, "lfbst", Arc::new(LfBst::new()), threads);
+    bench_one(&mut group, "natarajan", Arc::new(NatarajanBst::new()), threads);
+    bench_one(&mut group, "ellen", Arc::new(EllenBst::new()), threads);
+    bench_one(&mut group, "coarse-lock", Arc::new(CoarseLockBst::new()), threads);
+    group.finish();
+}
+
+criterion_group!(e8, benches);
+criterion_main!(e8);

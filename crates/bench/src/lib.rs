@@ -1,0 +1,125 @@
+//! Shared helpers for the criterion benchmark suite.
+//!
+//! Every benchmark target (`benches/e*.rs`) corresponds to one experiment of
+//! the evaluation index in `DESIGN.md` / `EXPERIMENTS.md`.  The helpers here
+//! run a fixed number of operations of a given mix across a given number of
+//! threads against any [`ConcurrentSet`] and return the elapsed wall-clock
+//! time, which is what `Criterion::iter_custom` needs.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use cset::ConcurrentSet;
+use workload::{KeySampler, OperationMix, WorkloadSpec};
+
+/// Prefills `set` to the spec's target (single-threaded, untimed).
+pub fn prefill<S: ConcurrentSet<u64>>(set: &S, spec: &WorkloadSpec) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let sampler = KeySampler::new(spec.key_distribution(), spec.key_range());
+    let mut rng = StdRng::seed_from_u64(spec.rng_seed());
+    let target = spec.prefill_target() as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < target && attempts < target * 64 + 1024 {
+        if set.insert(sampler.sample(&mut rng)) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+}
+
+/// Executes `total_ops` operations of `mix` over `threads` threads against
+/// `set` and returns the elapsed time (excluding thread startup, measured from
+/// a start barrier).
+pub fn timed_mixed_ops<S>(
+    set: &Arc<S>,
+    threads: usize,
+    total_ops: u64,
+    mix: OperationMix,
+    key_range: u64,
+    seed: u64,
+) -> Duration
+where
+    S: ConcurrentSet<u64> + 'static,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let per_thread = total_ops / threads as u64;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = KeySampler::new(workload::KeyDistribution::Uniform, key_range);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(set);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            let sampler = sampler.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B9));
+                barrier.wait();
+                for _ in 0..per_thread {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        std::hint::black_box(set.contains(&key));
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        std::hint::black_box(set.insert(key));
+                    } else {
+                        std::hint::black_box(set.remove(&key));
+                    }
+                }
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    elapsed
+}
+
+/// The number of worker threads benchmarks use by default: the available
+/// parallelism, capped so that over-subscription does not dominate the numbers.
+pub fn bench_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(1, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locked_bst::CoarseLockBst;
+
+    #[test]
+    fn timed_mixed_ops_runs_requested_work() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(128, OperationMix::updates(50));
+        prefill(&*set, &spec);
+        let d = timed_mixed_ops(&set, 2, 10_000, OperationMix::updates(50), 128, 1);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn prefill_reaches_target() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(1024, OperationMix::updates(20)).prefill_fraction(0.5);
+        prefill(&*set, &spec);
+        assert!(set.len() >= 500);
+    }
+
+    #[test]
+    fn bench_threads_reasonable() {
+        let t = bench_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

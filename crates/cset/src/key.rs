@@ -1,0 +1,177 @@
+//! Key wrapper adding `-∞` / `+∞` sentinels to an arbitrary ordered key type.
+//!
+//! The paper's tree is rooted at two permanent dummy nodes holding `-∞` and `+∞`
+//! (listing line 7).  Rather than requiring callers to reserve sentinel values of
+//! their own key type, every internal node stores a [`KeyBound<K>`], and the public
+//! API only ever exposes `K`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A key extended with `-∞` and `+∞` sentinels.
+///
+/// The ordering is total: `NegInf < Key(k) < PosInf` for every `k`, and `Key`
+/// values compare according to `K`'s own order.
+///
+/// # Examples
+///
+/// ```
+/// use cset::KeyBound;
+///
+/// assert!(KeyBound::NegInf < KeyBound::Key(0));
+/// assert!(KeyBound::Key(7) < KeyBound::Key(8));
+/// assert!(KeyBound::Key(i64::MAX) < KeyBound::<i64>::PosInf);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyBound<K> {
+    /// Smaller than every real key; the key of the permanent `root[0]` dummy node.
+    NegInf,
+    /// A real key stored by the user.
+    Key(K),
+    /// Larger than every real key; the key of the permanent `root[1]` dummy node.
+    PosInf,
+}
+
+impl<K> KeyBound<K> {
+    /// Returns the inner key, if this is a real key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cset::KeyBound;
+    /// assert_eq!(KeyBound::Key(3).into_key(), Some(3));
+    /// assert_eq!(KeyBound::<u32>::PosInf.into_key(), None);
+    /// ```
+    pub fn into_key(self) -> Option<K> {
+        match self {
+            KeyBound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Returns a reference to the inner key, if this is a real key.
+    pub fn as_key(&self) -> Option<&K> {
+        match self {
+            KeyBound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a real (non-sentinel) key.
+    pub fn is_key(&self) -> bool {
+        matches!(self, KeyBound::Key(_))
+    }
+
+    /// Returns `true` if this is one of the two sentinels.
+    pub fn is_sentinel(&self) -> bool {
+        !self.is_key()
+    }
+
+    /// Compares this bound against a real key.
+    ///
+    /// Sentinels compare as strictly smaller / larger than every real key.
+    pub fn cmp_key(&self, key: &K) -> Ordering
+    where
+        K: Ord,
+    {
+        match self {
+            KeyBound::NegInf => Ordering::Less,
+            KeyBound::Key(k) => k.cmp(key),
+            KeyBound::PosInf => Ordering::Greater,
+        }
+    }
+}
+
+impl<K: Ord> PartialOrd for KeyBound<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for KeyBound<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use KeyBound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl<K> From<K> for KeyBound<K> {
+    fn from(k: K) -> Self {
+        KeyBound::Key(k)
+    }
+}
+
+impl<K: fmt::Debug> fmt::Debug for KeyBound<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyBound::NegInf => write!(f, "-inf"),
+            KeyBound::Key(k) => write!(f, "{k:?}"),
+            KeyBound::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+impl<K: fmt::Display> fmt::Display for KeyBound<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyBound::NegInf => write!(f, "-inf"),
+            KeyBound::Key(k) => write!(f, "{k}"),
+            KeyBound::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_ordering_is_total() {
+        assert!(KeyBound::NegInf < KeyBound::Key(i64::MIN));
+        assert!(KeyBound::Key(i64::MAX) < KeyBound::PosInf);
+        assert!(KeyBound::<i64>::NegInf < KeyBound::PosInf);
+        assert_eq!(KeyBound::<i64>::NegInf, KeyBound::NegInf);
+        assert_eq!(KeyBound::<i64>::PosInf, KeyBound::PosInf);
+    }
+
+    #[test]
+    fn key_ordering_delegates_to_inner() {
+        assert!(KeyBound::Key(1) < KeyBound::Key(2));
+        assert!(KeyBound::Key("a") < KeyBound::Key("b"));
+        assert_eq!(KeyBound::Key(5).cmp(&KeyBound::Key(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_key_matches_ord() {
+        assert_eq!(KeyBound::NegInf.cmp_key(&42), Ordering::Less);
+        assert_eq!(KeyBound::PosInf.cmp_key(&42), Ordering::Greater);
+        assert_eq!(KeyBound::Key(41).cmp_key(&42), Ordering::Less);
+        assert_eq!(KeyBound::Key(42).cmp_key(&42), Ordering::Equal);
+        assert_eq!(KeyBound::Key(43).cmp_key(&42), Ordering::Greater);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(KeyBound::Key(7).into_key(), Some(7));
+        assert_eq!(KeyBound::<u8>::NegInf.into_key(), None);
+        assert_eq!(KeyBound::Key(7).as_key(), Some(&7));
+        assert!(KeyBound::Key(7).is_key());
+        assert!(!KeyBound::Key(7).is_sentinel());
+        assert!(KeyBound::<u8>::PosInf.is_sentinel());
+        assert_eq!(KeyBound::from(9u32), KeyBound::Key(9));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", KeyBound::<u8>::NegInf), "-inf");
+        assert_eq!(format!("{:?}", KeyBound::<u8>::PosInf), "+inf");
+        assert_eq!(format!("{:?}", KeyBound::Key(3u8)), "3");
+        assert_eq!(format!("{}", KeyBound::Key(3u8)), "3");
+        assert_eq!(format!("{}", KeyBound::<u8>::PosInf), "+inf");
+    }
+}

@@ -1,0 +1,242 @@
+//! Lightweight, contention-friendly operation counters.
+//!
+//! The complexity claim of the paper is about *extra steps caused by
+//! contention* (`O(H(n) + c)` rather than `O(c · H(n))`).  To make that claim
+//! measurable (experiment E6) the core tree and the benchmark harness count a
+//! few well-defined events per operation: CAS failures, helping excursions,
+//! traversal restarts and traversal link reads.  Counters are plain relaxed
+//! atomics — they are diagnostics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kinds of set operations, used to index per-operation statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An `insert` / `Add` operation.
+    Insert,
+    /// A `remove` / `Remove` operation.
+    Remove,
+    /// A `contains` / `Contains` operation.
+    Contains,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order.
+    pub const ALL: [OpKind; 3] = [OpKind::Insert, OpKind::Remove, OpKind::Contains];
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Remove => "remove",
+            OpKind::Contains => "contains",
+        }
+    }
+}
+
+/// Event counters describing how much "extra" work contention induced.
+///
+/// All methods use relaxed atomics; the struct is cheap enough to embed in a
+/// data structure unconditionally and to share across threads.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// CAS instructions that failed because of a concurrent modification.
+    pub cas_failures: AtomicU64,
+    /// CAS instructions that succeeded.
+    pub cas_successes: AtomicU64,
+    /// Times an operation had to help a concurrent `Remove` finish.
+    pub helps: AtomicU64,
+    /// Times a modify operation restarted its injection after a failure
+    /// (from the vicinity with backlinks, or from the root in ablation mode).
+    pub restarts: AtomicU64,
+    /// Links followed while traversing (a proxy for step count / path length).
+    pub links_traversed: AtomicU64,
+    /// Nodes physically unlinked and retired to the reclamation scheme.
+    pub nodes_retired: AtomicU64,
+}
+
+impl OpStats {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a CAS outcome.
+    #[inline]
+    pub fn record_cas(&self, success: bool) {
+        if success {
+            self.cas_successes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cas_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one helping excursion.
+    #[inline]
+    pub fn record_help(&self) {
+        self.helps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one restart of a modify operation.
+    #[inline]
+    pub fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` traversed links.
+    #[inline]
+    pub fn record_links(&self, n: u64) {
+        if n > 0 {
+            self.links_traversed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one node handed to the memory reclamation scheme.
+    #[inline]
+    pub fn record_retire(&self) {
+        self.nodes_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of the counters (relaxed loads).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            cas_successes: self.cas_successes.load(Ordering::Relaxed),
+            helps: self.helps.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            links_traversed: self.links_traversed.load(Ordering::Relaxed),
+            nodes_retired: self.nodes_retired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.cas_successes.store(0, Ordering::Relaxed);
+        self.helps.store(0, Ordering::Relaxed);
+        self.restarts.store(0, Ordering::Relaxed);
+        self.links_traversed.store(0, Ordering::Relaxed);
+        self.nodes_retired.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of [`OpStats`], convenient to subtract, print and store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// CAS instructions that failed because of a concurrent modification.
+    pub cas_failures: u64,
+    /// CAS instructions that succeeded.
+    pub cas_successes: u64,
+    /// Helping excursions performed.
+    pub helps: u64,
+    /// Modify-operation restarts.
+    pub restarts: u64,
+    /// Links traversed.
+    pub links_traversed: u64,
+    /// Nodes retired to the reclamation scheme.
+    pub nodes_retired: u64,
+}
+
+impl StatsSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Useful for measuring a window: snapshot before, snapshot after, diff.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+            cas_successes: self.cas_successes.saturating_sub(earlier.cas_successes),
+            helps: self.helps.saturating_sub(earlier.helps),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            links_traversed: self.links_traversed.saturating_sub(earlier.links_traversed),
+            nodes_retired: self.nodes_retired.saturating_sub(earlier.nodes_retired),
+        }
+    }
+
+    /// Total CAS instructions attempted in this window.
+    pub fn cas_total(&self) -> u64 {
+        self.cas_failures + self.cas_successes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = OpStats::new();
+        s.record_cas(true);
+        s.record_cas(false);
+        s.record_cas(false);
+        s.record_help();
+        s.record_restart();
+        s.record_links(10);
+        s.record_links(0);
+        s.record_retire();
+        let snap = s.snapshot();
+        assert_eq!(snap.cas_successes, 1);
+        assert_eq!(snap.cas_failures, 2);
+        assert_eq!(snap.cas_total(), 3);
+        assert_eq!(snap.helps, 1);
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.links_traversed, 10);
+        assert_eq!(snap.nodes_retired, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = OpStats::new();
+        s.record_cas(true);
+        s.record_help();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_window() {
+        let s = OpStats::new();
+        s.record_links(5);
+        let before = s.snapshot();
+        s.record_links(7);
+        s.record_cas(false);
+        let after = s.snapshot();
+        let window = after.since(&before);
+        assert_eq!(window.links_traversed, 7);
+        assert_eq!(window.cas_failures, 1);
+        assert_eq!(window.cas_successes, 0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = StatsSnapshot { helps: 1, ..Default::default() };
+        let b = StatsSnapshot { helps: 3, ..Default::default() };
+        assert_eq!(a.since(&b).helps, 0);
+    }
+
+    #[test]
+    fn opkind_labels_are_stable() {
+        assert_eq!(OpKind::Insert.label(), "insert");
+        assert_eq!(OpKind::Remove.label(), "remove");
+        assert_eq!(OpKind::Contains.label(), "contains");
+        assert_eq!(OpKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_too_much() {
+        use std::sync::Arc;
+        let s = Arc::new(OpStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_cas(true);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().cas_successes, 4000);
+    }
+}

@@ -1,0 +1,114 @@
+//! The [`ConcurrentSet`] abstraction implemented by every set in this workspace.
+
+/// A linearizable concurrent set of keys.
+///
+/// All methods take `&self`: implementations are expected to be shared across
+/// threads behind an `Arc` (they are `Send + Sync` by bound) and to synchronize
+/// internally, either with lock-free techniques or with locks.
+///
+/// The three operations mirror the paper's Set ADT (`Add`, `Remove`,
+/// `Contains`); the Rust-idiomatic names `insert`, `remove` and `contains` are
+/// used instead.
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentSet;
+///
+/// fn exercise<S: ConcurrentSet<u64> + Default>() {
+///     let set = S::default();
+///     assert!(set.insert(1));
+///     assert!(!set.insert(1));
+///     assert!(set.contains(&1));
+///     assert!(set.remove(&1));
+///     assert!(!set.contains(&1));
+/// }
+/// ```
+pub trait ConcurrentSet<K>: Send + Sync {
+    /// Inserts `key` into the set.
+    ///
+    /// Returns `true` if the key was not present and has been added, `false` if
+    /// the key was already present (the set is unchanged).
+    fn insert(&self, key: K) -> bool;
+
+    /// Removes `key` from the set.
+    ///
+    /// Returns `true` if the key was present and this call removed it, `false`
+    /// if the key was absent.
+    fn remove(&self, key: &K) -> bool;
+
+    /// Returns `true` if `key` is currently in the set.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Returns the number of keys in the set.
+    ///
+    /// For lock-free implementations this is a *quiescent* count: it is exact
+    /// only when no concurrent mutations are in flight, and is intended for
+    /// tests, validation and reporting rather than for synchronization.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the set holds no keys (same caveat as [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short, stable identifier used by the benchmark harness when labelling
+    /// result rows (e.g. `"lfbst"`, `"ellen"`, `"natarajan"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    /// A trivial reference implementation used to test the trait's default
+    /// methods and to demonstrate the contract.
+    #[derive(Default)]
+    struct MutexSet {
+        inner: Mutex<BTreeSet<u64>>,
+    }
+
+    impl ConcurrentSet<u64> for MutexSet {
+        fn insert(&self, key: u64) -> bool {
+            self.inner.lock().unwrap().insert(key)
+        }
+        fn remove(&self, key: &u64) -> bool {
+            self.inner.lock().unwrap().remove(key)
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.inner.lock().unwrap().contains(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "mutex-btreeset"
+        }
+    }
+
+    #[test]
+    fn reference_implementation_obeys_contract() {
+        let set = MutexSet::default();
+        assert!(set.is_empty());
+        assert!(set.insert(3));
+        assert!(!set.insert(3));
+        assert!(set.contains(&3));
+        assert!(!set.contains(&4));
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+        assert!(set.remove(&3));
+        assert!(!set.remove(&3));
+        assert!(set.is_empty());
+        assert_eq!(set.name(), "mutex-btreeset");
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let set = MutexSet::default();
+        let dyn_set: &dyn ConcurrentSet<u64> = &set;
+        assert!(dyn_set.insert(10));
+        assert!(dyn_set.contains(&10));
+    }
+}

@@ -1,0 +1,547 @@
+//! `experiments` — the evaluation driver.
+//!
+//! Reproduces the planned evaluation of *Efficient Lock-free Binary Search
+//! Trees* (the paper defers experiments to future work; the suite below is the
+//! standard concurrent-set methodology its comparators use, see `DESIGN.md`
+//! and `EXPERIMENTS.md` for the experiment index E1–E10).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [e1|e2|...|e10|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]
+//! ```
+//!
+//! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
+//! the swept parameter and whose columns are the competing set implementations,
+//! reporting throughput in million operations per second unless stated
+//! otherwise.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cset::ConcurrentSet;
+use ellen_bst::EllenBst;
+use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
+use lflist::LockFreeList;
+use locked_bst::{CoarseLockBst, RwLockBst};
+use natarajan_bst::NatarajanBst;
+use workload::{
+    format_csv, format_markdown_table, run_workload, Measurement, OperationMix, WorkloadSpec,
+};
+
+/// Which implementations an experiment measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(dead_code)] // the eager/root-restart variants are exercised directly by E6/E7
+enum SetKind {
+    Lfbst,
+    LfbstWriteOptimized,
+    LfbstRestartRoot,
+    Ellen,
+    Natarajan,
+    HarrisList,
+    CoarseLock,
+    RwLock,
+}
+
+impl SetKind {
+    fn label(self) -> &'static str {
+        match self {
+            SetKind::Lfbst => "lfbst",
+            SetKind::LfbstWriteOptimized => "lfbst-eager",
+            SetKind::LfbstRestartRoot => "lfbst-root-restart",
+            SetKind::Ellen => "ellen",
+            SetKind::Natarajan => "natarajan",
+            SetKind::HarrisList => "harris-list",
+            SetKind::CoarseLock => "coarse-lock",
+            SetKind::RwLock => "rwlock",
+        }
+    }
+}
+
+/// The default competitor line-up for the throughput experiments.
+const COMPETITORS: &[SetKind] = &[
+    SetKind::Lfbst,
+    SetKind::Ellen,
+    SetKind::Natarajan,
+    SetKind::HarrisList,
+    SetKind::CoarseLock,
+    SetKind::RwLock,
+];
+
+/// Runs one (kind, spec, threads) cell and returns the measurement.
+fn run_kind(kind: SetKind, spec: &WorkloadSpec, threads: usize, duration: Duration) -> Measurement {
+    match kind {
+        SetKind::Lfbst => run_workload(Arc::new(LfBst::new()), spec, threads, duration),
+        SetKind::LfbstWriteOptimized => run_workload(
+            Arc::new(LfBst::with_config(Config::new().help_policy(HelpPolicy::WriteOptimized))),
+            spec,
+            threads,
+            duration,
+        ),
+        SetKind::LfbstRestartRoot => run_workload(
+            Arc::new(LfBst::with_config(Config::new().restart_policy(RestartPolicy::Root))),
+            spec,
+            threads,
+            duration,
+        ),
+        SetKind::Ellen => run_workload(Arc::new(EllenBst::new()), spec, threads, duration),
+        SetKind::Natarajan => run_workload(Arc::new(NatarajanBst::new()), spec, threads, duration),
+        SetKind::HarrisList => run_workload(Arc::new(LockFreeList::new()), spec, threads, duration),
+        SetKind::CoarseLock => run_workload(Arc::new(CoarseLockBst::new()), spec, threads, duration),
+        SetKind::RwLock => run_workload(Arc::new(RwLockBst::new()), spec, threads, duration),
+    }
+}
+
+/// Command-line options.
+#[derive(Clone, Debug)]
+struct Options {
+    experiment: String,
+    duration: Duration,
+    max_threads: usize,
+    csv: bool,
+    quick: bool,
+}
+
+impl Options {
+    fn parse() -> Options {
+        let mut experiment = "all".to_string();
+        let mut duration_ms = 300u64;
+        let mut max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let mut csv = false;
+        let mut quick = false;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => quick = true,
+                "--csv" => csv = true,
+                "--duration-ms" => {
+                    i += 1;
+                    duration_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(duration_ms);
+                }
+                "--max-threads" => {
+                    i += 1;
+                    max_threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(max_threads);
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: experiments [e1..e10|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]"
+                    );
+                    std::process::exit(0);
+                }
+                other => experiment = other.to_string(),
+            }
+            i += 1;
+        }
+        if quick {
+            duration_ms = duration_ms.min(120);
+        }
+        Options {
+            experiment,
+            duration: Duration::from_millis(duration_ms),
+            max_threads: max_threads.max(1),
+            csv,
+            quick,
+        }
+    }
+
+    fn thread_counts(&self) -> Vec<usize> {
+        let mut counts = vec![1usize];
+        let mut t = 2;
+        while t <= self.max_threads {
+            counts.push(t);
+            t *= 2;
+        }
+        if *counts.last().unwrap() != self.max_threads && self.max_threads > 1 {
+            counts.push(self.max_threads);
+        }
+        counts
+    }
+
+    fn emit(&self, title: &str, row_label: &str, rows: &[(String, Vec<(String, f64)>)]) {
+        println!("\n### {title}\n");
+        if self.csv {
+            println!("{}", format_csv(row_label, rows));
+        } else {
+            println!("{}", format_markdown_table(row_label, rows));
+        }
+    }
+}
+
+/// Generic "throughput vs thread count" experiment (E1, E2, E3).
+fn thread_sweep(opts: &Options, title: &str, mix: OperationMix, key_range: u64) {
+    let spec = WorkloadSpec::new(key_range, mix);
+    let mut rows = Vec::new();
+    for &threads in &opts.thread_counts() {
+        let mut cells = Vec::new();
+        for &kind in COMPETITORS {
+            let m = run_kind(kind, &spec, threads, opts.duration);
+            cells.push((kind.label().to_string(), m.mops()));
+        }
+        rows.push((threads.to_string(), cells));
+    }
+    opts.emit(title, "threads", &rows);
+}
+
+fn e1(opts: &Options) {
+    thread_sweep(
+        opts,
+        "E1 — throughput vs threads, read-dominated (90% contains / 9% insert / 1% remove, range 2^16)",
+        OperationMix::new(90, 9, 1),
+        1 << 16,
+    );
+}
+
+fn e2(opts: &Options) {
+    thread_sweep(
+        opts,
+        "E2 — throughput vs threads, mixed (70% contains / 20% insert / 10% remove, range 2^16)",
+        OperationMix::new(70, 20, 10),
+        1 << 16,
+    );
+}
+
+fn e3(opts: &Options) {
+    thread_sweep(
+        opts,
+        "E3 — throughput vs threads, write-heavy (50% insert / 50% remove, range 2^16)",
+        OperationMix::new(0, 50, 50),
+        1 << 16,
+    );
+}
+
+fn e4(opts: &Options) {
+    // Contention sweep: smaller key ranges mean more conflicts on the same nodes.
+    let threads = opts.max_threads;
+    let ranges: &[u64] = if opts.quick {
+        &[1 << 7, 1 << 11, 1 << 15]
+    } else {
+        &[1 << 7, 1 << 9, 1 << 11, 1 << 13, 1 << 15, 1 << 17, 1 << 20]
+    };
+    let mut rows = Vec::new();
+    for &range in ranges {
+        let spec = WorkloadSpec::new(range, OperationMix::updates(50));
+        let mut cells = Vec::new();
+        for &kind in COMPETITORS {
+            let m = run_kind(kind, &spec, threads, opts.duration);
+            cells.push((kind.label().to_string(), m.mops()));
+        }
+        rows.push((format!("2^{}", range.trailing_zeros()), cells));
+    }
+    opts.emit(
+        &format!("E4 — throughput vs key range (50% updates, {threads} threads)"),
+        "key range",
+        &rows,
+    );
+}
+
+fn e5(opts: &Options) {
+    let threads = opts.max_threads;
+    let ratios: &[u8] = if opts.quick { &[0, 50, 100] } else { &[0, 10, 20, 40, 60, 80, 100] };
+    let mut rows = Vec::new();
+    for &u in ratios {
+        let spec = WorkloadSpec::new(1 << 16, OperationMix::updates(u));
+        let mut cells = Vec::new();
+        for &kind in COMPETITORS {
+            let m = run_kind(kind, &spec, threads, opts.duration);
+            cells.push((kind.label().to_string(), m.mops()));
+        }
+        rows.push((format!("{u}%"), cells));
+    }
+    opts.emit(
+        &format!("E5 — throughput vs update ratio (range 2^16, {threads} threads)"),
+        "updates",
+        &rows,
+    );
+}
+
+fn e6(opts: &Options) {
+    // Restart-from-vicinity vs restart-from-root under high contention: the
+    // O(H + c) vs O(c * H) claim, measured as throughput plus contention
+    // diagnostics per completed operation.
+    let threads = opts.max_threads;
+    let spec = WorkloadSpec::new(1 << 10, OperationMix::new(0, 50, 50));
+    let mut rows = Vec::new();
+    for (label, restart) in [("vicinity", RestartPolicy::Vicinity), ("root", RestartPolicy::Root)] {
+        let set = Arc::new(LfBst::with_config(
+            Config::new().restart_policy(restart).record_stats(true),
+        ));
+        let handle = Arc::clone(&set);
+        let m = run_workload(set, &spec, threads, opts.duration);
+        let stats = handle.stats();
+        let ops = m.total_ops() as f64;
+        rows.push((
+            label.to_string(),
+            vec![
+                ("mops".to_string(), m.mops()),
+                ("cas_failures_per_op".to_string(), stats.cas_failures as f64 / ops),
+                ("restarts_per_op".to_string(), stats.restarts as f64 / ops),
+                ("helps_per_op".to_string(), stats.helps as f64 / ops),
+                ("links_per_op".to_string(), stats.links_traversed as f64 / ops),
+            ],
+        ));
+    }
+    opts.emit(
+        &format!("E6 — restart policy ablation (write-heavy, range 2^10, {threads} threads)"),
+        "policy",
+        &rows,
+    );
+}
+
+fn e7(opts: &Options) {
+    // Adaptive helping: eager helping should win on write-heavy mixes and cost
+    // a little on read-heavy mixes.
+    let threads = opts.max_threads;
+    let mut rows = Vec::new();
+    for (mix_label, mix) in [
+        ("95% reads", OperationMix::new(95, 3, 2)),
+        ("50% reads", OperationMix::new(50, 25, 25)),
+        ("0% reads", OperationMix::new(0, 50, 50)),
+    ] {
+        let spec = WorkloadSpec::new(1 << 12, mix);
+        let mut cells = Vec::new();
+        for (label, policy) in [
+            ("read-optimized", HelpPolicy::ReadOptimized),
+            ("write-optimized", HelpPolicy::WriteOptimized),
+        ] {
+            let set = Arc::new(LfBst::with_config(Config::new().help_policy(policy)));
+            let m = run_workload(set, &spec, threads, opts.duration);
+            cells.push((label.to_string(), m.mops()));
+        }
+        rows.push((mix_label.to_string(), cells));
+    }
+    opts.emit(
+        &format!("E7 — helping policy adaptivity (range 2^12, {threads} threads)"),
+        "workload",
+        &rows,
+    );
+}
+
+fn e8(opts: &Options) {
+    // Disjoint-access parallelism: every thread works on its own key partition;
+    // an algorithm with good disjoint-access parallelism should scale almost
+    // linearly because operations touch disjoint links.
+    let per_thread_range = 1u64 << 12;
+    let mut rows = Vec::new();
+    for &t in &opts.thread_counts() {
+        let mut cells = Vec::new();
+        for &kind in &[SetKind::Lfbst, SetKind::Ellen, SetKind::Natarajan, SetKind::CoarseLock] {
+            let mops = disjoint_access_run(kind, t, per_thread_range, opts.duration);
+            cells.push((kind.label().to_string(), mops));
+        }
+        rows.push((t.to_string(), cells));
+    }
+    opts.emit(
+        "E8 — disjoint-access parallelism (each thread updates its own key partition)",
+        "threads",
+        &rows,
+    );
+}
+
+/// Runs a partitioned-keys workload: thread `i` only touches keys in its own
+/// partition, so ideal structures scale linearly.
+fn disjoint_access_run(kind: SetKind, threads: usize, per_thread: u64, duration: Duration) -> f64 {
+    fn drive<S: ConcurrentSet<u64> + 'static>(
+        set: Arc<S>,
+        threads: usize,
+        per_thread: u64,
+        duration: Duration,
+    ) -> f64 {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        // Prefill half of each partition.
+        for t in 0..threads as u64 {
+            for k in 0..per_thread / 2 {
+                set.insert(t * per_thread + k * 2);
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                let stop = Arc::clone(&stop);
+                let total = Arc::clone(&total);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t as u64 + 17);
+                    let base = t as u64 * per_thread;
+                    let mut ops = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            let k = base + rng.gen_range(0..per_thread);
+                            if rng.gen_bool(0.5) {
+                                set.insert(k);
+                            } else {
+                                set.remove(&k);
+                            }
+                            ops += 1;
+                        }
+                    }
+                    total.fetch_add(ops, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = std::time::Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64() / 1.0e6
+    }
+    match kind {
+        SetKind::Lfbst => drive(Arc::new(LfBst::new()), threads, per_thread, duration),
+        SetKind::Ellen => drive(Arc::new(EllenBst::new()), threads, per_thread, duration),
+        SetKind::Natarajan => drive(Arc::new(NatarajanBst::new()), threads, per_thread, duration),
+        SetKind::CoarseLock => drive(Arc::new(CoarseLockBst::new()), threads, per_thread, duration),
+        _ => drive(Arc::new(LfBst::new()), threads, per_thread, duration),
+    }
+}
+
+fn e9(opts: &Options) {
+    // Memory footprint: bytes per stored key, from the concrete node layouts.
+    let sizes = [1_000usize, 100_000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let n_f = n as f64;
+        let lfbst = (n_f + 2.0) * LfBst::<u64>::node_size_bytes() as f64 / n_f;
+        let external = (2.0 * n_f - 1.0) * natarajan_bst::node_size_bytes() as f64 / n_f;
+        let ellen = (2.0 * n_f - 1.0) * ellen_bst::node_size_bytes() as f64 / n_f;
+        let list = lflist::node_size_bytes() as f64;
+        rows.push((
+            n.to_string(),
+            vec![
+                ("lfbst".to_string(), lfbst),
+                ("natarajan".to_string(), external),
+                ("ellen".to_string(), ellen),
+                ("harris-list".to_string(), list),
+            ],
+        ));
+    }
+    opts.emit(
+        "E9 — memory footprint (bytes per stored key, from node layouts)",
+        "keys",
+        &rows,
+    );
+    println!(
+        "lfbst node = {} bytes ({} words per key; the paper predicts 5 words plus the key-bound tag)",
+        LfBst::<u64>::node_size_bytes(),
+        LfBst::<u64>::node_size_bytes() / std::mem::size_of::<usize>()
+    );
+}
+
+fn e10(opts: &Options) {
+    // Sequential sanity: single-threaded behaviour against std::collections.
+    use std::time::Instant;
+    let n: u64 = if opts.quick { 100_000 } else { 1_000_000 };
+    let mut rows = Vec::new();
+
+    // Random insertion order.
+    let keys: Vec<u64> = {
+        use rand::rngs::StdRng;
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut v: Vec<u64> = (0..n).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(42));
+        v
+    };
+
+    let tree = LfBst::new();
+    let start = Instant::now();
+    for &k in &keys {
+        tree.insert(k);
+    }
+    let lfbst_insert = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for &k in &keys {
+        assert!(tree.contains(&k));
+    }
+    let lfbst_lookup = start.elapsed().as_secs_f64();
+
+    let mut btree = std::collections::BTreeSet::new();
+    let start = Instant::now();
+    for &k in &keys {
+        btree.insert(k);
+    }
+    let btree_insert = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for &k in &keys {
+        assert!(btree.contains(&k));
+    }
+    let btree_lookup = start.elapsed().as_secs_f64();
+
+    let height = tree.height() as f64;
+    let ideal = (n as f64).log2();
+    rows.push((
+        "insert Mops".to_string(),
+        vec![
+            ("lfbst(1 thread)".to_string(), n as f64 / lfbst_insert / 1e6),
+            ("BTreeSet".to_string(), n as f64 / btree_insert / 1e6),
+        ],
+    ));
+    rows.push((
+        "lookup Mops".to_string(),
+        vec![
+            ("lfbst(1 thread)".to_string(), n as f64 / lfbst_lookup / 1e6),
+            ("BTreeSet".to_string(), n as f64 / btree_lookup / 1e6),
+        ],
+    ));
+    rows.push((
+        "height / log2(n)".to_string(),
+        vec![
+            ("lfbst(1 thread)".to_string(), height / ideal),
+            ("BTreeSet".to_string(), 1.0),
+        ],
+    ));
+    opts.emit(
+        &format!("E10 — sequential sanity, n = {n} random keys"),
+        "metric",
+        &rows,
+    );
+}
+
+fn main() {
+    let opts = Options::parse();
+    println!(
+        "# Lock-free BST evaluation — {} threads max, {:?} per data point{}",
+        opts.max_threads,
+        opts.duration,
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    let exp = opts.experiment.as_str();
+    let all = exp == "all";
+    if all || exp == "e1" {
+        e1(&opts);
+    }
+    if all || exp == "e2" {
+        e2(&opts);
+    }
+    if all || exp == "e3" {
+        e3(&opts);
+    }
+    if all || exp == "e4" {
+        e4(&opts);
+    }
+    if all || exp == "e5" {
+        e5(&opts);
+    }
+    if all || exp == "e6" {
+        e6(&opts);
+    }
+    if all || exp == "e7" {
+        e7(&opts);
+    }
+    if all || exp == "e8" {
+        e8(&opts);
+    }
+    if all || exp == "e9" {
+        e9(&opts);
+    }
+    if all || exp == "e10" {
+        e10(&opts);
+    }
+}

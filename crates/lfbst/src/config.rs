@@ -1,0 +1,140 @@
+//! Runtime configuration for [`LfBst`](crate::LfBst).
+
+/// Controls whether traversals eagerly help pending `Remove` operations.
+///
+/// This is the paper's *adaptive conservative helping* (§3.1): helping guarantees
+/// lock-free progress but is pure overhead for readers when removals are rare.
+///
+/// * `ReadOptimized` — traversals (including `contains`) ignore logically removed
+///   nodes they pass over; only operations that are actually *obstructed* help.
+///   Best for read-dominated workloads; contention is accounted as *interval*
+///   contention in the paper's analysis.
+/// * `WriteOptimized` — traversals that encounter a marked right link clean the
+///   node before proceeding, so the search path does not accumulate "under
+///   removal" nodes.  Best for write-heavy workloads; the analysis then uses the
+///   tighter *point* contention measure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HelpPolicy {
+    /// Traversals do not help removals they are not obstructed by (paper default).
+    #[default]
+    ReadOptimized,
+    /// Traversals eagerly help pending removals encountered on the search path.
+    WriteOptimized,
+}
+
+/// Controls where a modify operation restarts after a failed injection CAS.
+///
+/// The paper's contribution is `Vicinity`: recover via backlinks one link away
+/// from the failure spot, giving `O(H(n) + c)` amortized steps.  `Root` restarts
+/// from the tree root after every failure, reproducing the `O(c · H(n))`
+/// behaviour of earlier lock-free BSTs; it exists purely as an ablation for the
+/// benchmark suite (experiment E6) and is *not* recommended for production use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RestartPolicy {
+    /// Restart from the vicinity of the failure using backlinks (paper behaviour).
+    #[default]
+    Vicinity,
+    /// Restart from the root after every failed injection (ablation baseline).
+    Root,
+}
+
+/// Construction-time configuration for [`LfBst`](crate::LfBst).
+///
+/// # Examples
+///
+/// ```
+/// use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
+///
+/// let config = Config::new()
+///     .help_policy(HelpPolicy::WriteOptimized)
+///     .restart_policy(RestartPolicy::Vicinity)
+///     .record_stats(true);
+/// let set: LfBst<u64> = LfBst::with_config(config);
+/// assert!(set.insert(1));
+/// assert!(set.stats().cas_successes >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Config {
+    pub(crate) help_policy: HelpPolicy,
+    pub(crate) restart_policy: RestartPolicy,
+    pub(crate) record_stats: bool,
+}
+
+impl Config {
+    /// Creates the default configuration (`ReadOptimized`, `Vicinity`, stats off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the helping policy.
+    pub fn help_policy(mut self, policy: HelpPolicy) -> Self {
+        self.help_policy = policy;
+        self
+    }
+
+    /// Sets the restart policy.
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
+    /// Enables or disables operation statistics.
+    ///
+    /// Statistics use relaxed shared counters: useful for the contention
+    /// experiments, but they add measurable overhead on the fast path, so they
+    /// default to `false`.
+    pub fn record_stats(mut self, record: bool) -> Self {
+        self.record_stats = record;
+        self
+    }
+
+    /// Returns the configured helping policy.
+    pub fn get_help_policy(&self) -> HelpPolicy {
+        self.help_policy
+    }
+
+    /// Returns the configured restart policy.
+    pub fn get_restart_policy(&self) -> RestartPolicy {
+        self.restart_policy
+    }
+
+    /// Returns whether statistics recording is enabled.
+    pub fn stats_enabled(&self) -> bool {
+        self.record_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let c = Config::new();
+        assert_eq!(c.get_help_policy(), HelpPolicy::ReadOptimized);
+        assert_eq!(c.get_restart_policy(), RestartPolicy::Vicinity);
+        assert!(!c.stats_enabled());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = Config::new()
+            .help_policy(HelpPolicy::WriteOptimized)
+            .restart_policy(RestartPolicy::Root)
+            .record_stats(true);
+        assert_eq!(c.get_help_policy(), HelpPolicy::WriteOptimized);
+        assert_eq!(c.get_restart_policy(), RestartPolicy::Root);
+        assert!(c.stats_enabled());
+    }
+
+    #[test]
+    fn enums_are_copy_and_comparable() {
+        let a = HelpPolicy::ReadOptimized;
+        let b = a;
+        assert_eq!(a, b);
+        let r = RestartPolicy::Root;
+        let s = r;
+        assert_eq!(r, s);
+        assert_ne!(HelpPolicy::default(), HelpPolicy::WriteOptimized);
+    }
+}

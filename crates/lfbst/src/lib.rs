@@ -1,0 +1,96 @@
+//! # lfbst — Efficient Lock-free Internal Binary Search Trees
+//!
+//! A faithful, production-oriented Rust implementation of the lock-free *internal*
+//! (threaded) binary search tree of **Chatterjee, Nguyen and Tsigas**,
+//! *Efficient Lock-free Binary Search Trees* (PODC 2014 / Chalmers TR 2014:05,
+//! arXiv:1404.3272).
+//!
+//! ## What the data structure is
+//!
+//! [`LfBst`] implements a linearizable, lock-free **Set** abstract data type with
+//! `insert` (the paper's `Add`), `remove` (`Remove`) and `contains` (`Contains`),
+//! using only single-word atomic reads, writes and compare-and-swap.
+//!
+//! The tree is an *internal* BST stored in **threaded** form (Perlis & Thornton):
+//! a node's right child pointer, when there is no right child, is a *thread* to the
+//! node's in-order successor, and a missing left child pointer is a thread to the
+//! node itself.  This turns the tree into an ordered list with exactly two incoming
+//! and two outgoing pointers per node and gives the algorithm its two headline
+//! properties:
+//!
+//! * **`Contains` never restarts and never helps** (in the default
+//!   [`HelpPolicy::ReadOptimized`] mode): traversals are oblivious to concurrent
+//!   removals, like a search in a lock-free linked list.
+//! * **Modify operations never restart from the root**: every node carries a
+//!   *backlink* to a node in the vicinity of its parent, so after a failed CAS the
+//!   operation recovers one link away from the failure spot.  This is what turns the
+//!   usual `O(c · H(n))` amortized cost of lock-free BSTs into the paper's
+//!   `O(H(n) + c)` (contention is additive, not multiplicative).
+//!
+//! Removal uses *link-level* flag and mark bits (three bits stolen from each child
+//! pointer) instead of per-node operation descriptors, which improves
+//! disjoint-access parallelism: two removals that touch disjoint links do not
+//! obstruct each other.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lfbst::LfBst;
+//! use std::sync::Arc;
+//!
+//! let set = Arc::new(LfBst::new());
+//! let handles: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let set = Arc::clone(&set);
+//!         std::thread::spawn(move || {
+//!             for i in 0..1000u64 {
+//!                 set.insert(t * 1000 + i);
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(set.len(), 4000);
+//! assert!(set.contains(&0));
+//! assert!(set.remove(&0));
+//! assert!(!set.contains(&0));
+//! ```
+//!
+//! ## Memory reclamation
+//!
+//! The paper assumes an external safe memory reclamation scheme (hazard pointers).
+//! This crate uses epoch-based reclamation via `crossbeam-epoch`: every operation
+//! pins the current epoch and physically-removed nodes are retired with
+//! `defer_destroy`.  This preserves lock freedom of the set operations and memory
+//! safety for concurrent readers.
+//!
+//! ## Configuration knobs
+//!
+//! * [`HelpPolicy`] — the paper's *adaptive conservative helping*: in
+//!   `WriteOptimized` mode traversals eagerly help pending removals they pass over
+//!   (tighter *point* contention, shorter traversal paths under write-heavy load);
+//!   in `ReadOptimized` mode they stay oblivious (cheapest reads).
+//! * [`RestartPolicy`] — ablation switch: `Vicinity` (the paper's backlink-based
+//!   recovery) vs `Root` (the restart-from-scratch behaviour of earlier lock-free
+//!   BSTs), used by the benchmark suite to measure the `O(H + c)` claim.
+//!
+//! See `DESIGN.md` at the repository root for the full design, the list of
+//! pseudocode disambiguations, and the experiment index.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod link;
+mod locate;
+mod node;
+mod remove;
+mod tree;
+pub mod validate;
+
+pub use config::{Config, HelpPolicy, RestartPolicy};
+pub use tree::LfBst;
+
+pub use cset::{ConcurrentSet, KeyBound, OpStats, StatsSnapshot};

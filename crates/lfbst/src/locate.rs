@@ -1,0 +1,266 @@
+//! Traversal: the paper's `Locate` (listing lines 8–25) and the predecessor
+//! query used by `Remove` (the "`k − ε`" search of line 33), both implementing
+//! the stopping criterion of Condition 1.
+//!
+//! Traversals follow the symmetric order of the threaded tree: at each node they
+//! go left or right by key comparison; when they reach a *threaded* link they
+//! either stop (the searched interval is associated with that thread) or hop to
+//! the successor and continue (the interval may have shifted rightwards because
+//! of a concurrent category-3 removal).  In `WriteOptimized` mode a traversal
+//! that steps over a marked right link first helps the pending removal finish,
+//! so that search paths do not accumulate logically removed nodes.
+
+use std::cmp::Ordering as CmpOrdering;
+
+use crossbeam_epoch::{Guard, Shared};
+
+use crate::link::{is_mark, is_thread, same_node};
+use crate::node::Node;
+use crate::tree::{LfBst, ORD};
+
+/// Where a traversal stopped.
+pub(crate) struct Location<'g, K> {
+    /// The node visited immediately before `curr` (used for vicinity restarts).
+    pub(crate) prev: Shared<'g, Node<K>>,
+    /// The node at which the traversal stopped.
+    pub(crate) curr: Shared<'g, Node<K>>,
+    /// `0` / `1`: the searched interval is associated with the threaded link
+    /// `curr.child[dir]`; `2`: `curr` holds the searched key.
+    pub(crate) dir: usize,
+    /// The value of `curr.child[dir]` observed at the stopping point
+    /// (meaningful when `dir != 2`).
+    pub(crate) link: Shared<'g, Node<K>>,
+}
+
+impl<K: Ord> LfBst<K> {
+    /// The paper's `Locate`: searches for `key` starting from `(prev, curr)`.
+    ///
+    /// Returns `dir == 2` when a node holding `key` is found; otherwise the
+    /// interval containing `key` is associated with the threaded link
+    /// `curr.child[dir]` of the returned location.
+    pub(crate) fn locate_from<'g>(
+        &self,
+        mut prev: Shared<'g, Node<K>>,
+        mut curr: Shared<'g, Node<K>>,
+        key: &K,
+        eager: bool,
+        guard: &'g Guard,
+    ) -> Location<'g, K> {
+        let mut links: u64 = 0;
+        loop {
+            let curr_ref = unsafe { curr.deref() };
+            let dir = match curr_ref.key.cmp_key(key) {
+                CmpOrdering::Equal => {
+                    if self.record_stats() {
+                        self.stats.record_links(links);
+                    }
+                    return Location { prev, curr, dir: 2, link: Shared::null() };
+                }
+                CmpOrdering::Greater => 0,
+                CmpOrdering::Less => 1,
+            };
+            let link = curr_ref.child[dir].load(ORD, guard);
+
+            // Eager helping (lines 14-20): clean a node whose marked right link
+            // we are about to step over, then resume from the vicinity.
+            if eager && dir == 1 && is_mark(link) {
+                let new_prev = unsafe { prev.deref() }.backlink.load(ORD, guard).with_tag(0);
+                self.note_help();
+                self.clean_mark_right(curr, guard);
+                prev = new_prev;
+                curr = new_prev;
+                links += 1;
+                continue;
+            }
+
+            if is_thread(link) {
+                if dir == 0 {
+                    if self.record_stats() {
+                        self.stats.record_links(links);
+                    }
+                    return Location { prev, curr, dir, link };
+                }
+                // Condition 1: on a threaded right link, stop only if the
+                // searched key precedes the successor's key; otherwise the
+                // interval shifted right and the traversal follows the thread.
+                let next = link.with_tag(0);
+                let next_ref = unsafe { next.deref() };
+                match next_ref.key.cmp_key(key) {
+                    CmpOrdering::Greater => {
+                        if self.record_stats() {
+                            self.stats.record_links(links);
+                        }
+                        return Location { prev, curr, dir, link };
+                    }
+                    _ => {
+                        prev = curr;
+                        curr = next;
+                    }
+                }
+            } else {
+                prev = curr;
+                curr = link.with_tag(0);
+            }
+            links += 1;
+        }
+    }
+
+    /// The predecessor query used by `Remove`: behaves like a search for
+    /// "`key − ε`" by treating equality as *go left*, and therefore terminates
+    /// at the node whose threaded link (the *order-link*) points at the node
+    /// holding `key`, if any.
+    ///
+    /// The returned `dir` is never `2`; the candidate victim is the target of
+    /// the returned `link`.
+    pub(crate) fn locate_order_from<'g>(
+        &self,
+        mut prev: Shared<'g, Node<K>>,
+        mut curr: Shared<'g, Node<K>>,
+        key: &K,
+        eager: bool,
+        guard: &'g Guard,
+    ) -> Location<'g, K> {
+        let mut links: u64 = 0;
+        loop {
+            let curr_ref = unsafe { curr.deref() };
+            // "go left on equal": searching for key - epsilon.
+            let dir = match curr_ref.key.cmp_key(key) {
+                CmpOrdering::Less => 1,
+                _ => 0,
+            };
+            let link = curr_ref.child[dir].load(ORD, guard);
+
+            if eager && dir == 1 && is_mark(link) {
+                let new_prev = unsafe { prev.deref() }.backlink.load(ORD, guard).with_tag(0);
+                self.note_help();
+                self.clean_mark_right(curr, guard);
+                prev = new_prev;
+                curr = new_prev;
+                links += 1;
+                continue;
+            }
+
+            if is_thread(link) {
+                if dir == 0 {
+                    if self.record_stats() {
+                        self.stats.record_links(links);
+                    }
+                    return Location { prev, curr, dir, link };
+                }
+                let next = link.with_tag(0);
+                let next_ref = unsafe { next.deref() };
+                // Stop if key <= successor key (i.e. key - epsilon < successor key).
+                match next_ref.key.cmp_key(key) {
+                    CmpOrdering::Less => {
+                        prev = curr;
+                        curr = next;
+                    }
+                    _ => {
+                        if self.record_stats() {
+                            self.stats.record_links(links);
+                        }
+                        return Location { prev, curr, dir, link };
+                    }
+                }
+            } else {
+                prev = curr;
+                curr = link.with_tag(0);
+            }
+            links += 1;
+        }
+    }
+
+    /// Returns `true` if the exact node `victim` is still reachable from the
+    /// root by a search for its key.
+    ///
+    /// Used on slow recovery paths to decide whether a removal that we are
+    /// trying to help has already been completed (the victim physically
+    /// unlinked) by other threads.
+    pub(crate) fn find_exact<'g>(
+        &self,
+        key: &K,
+        victim: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> bool {
+        let loc = self.locate_from(self.root1(), self.root0(), key, false, guard);
+        loc.dir == 2 && same_node(loc.curr, victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_epoch as epoch;
+
+    #[test]
+    fn locate_on_empty_tree_stops_at_minus_inf_right_thread() {
+        let t: LfBst<u64> = LfBst::new();
+        let guard = &epoch::pin();
+        let loc = t.locate_from(t.root1(), t.root0(), &5, false, guard);
+        assert_eq!(loc.dir, 1);
+        assert!(same_node(loc.curr, t.root0()));
+        assert!(is_thread(loc.link));
+        assert!(same_node(loc.link, t.root1()));
+    }
+
+    #[test]
+    fn locate_finds_existing_key() {
+        let t = LfBst::new();
+        for k in [10u64, 5, 15, 3, 7] {
+            t.insert(k);
+        }
+        let guard = &epoch::pin();
+        let loc = t.locate_from(t.root1(), t.root0(), &7, false, guard);
+        assert_eq!(loc.dir, 2);
+        assert_eq!(unsafe { loc.curr.deref() }.key, cset::KeyBound::Key(7));
+    }
+
+    #[test]
+    fn locate_missing_key_stops_at_covering_interval() {
+        let t = LfBst::new();
+        for k in [10u64, 5, 15] {
+            t.insert(k);
+        }
+        let guard = &epoch::pin();
+        // 7 lies in the interval (5, 10); 5's right thread points at 10.
+        let loc = t.locate_from(t.root1(), t.root0(), &7, false, guard);
+        assert_ne!(loc.dir, 2);
+        let curr_key = &unsafe { loc.curr.deref() }.key;
+        assert_eq!(*curr_key, cset::KeyBound::Key(5));
+        assert_eq!(loc.dir, 1);
+        assert!(is_thread(loc.link));
+    }
+
+    #[test]
+    fn locate_order_terminates_at_order_node() {
+        let t = LfBst::new();
+        for k in [10u64, 5, 15, 7] {
+            t.insert(k);
+        }
+        let guard = &epoch::pin();
+        // The order node of 10 is 7 (rightmost node of its left subtree).
+        let loc = t.locate_order_from(t.root1(), t.root0(), &10, false, guard);
+        assert_eq!(unsafe { loc.curr.deref() }.key, cset::KeyBound::Key(7));
+        assert_eq!(loc.dir, 1);
+        assert_eq!(unsafe { loc.link.with_tag(0).deref() }.key, cset::KeyBound::Key(10));
+        // The order node of 5 (no left child) is 5 itself via its left thread.
+        let loc = t.locate_order_from(t.root1(), t.root0(), &5, false, guard);
+        assert_eq!(unsafe { loc.curr.deref() }.key, cset::KeyBound::Key(5));
+        assert_eq!(loc.dir, 0);
+        // The order node of a missing key yields a non-matching target.
+        let loc = t.locate_order_from(t.root1(), t.root0(), &8, false, guard);
+        let target_key = &unsafe { loc.link.with_tag(0).deref() }.key;
+        assert_ne!(*target_key, cset::KeyBound::Key(8));
+    }
+
+    #[test]
+    fn find_exact_distinguishes_nodes() {
+        let t = LfBst::new();
+        t.insert(1u64);
+        t.insert(2);
+        let guard = &epoch::pin();
+        let loc = t.locate_from(t.root1(), t.root0(), &1, false, guard);
+        assert!(t.find_exact(&1, loc.curr, guard));
+        assert!(!t.find_exact(&2, loc.curr, guard));
+    }
+}

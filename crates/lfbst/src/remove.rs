@@ -1,0 +1,965 @@
+//! The `Remove` protocol: flagging, marking and pointer swinging (paper §3.2.2,
+//! listing lines 31–160), restructured as *canonical re-execution*.
+//!
+//! Every thread that discovers a pending removal — through the flagged
+//! order-link, a marked right link, or a flagged parent link — re-executes the
+//! removal's remaining steps in one canonical order.  All steps are idempotent
+//! CAS instructions whose expected values are pinned by the flag/mark bits, so
+//! duplicated execution by helpers is harmless and the first thread to complete
+//! each step wins.
+//!
+//! Canonical step order for removing a node `v` whose order node is `o`:
+//!
+//! 1. **I**   flag the order-link (the threaded link into `v`) — done by the
+//!    `remove` entry point;
+//! 2. **II**  point `v.prelink` at `o`;
+//! 3. **III** mark `v.child[1]` (logical removal);
+//! 4. category 1/2 (the order node is `v` itself or `v`'s left child):
+//!    mark `v.child[0]` for category 2 (see `DESIGN.md`, deviation 7), flag the
+//!    parent link of `v` (**V**) and swing the order link and the parent link;
+//! 5. category 3 (the order node is a distant predecessor): flag the parent
+//!    link of `o` (**IV**), flag the parent link of `v` (**V**), mark
+//!    `v.child[0]` (**VI**), mark `o.child[0]` (**VII**), then swing the six
+//!    affected links so that `o` replaces `v`.
+//!
+//! The differences from the paper's listing (re-derived order node, traversal
+//! based parent discovery on slow paths, the extra category-2 mark, flag
+//! rollback on the step-IV ABA window) are documented in `DESIGN.md`.
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+
+use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, FLAG, MARK, THREAD};
+use crate::node::Node;
+use crate::tree::{LfBst, ORD};
+
+/// Result of driving a removal forward from its flagged order-link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FinishOutcome {
+    /// The victim has been (or is guaranteed to be) logically removed under the
+    /// observed flag; the physical unlinking has been driven to completion.
+    Done,
+    /// The observed flag was wiped by a concurrent shift of the victim before
+    /// the victim could be logically removed; the caller must re-locate and
+    /// retry.
+    Invalidated,
+}
+
+/// Result of the category-3 path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Cat3Outcome {
+    Done,
+    /// The victim's category changed (its order node became its left child);
+    /// the caller must re-dispatch.
+    Reexamine,
+}
+
+impl<K: Ord> LfBst<K> {
+    /// Removes `key`; returns `true` if it was present and this call removed it.
+    ///
+    /// This is the paper's `Remove` (lines 31–40): locate the order-link of the
+    /// node holding `key` with a predecessor query, flag it, then drive the
+    /// removal to completion (helping any conflicting removals on the way).
+    pub fn remove(&self, key: &K) -> bool {
+        let guard = &epoch::pin();
+        let mut prev = self.root1();
+        let mut curr = self.root0();
+        loop {
+            let loc = self.locate_order_from(prev, curr, key, self.eager_help(), guard);
+            let link = loc.link;
+            let victim = link.with_tag(0);
+            let victim_ref = unsafe { victim.deref() };
+            if victim_ref.key.cmp_key(key) != std::cmp::Ordering::Equal {
+                // The interval containing `key` is empty: the key is absent.
+                return false;
+            }
+            let order = loc.curr;
+            let order_ref = unsafe { order.deref() };
+
+            if is_clean(link) {
+                // Step I: try to flag the order-link.
+                match order_ref.child[loc.dir].compare_exchange(
+                    victim.with_tag(THREAD),
+                    victim.with_tag(THREAD | FLAG),
+                    ORD,
+                    ORD,
+                    guard,
+                ) {
+                    Ok(_) => {
+                        if self.record_stats() {
+                            self.stats.record_cas(true);
+                        }
+                        match self.clean_flag_threaded(order, loc.dir, victim, guard) {
+                            FinishOutcome::Done => {
+                                self.note_removal();
+                                return true;
+                            }
+                            FinishOutcome::Invalidated => {
+                                // Our flag was consumed by a shift of the victim;
+                                // retry from the vicinity (or the root in the
+                                // ablation mode).
+                                if self.record_stats() {
+                                    self.stats.record_restart();
+                                }
+                                if self.restart_from_root() {
+                                    prev = self.root1();
+                                    curr = self.root0();
+                                } else {
+                                    prev = loc.prev;
+                                    curr = loc.prev;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        if self.record_stats() {
+                            self.stats.record_cas(false);
+                        }
+                        // Fall through to the failure analysis below.
+                    }
+                }
+            }
+
+            // Either the observed link was already tagged, or our flag CAS lost
+            // a race.  Re-read and decide.
+            let observed = order_ref.child[loc.dir].load(ORD, guard);
+            if same_node(observed, victim) && is_flag(observed) && is_thread(observed) {
+                // Another `Remove` owns this victim: help it finish, then report
+                // the key as already absent (our linearization point follows the
+                // owner's).
+                self.note_help();
+                let _ = self.clean_flag_threaded(order, loc.dir, victim, guard);
+                return false;
+            }
+            if same_node(observed, victim) && is_mark(observed) {
+                // The order node itself is logically removed (dir == 1) or the
+                // victim is being shifted by its successor's removal (dir == 0):
+                // help, then retry nearby.
+                self.note_help();
+                self.help_node(order, guard);
+                if self.record_stats() {
+                    self.stats.record_restart();
+                }
+                if self.restart_from_root() {
+                    prev = self.root1();
+                    curr = self.root0();
+                } else {
+                    let back = order_ref.backlink.load(ORD, guard).with_tag(0);
+                    prev = back;
+                    curr = back;
+                }
+                continue;
+            }
+            // The link's target changed (an insert landed in the interval or a
+            // swing completed): re-locate from the current position.
+            if self.record_stats() {
+                self.stats.record_restart();
+            }
+            prev = loc.prev;
+            curr = loc.curr;
+        }
+    }
+
+    /// Drives a removal whose order-link `order.child[dir]` has been observed
+    /// flagged (and threaded) at `victim`: performs steps II and III and then
+    /// the category-specific completion.
+    ///
+    /// Paper: `CleanFlag` with a threaded link (lines 72–88).
+    pub(crate) fn clean_flag_threaded<'g>(
+        &self,
+        order: Shared<'g, Node<K>>,
+        dir: usize,
+        victim: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> FinishOutcome {
+        let victim_ref = unsafe { victim.deref() };
+        let order_ref = unsafe { order.deref() };
+        loop {
+            let r = victim_ref.child[1].load(ORD, guard);
+            if is_mark(r) {
+                break;
+            }
+            if is_flag(r) {
+                // The victim's right link is held by another removal:
+                //  * threaded  — the victim is the order node of its successor's
+                //    removal; that removal has priority (Lemma 12(d)): help it.
+                //  * unthreaded — the victim's right child is being removed and
+                //    has flagged this parent link: help it.
+                self.note_help();
+                if is_thread(r) {
+                    let _ = self.clean_flag_threaded(victim, 1, r.with_tag(0), guard);
+                } else {
+                    self.help_node(r.with_tag(0), guard);
+                }
+                continue;
+            }
+            // Verify the flag we are working under is still in place before
+            // going irreversible (DESIGN.md deviation 4).  If the victim was
+            // shifted upward by its successor's removal, a category-1 order
+            // link is overwritten by the shift and this removal must restart.
+            let ol = order_ref.child[dir].load(ORD, guard);
+            if !(same_node(ol, victim) && is_flag(ol) && is_thread(ol)) {
+                let r2 = victim_ref.child[1].load(ORD, guard);
+                if is_mark(r2) {
+                    break;
+                }
+                return FinishOutcome::Invalidated;
+            }
+            // Step II: record the order node for later helpers (validated hint).
+            let pre = victim_ref.prelink.load(ORD, guard);
+            if !same_node(pre, order) {
+                victim_ref.prelink.store(order.with_tag(0), ORD);
+            }
+            // Step III: mark the right link (the logical removal point).
+            match victim_ref.child[1].compare_exchange(
+                r,
+                r.with_tag(r.tag() | MARK),
+                ORD,
+                ORD,
+                guard,
+            ) {
+                Ok(_) => {
+                    if self.record_stats() {
+                        self.stats.record_cas(true);
+                    }
+                    break;
+                }
+                Err(_) => {
+                    if self.record_stats() {
+                        self.stats.record_cas(false);
+                    }
+                }
+            }
+        }
+        self.clean_mark_right(victim, guard);
+        FinishOutcome::Done
+    }
+
+    /// Completes the removal of a node whose right link is marked.
+    ///
+    /// Paper: `CleanMark` with `markDir == 1` (lines 122–140) plus the final
+    /// pointer swings of `CleanFlag`/`CleanMark`.
+    pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K>>, guard: &'g Guard) {
+        let victim_ref = unsafe { victim.deref() };
+        loop {
+            let left = victim_ref.child[0].load(ORD, guard);
+            let order = self.order_node_of(victim, guard);
+            if order.is_null() {
+                // No threaded link points at the victim any more: the order-link
+                // swing of this removal has already happened, so the remaining
+                // (straight-line) swings are being driven by the thread that
+                // performed it; there is nothing left for a late helper to do.
+                return;
+            }
+            if same_node(order, victim) || same_node(order, left) {
+                if self.remove_cat12(victim, order, guard) {
+                    return;
+                }
+            } else {
+                match self.remove_cat3(victim, order, guard) {
+                    Cat3Outcome::Done => return,
+                    Cat3Outcome::Reexamine => {}
+                }
+            }
+        }
+    }
+
+    /// Determines the order node of a victim whose right link is marked: the
+    /// node whose threaded (and flagged) link points at the victim.
+    ///
+    /// Uses the `prelink` hint when it validates, otherwise re-derives it by
+    /// walking the right spine of the victim's left subtree (the order node is
+    /// pinned for the whole removal, so every helper derives the same node).
+    ///
+    /// Returns a null pointer when no threaded link points at the victim any
+    /// more — which means the order-link swing of this removal has already been
+    /// performed and a late helper has nothing left to contribute.  (Without
+    /// this escape a helper that reaches an already-completed category-2/3
+    /// victim would search forever for an order link that no longer exists.)
+    fn order_node_of<'g>(
+        &self,
+        victim: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K>> {
+        let victim_ref = unsafe { victim.deref() };
+        let hint = victim_ref.prelink.load(ORD, guard).with_tag(0);
+        if !hint.is_null() && self.is_order_node_of(hint, victim, guard) {
+            return hint;
+        }
+        // The owner (and any helper of a still-live removal) always has a
+        // validating hint, so the walk below only runs for stale helpers and
+        // for the narrow hint-overwrite window; bound the restarts so that a
+        // helper of an already-completed removal cannot spin forever.
+        for _ in 0..8 {
+            let left = victim_ref.child[0].load(ORD, guard);
+            if is_thread(left) {
+                if is_flag(left) {
+                    // No left child and the self-thread is flagged: the victim
+                    // is its own order node (category 1).
+                    return victim;
+                }
+                // A clean self-thread means no removal currently holds the
+                // victim's order link.
+                return Shared::null();
+            }
+            // Walk the right spine of the left subtree.
+            let mut n = left.with_tag(0);
+            loop {
+                if self.is_order_node_of(n, victim, guard) {
+                    return n;
+                }
+                let r = unsafe { n.deref() }.child[1].load(ORD, guard);
+                if is_thread(r) {
+                    // A thread that does not point back at the victim: either
+                    // the order link has already been swung (removal complete)
+                    // or we raced with a restructuring; retry a bounded number
+                    // of times.
+                    if same_node(r, victim) {
+                        return n;
+                    }
+                    break;
+                }
+                n = r.with_tag(0);
+            }
+        }
+        Shared::null()
+    }
+
+    /// Returns `true` if `cand` currently is the order node of `victim`:
+    /// either `victim` itself with a threaded (flagged) left self-link, or a
+    /// node whose threaded right link points at `victim`.
+    fn is_order_node_of<'g>(
+        &self,
+        cand: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> bool {
+        if same_node(cand, victim) {
+            let l = unsafe { victim.deref() }.child[0].load(ORD, guard);
+            return is_thread(l) && same_node(l, victim);
+        }
+        let r = unsafe { cand.deref() }.child[1].load(ORD, guard);
+        is_thread(r) && same_node(r, victim)
+    }
+
+    /// Category 1/2 completion: (optional category-2 left mark,) flag the
+    /// victim's parent link, then swing the order link and the parent link.
+    ///
+    /// Returns `true` when the removal is complete, `false` to re-dispatch.
+    fn remove_cat12<'g>(
+        &self,
+        victim: Shared<'g, Node<K>>,
+        order: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> bool {
+        let victim_ref = unsafe { victim.deref() };
+        let is_cat1 = same_node(order, victim);
+
+        if !is_cat1 {
+            // DESIGN.md deviation 7: freeze the victim's left link so that a
+            // reader holding a stale backlink to the (soon physically removed)
+            // victim can recognise it as dead instead of flagging its links.
+            loop {
+                let vl = victim_ref.child[0].load(ORD, guard);
+                if is_mark(vl) {
+                    break;
+                }
+                if !same_node(vl, order) {
+                    // Our category read was stale; re-dispatch.
+                    return false;
+                }
+                if is_flag(vl) {
+                    // Cannot happen for a category-2 victim (the order node's
+                    // removal is blocked on our flagged order link), but be
+                    // conservative: help and re-check.
+                    self.help_node(order, guard);
+                    continue;
+                }
+                if victim_ref.child[0]
+                    .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), ORD, ORD, guard)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+
+        // Step V: flag the parent link of the victim.
+        let Some((parent, pdir)) = self.flag_parent(victim, guard) else {
+            // The victim is already physically removed.
+            return true;
+        };
+        let parent_ref = unsafe { parent.deref() };
+
+        // Frozen right link of the victim (marked in step III, never changes).
+        let vr = victim_ref.child[1].load(ORD, guard);
+        let rt = is_thread(vr);
+        let rtarget = vr.with_tag(0);
+        let new_right = rtarget.with_tag(if rt { THREAD } else { 0 });
+
+        // Backlink fixes are performed *before* the pointer swing that installs
+        // the corresponding new parent (DESIGN.md, Lemma-7 ordering): this keeps
+        // the invariant that a backlink never refers to a retired node, which is
+        // what makes dereferencing backlinks safe under epoch reclamation.
+        if is_cat1 {
+            // Swing the parent link straight to the victim's right link value
+            // (paper lines 99-101).
+            if !rt {
+                let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
+                    victim.with_tag(0),
+                    parent.with_tag(0),
+                    ORD,
+                    ORD,
+                    guard,
+                );
+            }
+            let pl = parent_ref.child[pdir].load(ORD, guard);
+            if same_node(pl, victim) && is_flag(pl) {
+                if parent_ref.child[pdir]
+                    .compare_exchange(pl, new_right, ORD, ORD, guard)
+                    .is_ok()
+                {
+                    self.retire(victim, guard);
+                }
+            }
+        } else {
+            // Category 2 (paper lines 102-106): the order node (the victim's
+            // left child) inherits the victim's right link and takes its place.
+            let order_ref = unsafe { order.deref() };
+            if !rt {
+                let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
+                    victim.with_tag(0),
+                    order.with_tag(0),
+                    ORD,
+                    ORD,
+                    guard,
+                );
+            }
+            let orl = order_ref.child[1].load(ORD, guard);
+            if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
+                let _ = order_ref.child[1].compare_exchange(orl, new_right, ORD, ORD, guard);
+            }
+            let _ = order_ref.backlink.compare_exchange(
+                victim.with_tag(0),
+                parent.with_tag(0),
+                ORD,
+                ORD,
+                guard,
+            );
+            let pl = parent_ref.child[pdir].load(ORD, guard);
+            if same_node(pl, victim) && is_flag(pl) {
+                if parent_ref.child[pdir]
+                    .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
+                    .is_ok()
+                {
+                    self.retire(victim, guard);
+                }
+            }
+        }
+        true
+    }
+
+    /// Category 3 completion: the order node (a distant predecessor) replaces
+    /// the victim.  Steps IV–VII followed by the pointer swings of paper lines
+    /// 147–160.
+    fn remove_cat3<'g>(
+        &self,
+        victim: Shared<'g, Node<K>>,
+        order: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> Cat3Outcome {
+        let victim_ref = unsafe { victim.deref() };
+        let order_ref = unsafe { order.deref() };
+
+        // ---- Step IV: flag the parent link of the order node. -----------------
+        loop {
+            // Category re-check: if the order node became the victim's left
+            // child, the victim is now category 2.
+            let vl = victim_ref.child[0].load(ORD, guard);
+            if same_node(vl, order) {
+                return Cat3Outcome::Reexamine;
+            }
+            let ocl = order_ref.child[0].load(ORD, guard);
+            if is_mark(ocl) {
+                // Step VII already happened, therefore step IV did too.
+                break;
+            }
+            if is_mark(vl) && same_node(ocl, vl) {
+                // The swings already replaced the order node's left link with
+                // the victim's left subtree: everything up to s3 is done.
+                break;
+            }
+            // Find the order node's current parent (backlink fast path with a
+            // traversal fallback).  Reaching this point means step VII has not
+            // happened yet, so the splice (s1) has not either and the order
+            // node is still reachable; a `None` can only be a transient miss.
+            let Some((opar, odir)) = self.find_parent_of(order, guard) else {
+                continue;
+            };
+            let opar_ref = unsafe { opar.deref() };
+            let ol = opar_ref.child[odir].load(ORD, guard);
+            if !same_node(ol, order) || is_thread(ol) {
+                // Raced with a restructuring; retry.
+                continue;
+            }
+            if is_flag(ol) {
+                break;
+            }
+            if is_mark(ol) {
+                self.help_node(opar, guard);
+                continue;
+            }
+            match opar_ref.child[odir].compare_exchange(
+                ol,
+                ol.with_tag(ol.tag() | FLAG),
+                ORD,
+                ORD,
+                guard,
+            ) {
+                Ok(_) => {
+                    // ABA mitigation (DESIGN.md): confirm the removal is still
+                    // pre-swing; if not, our flag is spurious — roll it back.
+                    let live = {
+                        let orl = order_ref.child[1].load(ORD, guard);
+                        same_node(orl, victim) && is_flag(orl) && is_thread(orl)
+                    };
+                    if live {
+                        break;
+                    }
+                    let _ = opar_ref.child[odir].compare_exchange(
+                        ol.with_tag(ol.tag() | FLAG),
+                        ol,
+                        ORD,
+                        ORD,
+                        guard,
+                    );
+                    return Cat3Outcome::Done;
+                }
+                Err(_) => {
+                    if self.record_stats() {
+                        self.stats.record_cas(false);
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // ---- Step V: flag the parent link of the victim. -----------------------
+        let Some((parent, pdir)) = self.flag_parent(victim, guard) else {
+            return Cat3Outcome::Done;
+        };
+        let parent_ref = unsafe { parent.deref() };
+
+        // ---- Step VI: mark the victim's left link. -----------------------------
+        loop {
+            let vl = victim_ref.child[0].load(ORD, guard);
+            if is_mark(vl) {
+                break;
+            }
+            if same_node(vl, order) || is_thread(vl) {
+                // Category changed under us (cannot normally happen after step
+                // IV); re-dispatch to be safe.
+                return Cat3Outcome::Reexamine;
+            }
+            if is_flag(vl) {
+                // The left child is under removal (its parent link is this
+                // flagged link): help it finish, then retry.
+                self.note_help();
+                self.help_child_of_flagged_parent(vl.with_tag(0), guard);
+                continue;
+            }
+            if victim_ref.child[0]
+                .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), ORD, ORD, guard)
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        // ---- Step VII: mark the order node's left link. ------------------------
+        let vl_frozen = victim_ref.child[0].load(ORD, guard);
+        loop {
+            let ocl = order_ref.child[0].load(ORD, guard);
+            if is_mark(ocl) {
+                break;
+            }
+            if same_node(ocl, vl_frozen) {
+                // s3 already replaced the order node's left link; nothing to mark.
+                break;
+            }
+            if is_flag(ocl) && !is_thread(ocl) {
+                // The order node's left child is under removal: help it first
+                // (Lemma 8 forbids marking a flagged unthreaded left link).
+                self.note_help();
+                self.help_child_of_flagged_parent(ocl.with_tag(0), guard);
+                continue;
+            }
+            // A flagged *threaded* left link (the order node's own pending
+            // removal, blocked behind ours) is marked in place, preserving the
+            // flag (Lemma 8 allows flag+mark on threaded left links).
+            if order_ref.child[0]
+                .compare_exchange(ocl, ocl.with_tag(ocl.tag() | MARK), ORD, ORD, guard)
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        // ---- Pointer swings (paper lines 147-160). ------------------------------
+        // Each backlink fix is performed *before* the swing that installs the
+        // corresponding new parent (DESIGN.md, Lemma-7 ordering), so that a
+        // backlink never refers to a retired node.
+        let vr_frozen = victim_ref.child[1].load(ORD, guard);
+        let rt = is_thread(vr_frozen);
+        let rtarget = vr_frozen.with_tag(0);
+        let lstar = vl_frozen.with_tag(0);
+
+        // s1: splice the order node out of its old position (its parent adopts
+        // the order node's left link value); the left child's backlink is fixed
+        // first.
+        let opar = order_ref.backlink.load(ORD, guard).with_tag(0);
+        if !opar.is_null() {
+            let opar_ref = unsafe { opar.deref() };
+            let okey = &order_ref.key;
+            let odir = if *okey < unsafe { opar.deref() }.key { 0 } else { 1 };
+            let ol = opar_ref.child[odir].load(ORD, guard);
+            if same_node(ol, order) && is_flag(ol) && !is_thread(ol) {
+                let ofl = order_ref.child[0].load(ORD, guard);
+                if is_mark(ofl) {
+                    if !is_thread(ofl) {
+                        let _ = unsafe { ofl.with_tag(0).deref() }.backlink.compare_exchange(
+                            order.with_tag(0),
+                            opar.with_tag(0),
+                            ORD,
+                            ORD,
+                            guard,
+                        );
+                    }
+                    let new_val = ofl.with_tag(if is_thread(ofl) { THREAD } else { 0 });
+                    let _ = opar_ref.child[odir].compare_exchange(ol, new_val, ORD, ORD, guard);
+                }
+            }
+        }
+
+        // s2: the order node adopts the victim's left subtree.
+        let _ = unsafe { lstar.deref() }.backlink.compare_exchange(
+            victim.with_tag(0),
+            order.with_tag(0),
+            ORD,
+            ORD,
+            guard,
+        );
+        let ocl = order_ref.child[0].load(ORD, guard);
+        if is_mark(ocl) {
+            let _ = order_ref.child[0].compare_exchange(ocl, lstar.with_tag(0), ORD, ORD, guard);
+        }
+
+        // s3: the order node adopts the victim's right link.
+        if !rt {
+            let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
+                victim.with_tag(0),
+                order.with_tag(0),
+                ORD,
+                ORD,
+                guard,
+            );
+        }
+        let orl = order_ref.child[1].load(ORD, guard);
+        if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
+            let new_right = rtarget.with_tag(if rt { THREAD } else { 0 });
+            let _ = order_ref.child[1].compare_exchange(orl, new_right, ORD, ORD, guard);
+        }
+
+        // s4: the victim's parent adopts the order node (physical removal).
+        if !opar.is_null() && !same_node(opar, parent) {
+            let _ = order_ref.backlink.compare_exchange(
+                opar.with_tag(0),
+                parent.with_tag(0),
+                ORD,
+                ORD,
+                guard,
+            );
+        }
+        let pl = parent_ref.child[pdir].load(ORD, guard);
+        if same_node(pl, victim) && is_flag(pl) {
+            if parent_ref.child[pdir]
+                .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
+                .is_ok()
+            {
+                self.retire(victim, guard);
+            }
+        }
+        Cat3Outcome::Done
+    }
+
+    /// Step V (and the category 1/2 flag): flags the link from the victim's
+    /// current parent to the victim.
+    ///
+    /// Returns `None` when the victim has already been physically removed.
+    fn flag_parent<'g>(
+        &self,
+        victim: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> Option<(Shared<'g, Node<K>>, usize)> {
+        loop {
+            let Some((parent, pdir)) = self.find_parent_of(victim, guard) else {
+                // The descent did not find the victim; confirm with a key
+                // search before concluding that it has been unlinked (a
+                // transient miss here would otherwise skip the final swing).
+                let key = unsafe { victim.deref() }
+                    .key
+                    .as_key()
+                    .expect("sentinel nodes are never removed");
+                if self.find_exact(key, victim, guard) {
+                    continue;
+                }
+                return None;
+            };
+            let parent_ref = unsafe { parent.deref() };
+            let pl = parent_ref.child[pdir].load(ORD, guard);
+            if !same_node(pl, victim) || is_thread(pl) {
+                // Raced with a swing; retry from scratch.
+                continue;
+            }
+            if is_flag(pl) {
+                return Some((parent, pdir));
+            }
+            if is_mark(pl) {
+                // The parent itself is logically removed; finish it first (its
+                // completion rewires the victim's incoming link) and retry.
+                self.note_help();
+                self.help_node(parent, guard);
+                continue;
+            }
+            match parent_ref.child[pdir].compare_exchange(
+                pl,
+                pl.with_tag(pl.tag() | FLAG),
+                ORD,
+                ORD,
+                guard,
+            ) {
+                Ok(_) => return Some((parent, pdir)),
+                Err(_) => {
+                    if self.record_stats() {
+                        self.stats.record_cas(false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the node whose unthreaded child link currently points at `node`
+    /// (its parent), or `None` if `node` is not reachable through parent links
+    /// (it has been physically removed, or is mid-shift).
+    ///
+    /// Fast path: the node's backlink.  Slow path: a root-to-node descent that
+    /// follows only unthreaded links.
+    fn find_parent_of<'g>(
+        &self,
+        node: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> Option<(Shared<'g, Node<K>>, usize)> {
+        let node_ref = unsafe { node.deref() };
+        // Fast path: the backlink hint.
+        let hint = node_ref.backlink.load(ORD, guard).with_tag(0);
+        if !hint.is_null() {
+            let hdir = if node_ref.key < unsafe { hint.deref() }.key { 0 } else { 1 };
+            let hl = unsafe { hint.deref() }.child[hdir].load(ORD, guard);
+            if same_node(hl, node) && !is_thread(hl) {
+                return Some((hint, hdir));
+            }
+        }
+        // Slow path: descend from the root following unthreaded links only.
+        // Two passes guard against a transient miss caused by an in-flight swing.
+        for _ in 0..2 {
+            let mut curr = self.root1();
+            loop {
+                let curr_ref = unsafe { curr.deref() };
+                let dir = match curr_ref.key.cmp(&node_ref.key) {
+                    std::cmp::Ordering::Greater => 0,
+                    std::cmp::Ordering::Less => 1,
+                    std::cmp::Ordering::Equal => {
+                        // A different node with the same key: the original is gone.
+                        break;
+                    }
+                };
+                let link = curr_ref.child[dir].load(ORD, guard);
+                if is_thread(link) {
+                    break;
+                }
+                if same_node(link, node) {
+                    return Some((curr, dir));
+                }
+                curr = link.with_tag(0);
+            }
+        }
+        None
+    }
+
+    /// Helps the removal of `child`, which was discovered through a flagged
+    /// parent link pointing at it.  By the canonical step order the child's
+    /// right link is already marked, so completing it is a `clean_mark_right`.
+    fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K>>, guard: &'g Guard) {
+        let r = unsafe { child.deref() }.child[1].load(ORD, guard);
+        if is_mark(r) {
+            self.clean_mark_right(child, guard);
+        }
+    }
+
+    /// Best-effort helper dispatch for a node that obstructed us: examines the
+    /// node's links and finishes whatever pending removal they reveal.
+    pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K>>, guard: &'g Guard) {
+        let node_ref = unsafe { node.deref() };
+        let r = node_ref.child[1].load(ORD, guard);
+        if is_mark(r) {
+            // The node is logically removed.
+            self.clean_mark_right(node, guard);
+            return;
+        }
+        if is_flag(r) {
+            if is_thread(r) {
+                // The node is the order node of its successor's removal.
+                let _ = self.clean_flag_threaded(node, 1, r.with_tag(0), guard);
+            } else {
+                // The node's right child is under removal.
+                self.help_child_of_flagged_parent(r.with_tag(0), guard);
+            }
+            return;
+        }
+        let l = node_ref.child[0].load(ORD, guard);
+        if is_flag(l) {
+            if is_thread(l) {
+                // The node's own order link is flagged: it is a category-1
+                // victim whose removal has not yet marked the right link.
+                let _ = self.clean_flag_threaded(node, 0, node, guard);
+            } else {
+                // The node's left child is under removal.
+                self.help_child_of_flagged_parent(l.with_tag(0), guard);
+            }
+        }
+    }
+
+    /// Hands a physically removed node to the epoch reclamation scheme.
+    ///
+    /// Called exactly once per removed node: only the thread whose CAS unlinked
+    /// the last incoming parent link reaches this call.
+    fn retire<'g>(&self, victim: Shared<'g, Node<K>>, guard: &'g Guard) {
+        if self.record_stats() {
+            self.stats.record_retire();
+        }
+        unsafe {
+            guard.defer_destroy(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    fn tree_with(keys: &[u64]) -> LfBst<u64> {
+        let t = LfBst::new();
+        for &k in keys {
+            assert!(t.insert(k));
+        }
+        t
+    }
+
+    #[test]
+    fn remove_category1_leaf() {
+        // 7 is a leaf whose left link is a self thread: category 1.
+        let t = tree_with(&[10, 5, 15, 7]);
+        assert!(t.remove(&7));
+        assert!(!t.contains(&7));
+        assert_eq!(t.iter_keys(), vec![5, 10, 15]);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn remove_category1_right_unary() {
+        // 5 has only a right child (7): still category 1 (no left child).
+        let t = tree_with(&[10, 5, 7, 15]);
+        assert!(t.remove(&5));
+        assert_eq!(t.iter_keys(), vec![7, 10, 15]);
+        assert!(t.contains(&7));
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn remove_category2_node() {
+        // 10's left child is 5, and 5 has no right child: removing 10 is category 2.
+        let t = tree_with(&[10, 5, 15, 3]);
+        assert!(t.remove(&10));
+        assert_eq!(t.iter_keys(), vec![3, 5, 15]);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn remove_category3_node() {
+        // 10's left subtree is {5, 7, 8}; its predecessor 8 is distant: category 3.
+        let t = tree_with(&[10, 5, 15, 7, 8, 12, 20]);
+        assert!(t.remove(&10));
+        assert_eq!(t.iter_keys(), vec![5, 7, 8, 12, 15, 20]);
+        validate(&t).unwrap();
+        // The predecessor 8 must have taken 10's place and still be removable.
+        assert!(t.remove(&8));
+        assert_eq!(t.iter_keys(), vec![5, 7, 12, 15, 20]);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn remove_root_repeatedly() {
+        let t = tree_with(&[50, 25, 75, 12, 37, 62, 87]);
+        for k in [50, 37, 25, 62, 75, 87, 12] {
+            assert!(t.remove(&k), "failed to remove {k}");
+            assert!(!t.contains(&k));
+            validate(&t).unwrap();
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_missing_key_returns_false() {
+        let t = tree_with(&[1, 2, 3]);
+        assert!(!t.remove(&4));
+        assert!(!t.remove(&0));
+        assert_eq!(t.len(), 3);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_remove_sequence() {
+        let t = LfBst::new();
+        for k in 0..200u64 {
+            assert!(t.insert(k));
+        }
+        for k in (0..200).step_by(2) {
+            assert!(t.remove(&k));
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.contains(&k), k % 2 == 1, "key {k}");
+        }
+        for k in (0..200).step_by(2) {
+            assert!(t.insert(k));
+        }
+        assert_eq!(t.len(), 200);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn remove_descending_and_ascending_orders() {
+        let t = tree_with(&(0..64).collect::<Vec<_>>());
+        for k in (0..64).rev() {
+            assert!(t.remove(&k));
+            validate(&t).unwrap();
+        }
+        assert!(t.is_empty());
+        let t = tree_with(&(0..64).rev().collect::<Vec<_>>());
+        for k in 0..64 {
+            assert!(t.remove(&k));
+        }
+        assert!(t.is_empty());
+        validate(&t).unwrap();
+    }
+}

@@ -1,0 +1,631 @@
+//! The public [`LfBst`] type: construction, `insert`, `contains`, size queries,
+//! snapshots and teardown.  The removal protocol lives in `remove.rs`, the
+//! traversal in `locate.rs`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
+use cset::{ConcurrentSet, KeyBound, OpStats, StatsSnapshot};
+
+use crate::config::{Config, HelpPolicy, RestartPolicy};
+use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, THREAD};
+use crate::node::Node;
+
+/// The memory ordering used by every atomic access of the algorithm.
+///
+/// The protocol's correctness argument leans on program-order visibility
+/// between the flag/mark steps and the pointer swings of concurrent helpers;
+/// sequential consistency keeps that reasoning simple and is the conservative
+/// choice for a reference implementation.
+pub(crate) const ORD: Ordering = Ordering::SeqCst;
+
+/// A lock-free internal (threaded) binary search tree implementing a Set.
+///
+/// See the [crate-level documentation](crate) for the algorithm overview and
+/// `DESIGN.md` for the full protocol description.
+///
+/// # Examples
+///
+/// ```
+/// use lfbst::LfBst;
+///
+/// let set = LfBst::new();
+/// assert!(set.insert(10));
+/// assert!(set.insert(20));
+/// assert!(!set.insert(10));
+/// assert!(set.contains(&10));
+/// assert!(set.remove(&10));
+/// assert!(!set.contains(&10));
+/// assert_eq!(set.len(), 1);
+/// ```
+pub struct LfBst<K> {
+    /// `root[0]` holds `-inf` and is the left child (and predecessor) of
+    /// `root[1]`, which holds `+inf`.  Neither is ever removed.
+    pub(crate) roots: [*mut Node<K>; 2],
+    pub(crate) config: Config,
+    pub(crate) stats: OpStats,
+    size: AtomicUsize,
+}
+
+unsafe impl<K: Send + Sync> Send for LfBst<K> {}
+unsafe impl<K: Send + Sync> Sync for LfBst<K> {}
+
+impl<K: Ord> Default for LfBst<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> fmt::Debug for LfBst<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LfBst")
+            .field("len", &self.size.load(Ordering::Relaxed))
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<K: Ord> LfBst<K> {
+    /// Creates an empty tree with the default [`Config`].
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// Creates an empty tree with an explicit [`Config`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::{Config, HelpPolicy, LfBst};
+    /// let set: LfBst<i32> = LfBst::with_config(Config::new().help_policy(HelpPolicy::WriteOptimized));
+    /// assert!(set.is_empty());
+    /// ```
+    pub fn with_config(config: Config) -> Self {
+        // Build the two permanent dummy nodes of listing line 7 / figure 2(c):
+        //   root[0] = -inf : left thread to itself, right thread to root[1],
+        //                    backlink to root[1].
+        //   root[1] = +inf : left child root[0] (unthreaded), right thread to
+        //                    itself (the paper uses null; a self thread avoids
+        //                    null checks and is never followed).
+        let r0 = Box::into_raw(Box::new(Node::new(KeyBound::NegInf)));
+        let r1 = Box::into_raw(Box::new(Node::new(KeyBound::PosInf)));
+        let guard = unsafe { epoch::unprotected() };
+        let s0: Shared<'_, Node<K>> = Shared::from(r0 as *const Node<K>);
+        let s1: Shared<'_, Node<K>> = Shared::from(r1 as *const Node<K>);
+        unsafe {
+            (*r0).child[0].store(s0.with_tag(THREAD), ORD);
+            (*r0).child[1].store(s1.with_tag(THREAD), ORD);
+            (*r0).backlink.store(s1, ORD);
+            (*r1).child[0].store(s0, ORD);
+            (*r1).child[1].store(s1.with_tag(THREAD), ORD);
+            (*r1).backlink.store(s1, ORD);
+        }
+        let _ = guard;
+        LfBst {
+            roots: [r0, r1],
+            config,
+            stats: OpStats::new(),
+            size: AtomicUsize::new(0),
+        }
+    }
+
+    /// The `-inf` dummy node.
+    #[inline]
+    pub(crate) fn root0<'g>(&self) -> Shared<'g, Node<K>> {
+        Shared::from(self.roots[0] as *const Node<K>)
+    }
+
+    /// The `+inf` dummy node.
+    #[inline]
+    pub(crate) fn root1<'g>(&self) -> Shared<'g, Node<K>> {
+        Shared::from(self.roots[1] as *const Node<K>)
+    }
+
+    #[inline]
+    pub(crate) fn eager_help(&self) -> bool {
+        self.config.help_policy == HelpPolicy::WriteOptimized
+    }
+
+    #[inline]
+    pub(crate) fn restart_from_root(&self) -> bool {
+        self.config.restart_policy == RestartPolicy::Root
+    }
+
+    #[inline]
+    pub(crate) fn record_stats(&self) -> bool {
+        self.config.record_stats
+    }
+
+    /// Returns the configuration this tree was built with.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Returns a snapshot of the operation statistics (all zero unless the tree
+    /// was built with [`Config::record_stats`] enabled).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the operation statistics to zero.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Returns the number of keys currently in the set.
+    ///
+    /// The count is maintained with a shared counter updated by successful
+    /// inserts and removes; it is exact in quiescent states and approximate
+    /// while mutations are in flight.
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` if the set contains no keys (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `key` is in the set.
+    ///
+    /// In [`HelpPolicy::ReadOptimized`] mode this operation never writes to
+    /// shared memory and never restarts (the paper's obliviousness property).
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = &epoch::pin();
+        let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
+        loc.dir == 2
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    ///
+    /// This is the paper's `Add` (listing lines 161–183): locate the threaded
+    /// link whose key interval contains `key`, then publish the new node with a
+    /// single CAS on that link.  On failure the operation helps any obstructing
+    /// removal and retries from the vicinity of the failure.
+    pub fn insert(&self, key: K) -> bool {
+        let guard = &epoch::pin();
+        // Allocate and pre-thread the new node: its left link is a thread to
+        // itself (lines 163-164); the right link and backlink are filled in per
+        // attempt below.
+        let new = Owned::new(Node::new(KeyBound::Key(key))).into_shared(guard);
+        let new_ref = unsafe { new.deref() };
+        new_ref.child[0].store(new.with_tag(THREAD), ORD);
+        let key_ref = match &new_ref.key {
+            KeyBound::Key(k) => k,
+            // A freshly built node always carries a real key.
+            _ => unreachable!("insert allocates real keys only"),
+        };
+
+        let mut prev = self.root1();
+        let mut curr = self.root0();
+        loop {
+            let loc = self.locate_from(prev, curr, key_ref, self.eager_help(), guard);
+            if loc.dir == 2 {
+                // Key already present: discard the unpublished node.
+                unsafe {
+                    drop(new.into_owned());
+                }
+                return false;
+            }
+            prev = loc.prev;
+            curr = loc.curr;
+            let curr_ref = unsafe { curr.deref() };
+            let link = loc.link;
+
+            if is_thread(link) && is_clean(link) {
+                // Copy the located threaded link into the new node's right link
+                // (line 171) and point its backlink at the prospective parent.
+                new_ref.child[1].store(link.with_tag(THREAD), ORD);
+                new_ref.backlink.store(curr.with_tag(0), ORD);
+                match curr_ref.child[loc.dir].compare_exchange(
+                    link.with_tag(THREAD),
+                    new.with_tag(0),
+                    ORD,
+                    ORD,
+                    guard,
+                ) {
+                    Ok(_) => {
+                        if self.record_stats() {
+                            self.stats.record_cas(true);
+                        }
+                        self.size.fetch_add(1, Ordering::AcqRel);
+                        return true;
+                    }
+                    Err(_) => {
+                        if self.record_stats() {
+                            self.stats.record_cas(false);
+                            self.stats.record_restart();
+                        }
+                    }
+                }
+            }
+
+            // Injection failed (or the observed link was already tagged).
+            // Help whichever removal obstructed us, then restart.
+            let observed = curr_ref.child[loc.dir].load(ORD, guard);
+            if same_node(observed, link) {
+                if is_mark(observed) || is_flag(observed) {
+                    if self.record_stats() {
+                        self.stats.record_help();
+                    }
+                    if is_mark(observed) {
+                        self.help_node(curr, guard);
+                    } else if is_thread(observed) {
+                        // A flagged threaded link: its target is under removal.
+                        let victim = observed.with_tag(0);
+                        let _ = self.clean_flag_threaded(curr, loc.dir, victim, guard);
+                    } else {
+                        self.help_node(observed.with_tag(0), guard);
+                    }
+                }
+                // Restart in the vicinity of the failure (lines 178, 182-183),
+                // or from the root in the ablation mode.
+                if self.restart_from_root() {
+                    prev = self.root1();
+                    curr = self.root0();
+                } else {
+                    let back = unsafe { curr.deref() }.backlink.load(ORD, guard).with_tag(0);
+                    prev = back;
+                    curr = back;
+                }
+            }
+            // If the link's target changed (another insert landed first) we
+            // simply re-locate from the current position.
+        }
+    }
+
+    /// Collects the keys currently in the set, in ascending order.
+    ///
+    /// The snapshot walks the threaded representation (an in-order walk is a
+    /// linear scan over threads).  It is **weakly consistent**: concurrent
+    /// mutations may or may not be observed; in a quiescent state it is exact.
+    pub fn iter_keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let guard = &epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.root0();
+        loop {
+            let next = self.in_order_successor(curr, guard);
+            if same_node(next, self.root1()) || next.is_null() {
+                break;
+            }
+            let node = unsafe { next.deref() };
+            if let KeyBound::Key(k) = &node.key {
+                out.push(k.clone());
+            }
+            curr = next;
+        }
+        out
+    }
+
+    /// Collects the keys in `range`, in ascending order.
+    ///
+    /// Ordered range scans are where the threaded representation shines: once
+    /// the lower bound is located, the scan follows successor threads like a
+    /// linked list without re-descending the tree.  Like
+    /// [`iter_keys`](Self::iter_keys) the scan is **weakly consistent** under
+    /// concurrency and exact in a quiescent state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    ///
+    /// let set = LfBst::new();
+    /// for k in [10u64, 20, 30, 40, 50] {
+    ///     set.insert(k);
+    /// }
+    /// assert_eq!(set.keys_in_range(15..=40), vec![20, 30, 40]);
+    /// assert_eq!(set.keys_in_range(..20), vec![10]);
+    /// assert_eq!(set.keys_in_range(41..), vec![50]);
+    /// ```
+    pub fn keys_in_range<R>(&self, range: R) -> Vec<K>
+    where
+        K: Clone,
+        R: std::ops::RangeBounds<K>,
+    {
+        use std::ops::Bound;
+        let guard = &epoch::pin();
+        // Find the first node whose key is >= (or > for an excluded bound) the
+        // lower bound.
+        let mut curr = match range.start_bound() {
+            Bound::Unbounded => self.in_order_successor(self.root0(), guard),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let loc = self.locate_from(self.root1(), self.root0(), k, false, guard);
+                if loc.dir == 2 {
+                    if matches!(range.start_bound(), Bound::Included(_)) {
+                        loc.curr
+                    } else {
+                        self.in_order_successor(loc.curr, guard)
+                    }
+                } else if loc.dir == 0 {
+                    // Stopped at a threaded left link: `curr` is the first key
+                    // greater than the bound.
+                    loc.curr
+                } else {
+                    // Stopped at a threaded right link: its target is the first
+                    // key greater than the bound.
+                    loc.link.with_tag(0)
+                }
+            }
+        };
+        let mut out = Vec::new();
+        loop {
+            if same_node(curr, self.root1()) || curr.is_null() {
+                break;
+            }
+            let node = unsafe { curr.deref() };
+            match &node.key {
+                KeyBound::Key(k) => {
+                    let past_end = match range.end_bound() {
+                        Bound::Unbounded => false,
+                        Bound::Included(end) => k > end,
+                        Bound::Excluded(end) => k >= end,
+                    };
+                    if past_end {
+                        break;
+                    }
+                    out.push(k.clone());
+                }
+                KeyBound::NegInf => {}
+                KeyBound::PosInf => break,
+            }
+            curr = self.in_order_successor(curr, guard);
+        }
+        out
+    }
+
+    /// Returns the smallest key in the set, if any (weakly consistent).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// let set = LfBst::new();
+    /// assert_eq!(set.min_key(), None);
+    /// set.insert(7u64);
+    /// set.insert(3);
+    /// assert_eq!(set.min_key(), Some(3));
+    /// ```
+    pub fn min_key(&self) -> Option<K>
+    where
+        K: Clone,
+    {
+        let guard = &epoch::pin();
+        let first = self.in_order_successor(self.root0(), guard);
+        unsafe { first.deref() }.key.as_key().cloned()
+    }
+
+    /// Returns the largest key in the set, if any (weakly consistent).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// let set = LfBst::new();
+    /// set.insert(7u64);
+    /// set.insert(11);
+    /// assert_eq!(set.max_key(), Some(11));
+    /// ```
+    pub fn max_key(&self) -> Option<K>
+    where
+        K: Clone,
+    {
+        let guard = &epoch::pin();
+        // Rightmost node reachable from the real tree via unthreaded right links.
+        let top = unsafe { self.root0().deref() }.child[1].load(ORD, guard);
+        if is_thread(top) {
+            return None;
+        }
+        let mut curr = top.with_tag(0);
+        loop {
+            let right = unsafe { curr.deref() }.child[1].load(ORD, guard);
+            if is_thread(right) {
+                return unsafe { curr.deref() }.key.as_key().cloned();
+            }
+            curr = right.with_tag(0);
+        }
+    }
+
+    /// Follows the threaded representation to the in-order successor of `node`.
+    fn in_order_successor<'g>(
+        &self,
+        node: Shared<'g, Node<K>>,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K>> {
+        let n = unsafe { node.deref() };
+        let right = n.child[1].load(ORD, guard);
+        if is_thread(right) {
+            return right.with_tag(0);
+        }
+        // Leftmost node of the right subtree.
+        let mut curr = right.with_tag(0);
+        loop {
+            let left = unsafe { curr.deref() }.child[0].load(ORD, guard);
+            if is_thread(left) {
+                return curr;
+            }
+            curr = left.with_tag(0);
+        }
+    }
+
+    /// Height of the tree (longest root-to-node path over unthreaded links).
+    ///
+    /// Intended for diagnostics and the sequential experiments; quiescent use only.
+    pub fn height(&self) -> usize {
+        let guard = &epoch::pin();
+        // Every real node hangs off the right link of the `-inf` dummy (all real
+        // keys compare greater than `-inf`).
+        let top = unsafe { self.root0().deref() }.child[1].load(ORD, guard);
+        if is_thread(top) {
+            return 0;
+        }
+        let mut max = 0usize;
+        let mut stack = vec![(top.with_tag(0), 1usize)];
+        while let Some((node, depth)) = stack.pop() {
+            max = max.max(depth);
+            let n = unsafe { node.deref() };
+            for dir in 0..2 {
+                let c = n.child[dir].load(ORD, guard);
+                if !is_thread(c) && !c.is_null() {
+                    stack.push((c.with_tag(0), depth + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// Size in bytes of one tree node for this key type.
+    ///
+    /// The paper notes the design uses five memory words per node (key, two
+    /// child links, backlink, prelink); this reports the concrete Rust layout,
+    /// used by the memory-footprint experiment (E9).
+    pub fn node_size_bytes() -> usize {
+        std::mem::size_of::<Node<K>>()
+    }
+
+    /// Decrements the size counter; called by the owning `remove`.
+    pub(crate) fn note_removal(&self) {
+        self.size.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Increments helpers counter (used by remove.rs / locate.rs).
+    pub(crate) fn note_help(&self) {
+        if self.record_stats() {
+            self.stats.record_help();
+        }
+    }
+}
+
+impl<K> Drop for LfBst<K> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node reachable through unthreaded child
+        // links (each live node has exactly one unthreaded incoming link, so the
+        // walk visits each node once), then the two dummy roots.  Nodes already
+        // retired to the epoch collector are unreachable here and are freed by
+        // crossbeam instead.
+        let guard = unsafe { epoch::unprotected() };
+        let mut stack: Vec<*mut Node<K>> = Vec::new();
+        unsafe {
+            // Every real node is reachable from the right link of the `-inf`
+            // dummy through unthreaded links only.
+            let top = (*self.roots[0]).child[1].load(ORD, guard);
+            if !is_thread(top) && !top.is_null() {
+                stack.push(top.with_tag(0).as_raw() as *mut Node<K>);
+            }
+            while let Some(p) = stack.pop() {
+                for dir in 0..2 {
+                    let c = (*p).child[dir].load(ORD, guard);
+                    if !is_thread(c) && !c.is_null() {
+                        stack.push(c.with_tag(0).as_raw() as *mut Node<K>);
+                    }
+                }
+                drop(Box::from_raw(p));
+            }
+            drop(Box::from_raw(self.roots[0]));
+            drop(Box::from_raw(self.roots[1]));
+        }
+    }
+}
+
+impl<K> ConcurrentSet<K> for LfBst<K>
+where
+    K: Ord + Send + Sync,
+{
+    fn insert(&self, key: K) -> bool {
+        LfBst::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        LfBst::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        LfBst::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        LfBst::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "lfbst"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_properties() {
+        let t: LfBst<u64> = LfBst::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains(&1));
+        assert!(!t.remove(&1));
+        assert_eq!(t.iter_keys(), Vec::<u64>::new());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn single_element_lifecycle() {
+        let t = LfBst::new();
+        assert!(t.insert(42u64));
+        assert!(t.contains(&42));
+        assert!(!t.insert(42));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter_keys(), vec![42]);
+        assert!(t.remove(&42));
+        assert!(!t.contains(&42));
+        assert!(!t.remove(&42));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sequential_inserts_are_sorted() {
+        let t = LfBst::new();
+        let keys = [5u64, 3, 8, 1, 4, 7, 9, 2, 6, 0];
+        for &k in &keys {
+            assert!(t.insert(k));
+        }
+        assert_eq!(t.len(), keys.len());
+        assert_eq!(t.iter_keys(), (0..10).collect::<Vec<_>>());
+        for &k in &keys {
+            assert!(t.contains(&k));
+        }
+        assert!(!t.contains(&100));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let t: LfBst<u32> = LfBst::new();
+        let s = format!("{t:?}");
+        assert!(s.contains("LfBst"));
+    }
+
+    #[test]
+    fn works_with_non_copy_keys() {
+        let t: LfBst<String> = LfBst::new();
+        assert!(t.insert("banana".to_string()));
+        assert!(t.insert("apple".to_string()));
+        assert!(t.insert("cherry".to_string()));
+        assert!(t.contains(&"apple".to_string()));
+        assert_eq!(
+            t.iter_keys(),
+            vec!["apple".to_string(), "banana".to_string(), "cherry".to_string()]
+        );
+        assert!(t.remove(&"banana".to_string()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LfBst<u64>>();
+        assert_send_sync::<LfBst<String>>();
+    }
+}

@@ -1,0 +1,292 @@
+//! Quiescent structural validation.
+//!
+//! These checks are meant for tests and debugging: they walk the tree without
+//! synchronization and therefore must only be called while no other thread is
+//! mutating it.  They verify every representation invariant the algorithm
+//! relies on:
+//!
+//! * the internal BST symmetric order (in-order keys strictly increase);
+//! * threading: a threaded left link points to the node itself, a threaded
+//!   right link points to the in-order successor;
+//! * exactly one unthreaded (parent) and one threaded incoming link per node;
+//! * no residual flag or mark bits after all operations have completed;
+//! * the size counter matches the number of reachable nodes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crossbeam_epoch::{self as epoch, Shared};
+
+use crate::link::{is_flag, is_mark, is_thread, same_node};
+use crate::node::Node;
+use crate::tree::{LfBst, ORD};
+use cset::KeyBound;
+
+/// A violated invariant discovered by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The in-order walk produced keys out of order or a duplicate.
+    OrderViolation {
+        /// Position in the in-order walk at which the violation was detected.
+        position: usize,
+    },
+    /// A threaded left link does not point back at its own node.
+    LeftThreadNotSelf,
+    /// A threaded right link does not point at the in-order successor.
+    RightThreadWrongSuccessor,
+    /// A link still carries a flag or mark bit in a quiescent state.
+    ResidualTag {
+        /// `true` if the offending bit was a flag, `false` for a mark.
+        flag: bool,
+    },
+    /// A node is reachable through more than one unthreaded (parent) link.
+    MultipleParents,
+    /// The size counter disagrees with the number of reachable nodes.
+    SizeMismatch {
+        /// Value reported by `len()`.
+        counted: usize,
+        /// Number of nodes reachable in the structure.
+        reachable: usize,
+    },
+    /// A backlink refers to a node that is not reachable in the tree.
+    DanglingBacklink,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OrderViolation { position } => {
+                write!(f, "in-order walk out of order at position {position}")
+            }
+            ValidationError::LeftThreadNotSelf => write!(f, "threaded left link is not a self link"),
+            ValidationError::RightThreadWrongSuccessor => {
+                write!(f, "threaded right link does not point at the successor")
+            }
+            ValidationError::ResidualTag { flag } => {
+                write!(f, "residual {} bit in quiescent state", if *flag { "flag" } else { "mark" })
+            }
+            ValidationError::MultipleParents => write!(f, "node has multiple parent links"),
+            ValidationError::SizeMismatch { counted, reachable } => {
+                write!(f, "size counter {counted} != reachable nodes {reachable}")
+            }
+            ValidationError::DanglingBacklink => write!(f, "backlink target not reachable"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Summary statistics produced by a successful [`validate`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Number of (real) nodes reachable in the tree.
+    pub nodes: usize,
+    /// Height of the tree (longest unthreaded path from the topmost real node).
+    pub height: usize,
+}
+
+/// Validates all structural invariants of `tree`.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found.
+///
+/// # Examples
+///
+/// ```
+/// use lfbst::LfBst;
+/// use lfbst::validate::validate;
+///
+/// let t = LfBst::new();
+/// for k in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+///     t.insert(k);
+/// }
+/// t.remove(&4);
+/// let report = validate(&t).expect("structure is consistent");
+/// assert_eq!(report.nodes, 6);
+/// ```
+pub fn validate<K: Ord + Clone + std::fmt::Debug>(
+    tree: &LfBst<K>,
+) -> Result<ValidationReport, ValidationError> {
+    let guard = &epoch::pin();
+    let root0 = tree.root0();
+    let root1 = tree.root1();
+
+    // Pass 1: structural DFS over unthreaded links, collecting parent counts.
+    let mut parent_count: HashMap<usize, usize> = HashMap::new();
+    let mut reachable: Vec<Shared<'_, Node<K>>> = Vec::new();
+    let top = unsafe { root0.deref() }.child[1].load(ORD, guard);
+    if !is_thread(top) {
+        let mut stack = vec![top.with_tag(0)];
+        *parent_count.entry(top.with_tag(0).as_raw() as usize).or_default() += 1;
+        while let Some(node) = stack.pop() {
+            reachable.push(node);
+            let n = unsafe { node.deref() };
+            for dir in 0..2 {
+                let link = n.child[dir].load(ORD, guard);
+                if is_flag(link) {
+                    return Err(ValidationError::ResidualTag { flag: true });
+                }
+                if is_mark(link) {
+                    return Err(ValidationError::ResidualTag { flag: false });
+                }
+                if !is_thread(link) {
+                    let raw = link.with_tag(0).as_raw() as usize;
+                    let count = parent_count.entry(raw).or_default();
+                    *count += 1;
+                    if *count > 1 {
+                        return Err(ValidationError::MultipleParents);
+                    }
+                    stack.push(link.with_tag(0));
+                }
+            }
+        }
+    }
+
+    // Pass 2: in-order walk over the threaded representation, checking order
+    // and threading invariants.
+    let mut prev_key: Option<KeyBound<K>> = None;
+    let mut position = 0usize;
+    let mut in_order_nodes = 0usize;
+    let mut curr = root0;
+    loop {
+        let n = unsafe { curr.deref() };
+        // Check threading of this node's links.
+        let left = n.child[0].load(ORD, guard);
+        if is_thread(left) && !same_node(left, curr) {
+            return Err(ValidationError::LeftThreadNotSelf);
+        }
+        let right = n.child[1].load(ORD, guard);
+        // Find the in-order successor through the structure.
+        let successor = if is_thread(right) {
+            right.with_tag(0)
+        } else {
+            let mut s = right.with_tag(0);
+            loop {
+                let l = unsafe { s.deref() }.child[0].load(ORD, guard);
+                if is_thread(l) {
+                    break s;
+                }
+                s = l.with_tag(0);
+            }
+        };
+        if is_thread(right) && !same_node(right, successor) {
+            return Err(ValidationError::RightThreadWrongSuccessor);
+        }
+        // Order check.
+        if let Some(pk) = &prev_key {
+            if *pk >= n.key {
+                return Err(ValidationError::OrderViolation { position });
+            }
+        }
+        prev_key = Some(n.key.clone());
+        if n.key.is_key() {
+            in_order_nodes += 1;
+        }
+        position += 1;
+        if same_node(curr, root1) {
+            break;
+        }
+        curr = successor;
+        if position > reachable.len() + 8 {
+            // Defensive: a cycle in the threaded representation.
+            return Err(ValidationError::OrderViolation { position });
+        }
+    }
+
+    if in_order_nodes != reachable.len() {
+        return Err(ValidationError::SizeMismatch {
+            counted: reachable.len(),
+            reachable: in_order_nodes,
+        });
+    }
+    if tree.len() != reachable.len() {
+        return Err(ValidationError::SizeMismatch {
+            counted: tree.len(),
+            reachable: reachable.len(),
+        });
+    }
+
+    // Pass 3: every reachable node's backlink must itself reference a reachable
+    // node (or one of the two dummies).
+    let mut reachable_raw: Vec<usize> = reachable.iter().map(|s| s.as_raw() as usize).collect();
+    reachable_raw.push(root0.as_raw() as usize);
+    reachable_raw.push(root1.as_raw() as usize);
+    reachable_raw.sort_unstable();
+    for node in &reachable {
+        let b = unsafe { node.deref() }.backlink.load(ORD, guard).with_tag(0);
+        if b.is_null() || reachable_raw.binary_search(&(b.as_raw() as usize)).is_err() {
+            return Err(ValidationError::DanglingBacklink);
+        }
+    }
+
+    Ok(ValidationReport {
+        nodes: reachable.len(),
+        height: tree.height(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_validates() {
+        let t: LfBst<u64> = LfBst::new();
+        let r = validate(&t).unwrap();
+        assert_eq!(r.nodes, 0);
+        assert_eq!(r.height, 0);
+    }
+
+    #[test]
+    fn populated_tree_validates() {
+        let t = LfBst::new();
+        for k in 0..100u64 {
+            t.insert(k * 7 % 101);
+        }
+        let r = validate(&t).unwrap();
+        assert_eq!(r.nodes, 100);
+        assert!(r.height >= 7); // at least log2(100)
+    }
+
+    #[test]
+    fn validation_after_mixed_operations() {
+        let t = LfBst::new();
+        for k in 0..512u64 {
+            t.insert(k);
+        }
+        for k in (0..512u64).filter(|k| k % 3 == 0) {
+            t.remove(&k);
+        }
+        for k in (0..512u64).filter(|k| k % 6 == 0) {
+            t.insert(k);
+        }
+        let r = validate(&t).unwrap();
+        assert_eq!(r.nodes, t.len());
+    }
+
+    #[test]
+    fn report_is_copy_and_debug() {
+        let r = ValidationReport { nodes: 3, height: 2 };
+        let r2 = r;
+        assert_eq!(r, r2);
+        assert!(format!("{r:?}").contains("nodes"));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let msgs = [
+            ValidationError::OrderViolation { position: 3 }.to_string(),
+            ValidationError::LeftThreadNotSelf.to_string(),
+            ValidationError::RightThreadWrongSuccessor.to_string(),
+            ValidationError::ResidualTag { flag: true }.to_string(),
+            ValidationError::ResidualTag { flag: false }.to_string(),
+            ValidationError::MultipleParents.to_string(),
+            ValidationError::SizeMismatch { counted: 1, reachable: 2 }.to_string(),
+            ValidationError::DanglingBacklink.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the lock-free BST (single-threaded properties;
+//! the concurrent properties are covered by `tests/concurrent.rs` and the
+//! cross-crate conformance suite).
+
+use std::collections::BTreeSet;
+
+use lfbst::validate::validate;
+use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
+use proptest::prelude::*;
+
+/// An abstract set operation for property generation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Contains(u16),
+}
+
+fn op_strategy(key_bits: u32) -> impl Strategy<Value = Op> {
+    let max = (1u16 << key_bits) - 1;
+    prop_oneof![
+        (0..=max).prop_map(Op::Insert),
+        (0..=max).prop_map(Op::Remove),
+        (0..=max).prop_map(Op::Contains),
+    ]
+}
+
+fn apply_both(tree: &LfBst<u16>, model: &mut BTreeSet<u16>, op: Op) {
+    match op {
+        Op::Insert(k) => assert_eq!(tree.insert(k), model.insert(k), "insert({k})"),
+        Op::Remove(k) => assert_eq!(tree.remove(&k), model.remove(&k), "remove({k})"),
+        Op::Contains(k) => assert_eq!(tree.contains(&k), model.contains(&k), "contains({k})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any operation sequence leaves the tree behaving exactly like BTreeSet
+    /// and structurally valid.
+    #[test]
+    fn behaves_like_btreeset(ops in proptest::collection::vec(op_strategy(8), 1..600)) {
+        let tree = LfBst::new();
+        let mut model = BTreeSet::new();
+        for &op in &ops {
+            apply_both(&tree, &mut model, op);
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        prop_assert_eq!(tree.iter_keys(), model.iter().copied().collect::<Vec<_>>());
+        let report = validate(&tree).expect("structure invariants");
+        prop_assert_eq!(report.nodes, model.len());
+    }
+
+    /// The same property holds for the non-default configurations (eager
+    /// helping and the restart-from-root ablation share all structural code
+    /// paths that sequential execution can reach, but this guards regressions
+    /// in the configuration plumbing).
+    #[test]
+    fn configurations_behave_identically(ops in proptest::collection::vec(op_strategy(7), 1..400)) {
+        let default_tree = LfBst::new();
+        let eager = LfBst::with_config(Config::new().help_policy(HelpPolicy::WriteOptimized));
+        let root_restart = LfBst::with_config(Config::new().restart_policy(RestartPolicy::Root));
+        let mut model = BTreeSet::new();
+        for &op in &ops {
+            apply_both(&default_tree, &mut model, op);
+            match op {
+                Op::Insert(k) => {
+                    eager.insert(k);
+                    root_restart.insert(k);
+                }
+                Op::Remove(k) => {
+                    eager.remove(&k);
+                    root_restart.remove(&k);
+                }
+                Op::Contains(k) => {
+                    eager.contains(&k);
+                    root_restart.contains(&k);
+                }
+            }
+        }
+        let expected: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(default_tree.iter_keys(), expected.clone());
+        prop_assert_eq!(eager.iter_keys(), expected.clone());
+        prop_assert_eq!(root_restart.iter_keys(), expected);
+        validate(&eager).expect("eager tree invariants");
+        validate(&root_restart).expect("root-restart tree invariants");
+    }
+
+    /// Inserting any permutation of a key set then removing another permutation
+    /// of the same keys always empties the tree, exercising every removal
+    /// category along the way.
+    #[test]
+    fn insert_all_then_remove_all(keys in proptest::collection::btree_set(0u16..512, 1..200)) {
+        let tree = LfBst::new();
+        for &k in &keys {
+            prop_assert!(tree.insert(k));
+        }
+        prop_assert_eq!(tree.len(), keys.len());
+        validate(&tree).expect("after inserts");
+        // Remove in reverse order so predecessors are exercised heavily.
+        for &k in keys.iter().rev() {
+            prop_assert!(tree.remove(&k), "key {} must be removable", k);
+        }
+        prop_assert!(tree.is_empty());
+        let report = validate(&tree).expect("after removes");
+        prop_assert_eq!(report.nodes, 0);
+    }
+
+    /// The height never exceeds the number of stored keys and the snapshot is
+    /// always sorted and duplicate-free.
+    #[test]
+    fn snapshot_sorted_and_height_bounded(keys in proptest::collection::vec(0u16..1024, 1..300)) {
+        let tree = LfBst::new();
+        for &k in &keys {
+            tree.insert(k);
+        }
+        let snapshot = tree.iter_keys();
+        prop_assert!(snapshot.windows(2).all(|w| w[0] < w[1]), "snapshot must be strictly sorted");
+        prop_assert!(tree.height() <= tree.len(), "height cannot exceed node count");
+        prop_assert_eq!(snapshot.len(), tree.len());
+    }
+}

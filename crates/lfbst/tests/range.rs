@@ -1,0 +1,98 @@
+//! Tests for the ordered-scan API (`keys_in_range`, `min_key`, `max_key`) that
+//! the threaded representation makes cheap.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn empty_tree_ranges() {
+    let t: LfBst<u64> = LfBst::new();
+    assert_eq!(t.keys_in_range(..), Vec::<u64>::new());
+    assert_eq!(t.keys_in_range(5..100), Vec::<u64>::new());
+    assert_eq!(t.min_key(), None);
+    assert_eq!(t.max_key(), None);
+}
+
+#[test]
+fn range_bounds_semantics() {
+    let t = LfBst::new();
+    for k in [10u64, 20, 30, 40, 50] {
+        t.insert(k);
+    }
+    assert_eq!(t.keys_in_range(..), vec![10, 20, 30, 40, 50]);
+    assert_eq!(t.keys_in_range(20..40), vec![20, 30]);
+    assert_eq!(t.keys_in_range(20..=40), vec![20, 30, 40]);
+    assert_eq!(t.keys_in_range(15..45), vec![20, 30, 40]);
+    assert_eq!(t.keys_in_range(..=30), vec![10, 20, 30]);
+    assert_eq!(t.keys_in_range(51..), Vec::<u64>::new());
+    assert_eq!(t.keys_in_range(0..10), Vec::<u64>::new());
+    // Exclusive start bound on an existing key.
+    use std::ops::Bound;
+    assert_eq!(
+        t.keys_in_range((Bound::Excluded(20u64), Bound::Unbounded)),
+        vec![30, 40, 50]
+    );
+    assert_eq!(t.min_key(), Some(10));
+    assert_eq!(t.max_key(), Some(50));
+}
+
+#[test]
+fn range_matches_btreeset_on_random_data() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let tree = LfBst::new();
+    let mut model = BTreeSet::new();
+    for _ in 0..2_000 {
+        let k: u64 = rng.gen_range(0..5_000);
+        tree.insert(k);
+        model.insert(k);
+    }
+    for _ in 0..200 {
+        let a: u64 = rng.gen_range(0..5_000);
+        let b: u64 = rng.gen_range(0..5_000);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let expected: Vec<u64> = model.range(lo..hi).copied().collect();
+        assert_eq!(tree.keys_in_range(lo..hi), expected, "range {lo}..{hi}");
+        let expected: Vec<u64> = model.range(lo..=hi).copied().collect();
+        assert_eq!(tree.keys_in_range(lo..=hi), expected, "range {lo}..={hi}");
+    }
+    assert_eq!(tree.min_key(), model.iter().next().copied());
+    assert_eq!(tree.max_key(), model.iter().next_back().copied());
+}
+
+#[test]
+fn range_scan_during_concurrent_churn_sees_pinned_keys() {
+    // Keys divisible by 100 are never removed; a range scan must always report
+    // every pinned key inside its bounds, whatever the churn on other keys.
+    let tree = Arc::new(LfBst::new());
+    for k in (0..10_000u64).step_by(100) {
+        tree.insert(k);
+    }
+    let churn = {
+        let tree = Arc::clone(&tree);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..60_000 {
+                let k = rng.gen_range(0..10_000u64);
+                if k % 100 == 0 {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    tree.insert(k);
+                } else {
+                    tree.remove(&k);
+                }
+            }
+        })
+    };
+    for _ in 0..50 {
+        let scan = tree.keys_in_range(1_000..2_000);
+        let pinned: Vec<u64> = scan.into_iter().filter(|k| k % 100 == 0).collect();
+        assert_eq!(pinned, (1_000..2_000).step_by(100).collect::<Vec<u64>>());
+    }
+    churn.join().unwrap();
+    lfbst::validate::validate(&*tree).unwrap();
+}

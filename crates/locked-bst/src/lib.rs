@@ -1,0 +1,200 @@
+//! # locked-bst — lock-based internal BST baselines
+//!
+//! Two lock-based implementations of the concurrent Set ADT used as comparator
+//! baselines in the evaluation (experiments E1–E5):
+//!
+//! * [`CoarseLockBst`] — a sequential internal BST behind a single
+//!   `parking_lot::Mutex`.  This is the classic coarse-grained baseline whose
+//!   throughput flattens (and often collapses) as threads are added.
+//! * [`RwLockBst`] — the same tree behind a `parking_lot::RwLock`, so lookups
+//!   proceed in parallel but any mutation serialises the structure.  This is a
+//!   stand-in for the "carefully tailored locking scheme" class the paper
+//!   compares against: it is extremely fast for read-dominated workloads and
+//!   degrades as the update ratio grows.
+//!
+//! Both implement [`cset::ConcurrentSet`], so the workload driver and the
+//! benchmarks treat them interchangeably with the lock-free structures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod sequential;
+
+pub use sequential::SeqBst;
+
+use cset::ConcurrentSet;
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+
+/// A sequential internal BST protected by one global mutex.
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentSet;
+/// use locked_bst::CoarseLockBst;
+///
+/// let set = CoarseLockBst::new();
+/// assert!(set.insert(3u64));
+/// assert!(set.contains(&3));
+/// assert!(set.remove(&3));
+/// ```
+pub struct CoarseLockBst<K> {
+    inner: Mutex<SeqBst<K>>,
+}
+
+impl<K: Ord> CoarseLockBst<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CoarseLockBst { inner: Mutex::new(SeqBst::new()) }
+    }
+}
+
+impl<K: Ord> Default for CoarseLockBst<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> fmt::Debug for CoarseLockBst<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoarseLockBst").finish_non_exhaustive()
+    }
+}
+
+impl<K: Ord + Send + Sync> ConcurrentSet<K> for CoarseLockBst<K> {
+    fn insert(&self, key: K) -> bool {
+        self.inner.lock().insert(key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.inner.lock().remove(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.inner.lock().contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "coarse-mutex-bst"
+    }
+}
+
+/// A sequential internal BST protected by a readers-writer lock.
+///
+/// Lookups take the shared lock and run concurrently; `insert` and `remove`
+/// take the exclusive lock.
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentSet;
+/// use locked_bst::RwLockBst;
+///
+/// let set = RwLockBst::new();
+/// assert!(set.insert("a"));
+/// assert!(set.contains(&"a"));
+/// assert_eq!(set.len(), 1);
+/// ```
+pub struct RwLockBst<K> {
+    inner: RwLock<SeqBst<K>>,
+}
+
+impl<K: Ord> RwLockBst<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RwLockBst { inner: RwLock::new(SeqBst::new()) }
+    }
+}
+
+impl<K: Ord> Default for RwLockBst<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> fmt::Debug for RwLockBst<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLockBst").finish_non_exhaustive()
+    }
+}
+
+impl<K: Ord + Send + Sync> ConcurrentSet<K> for RwLockBst<K> {
+    fn insert(&self, key: K) -> bool {
+        self.inner.write().insert(key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.inner.write().remove(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.inner.read().contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "rwlock-bst"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise<S: ConcurrentSet<u64> + Default + 'static>() {
+        let set = Arc::new(S::default());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        set.insert(t * 500 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(set.len(), 2000);
+        for k in 0..2000 {
+            assert!(set.contains(&k));
+        }
+        for k in 0..1000 {
+            assert!(set.remove(&k));
+        }
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn coarse_lock_concurrent_contract() {
+        exercise::<CoarseLockBst<u64>>();
+    }
+
+    #[test]
+    fn rwlock_concurrent_contract() {
+        exercise::<RwLockBst<u64>>();
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let a: CoarseLockBst<u64> = CoarseLockBst::new();
+        let b: RwLockBst<u64> = RwLockBst::new();
+        assert_ne!(ConcurrentSet::name(&a), ConcurrentSet::name(&b));
+    }
+
+    #[test]
+    fn debug_impls() {
+        assert!(format!("{:?}", CoarseLockBst::<u8>::new()).contains("CoarseLockBst"));
+        assert!(format!("{:?}", RwLockBst::<u8>::new()).contains("RwLockBst"));
+    }
+}

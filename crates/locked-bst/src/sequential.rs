@@ -1,0 +1,225 @@
+//! A plain sequential internal binary search tree.
+//!
+//! This is the structure both lock-based baselines wrap.  It intentionally
+//! mirrors the textbook internal BST the paper describes in §2: `insert` adds a
+//! leaf, `remove` of a binary node replaces it with its in-order predecessor.
+//! No balancing is performed, matching the unbalanced lock-free trees it is
+//! compared against.
+
+/// A sequential (single-threaded) internal binary search tree.
+///
+/// # Examples
+///
+/// ```
+/// use locked_bst::SeqBst;
+///
+/// let mut t = SeqBst::new();
+/// assert!(t.insert(5));
+/// assert!(t.insert(2));
+/// assert!(!t.insert(5));
+/// assert!(t.contains(&2));
+/// assert!(t.remove(&5));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqBst<K> {
+    root: Option<Box<BstNode<K>>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BstNode<K> {
+    key: K,
+    left: Option<Box<BstNode<K>>>,
+    right: Option<Box<BstNode<K>>>,
+}
+
+impl<K: Ord> Default for SeqBst<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> SeqBst<K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        SeqBst { root: None, len: 0 }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `key` is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut curr = &self.root;
+        while let Some(node) = curr {
+            curr = match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => &node.left,
+                std::cmp::Ordering::Greater => &node.right,
+            };
+        }
+        false
+    }
+
+    /// Inserts `key`; returns `true` if it was not present.
+    pub fn insert(&mut self, key: K) -> bool {
+        let mut curr = &mut self.root;
+        loop {
+            match curr {
+                None => {
+                    *curr = Some(Box::new(BstNode { key, left: None, right: None }));
+                    self.len += 1;
+                    return true;
+                }
+                Some(node) => {
+                    curr = match key.cmp(&node.key) {
+                        std::cmp::Ordering::Equal => return false,
+                        std::cmp::Ordering::Less => &mut node.left,
+                        std::cmp::Ordering::Greater => &mut node.right,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let mut curr = &mut self.root;
+        loop {
+            match curr {
+                None => return false,
+                Some(node) => match key.cmp(&node.key) {
+                    std::cmp::Ordering::Less => curr = &mut curr.as_mut().unwrap().left,
+                    std::cmp::Ordering::Greater => curr = &mut curr.as_mut().unwrap().right,
+                    std::cmp::Ordering::Equal => {
+                        let node = curr.as_mut().unwrap();
+                        match (node.left.take(), node.right.take()) {
+                            (None, None) => *curr = None,
+                            (Some(l), None) => *curr = Some(l),
+                            (None, Some(r)) => *curr = Some(r),
+                            (Some(l), Some(r)) => {
+                                // Replace with the in-order predecessor (the
+                                // rightmost node of the left subtree), like the
+                                // lock-free algorithm does.
+                                let mut left = l;
+                                if left.right.is_none() {
+                                    let mut new_node = left;
+                                    new_node.right = Some(r);
+                                    *curr = Some(new_node);
+                                } else {
+                                    let pred_key = {
+                                        let mut holder = &mut left;
+                                        while holder.right.as_ref().unwrap().right.is_some() {
+                                            holder = holder.right.as_mut().unwrap();
+                                        }
+                                        let pred = holder.right.take().unwrap();
+                                        holder.right = pred.left;
+                                        pred.key
+                                    };
+                                    let node = curr.as_mut().unwrap();
+                                    node.key = pred_key;
+                                    node.left = Some(left);
+                                    node.right = Some(r);
+                                }
+                            }
+                        }
+                        self.len -= 1;
+                        return true;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Keys in ascending order.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<K: Clone>(node: &Option<Box<BstNode<K>>>, out: &mut Vec<K>) {
+            if let Some(n) = node {
+                walk(&n.left, out);
+                out.push(n.key.clone());
+                walk(&n.right, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_lifecycle() {
+        let mut t = SeqBst::new();
+        assert!(t.is_empty());
+        assert!(t.insert(5));
+        assert!(t.insert(3));
+        assert!(t.insert(8));
+        assert!(!t.insert(5));
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&3));
+        assert!(!t.contains(&4));
+        assert_eq!(t.keys(), vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn remove_all_shapes() {
+        // leaf
+        let mut t = SeqBst::new();
+        for k in [10, 5, 15, 3] {
+            t.insert(k);
+        }
+        assert!(t.remove(&3));
+        assert_eq!(t.keys(), vec![5, 10, 15]);
+        // unary
+        assert!(t.insert(3));
+        assert!(t.remove(&5));
+        assert_eq!(t.keys(), vec![3, 10, 15]);
+        // binary root with immediate predecessor
+        assert!(t.remove(&10));
+        assert_eq!(t.keys(), vec![3, 15]);
+        // binary with distant predecessor
+        let mut t = SeqBst::new();
+        for k in [10, 5, 15, 7, 8] {
+            t.insert(k);
+        }
+        assert!(t.remove(&10));
+        assert_eq!(t.keys(), vec![5, 7, 8, 15]);
+        assert!(!t.remove(&10));
+    }
+
+    #[test]
+    fn random_ops_match_btreeset() {
+        use std::collections::BTreeSet;
+        let mut t = SeqBst::new();
+        let mut model = BTreeSet::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..20_000 {
+            let k = next() % 200;
+            match next() % 3 {
+                0 => assert_eq!(t.insert(k), model.insert(k)),
+                1 => assert_eq!(t.remove(&k), model.remove(&k)),
+                _ => assert_eq!(t.contains(&k), model.contains(&k)),
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        assert_eq!(t.keys(), model.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,132 @@
+//! Key popularity distributions.
+
+use rand::Rng;
+
+/// How keys are drawn from the key range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key is equally likely (the standard synchrobench setting).
+    Uniform,
+    /// Zipfian popularity with the given exponent (`~0.99` models skewed
+    /// real-world accesses); low-numbered keys are the hot keys.
+    Zipf {
+        /// The skew exponent `s` in `P(k) ∝ 1 / (k+1)^s`.
+        exponent: f64,
+    },
+}
+
+/// A sampler materialised from a [`KeyDistribution`] for a concrete key range.
+///
+/// Zipf sampling uses a precomputed cumulative distribution and binary search,
+/// which keeps the per-sample cost at `O(log range)` without approximation.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{KeyDistribution, KeySampler};
+/// use rand::SeedableRng;
+///
+/// let sampler = KeySampler::new(KeyDistribution::Zipf { exponent: 1.0 }, 1024);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = sampler.sample(&mut rng);
+/// assert!(k < 1024);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    range: u64,
+    /// Cumulative probabilities for Zipf; empty for uniform.
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler for keys in `[0, range)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    pub fn new(distribution: KeyDistribution, range: u64) -> Self {
+        assert!(range > 0, "key range must be non-empty");
+        match distribution {
+            KeyDistribution::Uniform => KeySampler { range, cdf: Vec::new() },
+            KeyDistribution::Zipf { exponent } => {
+                let n = range as usize;
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    acc += 1.0 / ((k as f64 + 1.0).powf(exponent));
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in &mut cdf {
+                    *v /= total;
+                }
+                KeySampler { range, cdf }
+            }
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.cdf.is_empty() {
+            rng.gen_range(0..self.range)
+        } else {
+            let u: f64 = rng.gen();
+            match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+                Ok(i) | Err(i) => (i as u64).min(self.range - 1),
+            }
+        }
+    }
+
+    /// The key range this sampler draws from.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_range() {
+        let s = KeySampler::new(KeyDistribution::Uniform, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform sampler missed keys");
+    }
+
+    #[test]
+    fn zipf_prefers_small_keys() {
+        let s = KeySampler::new(KeyDistribution::Zipf { exponent: 1.0 }, 1024);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut low = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if s.sample(&mut rng) < 16 {
+                low += 1;
+            }
+        }
+        // With s=1.0 over 1024 keys, the 16 hottest keys carry ~45% of the mass.
+        assert!(low as f64 > 0.3 * n as f64, "zipf skew too weak: {low}/{n}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let s = KeySampler::new(KeyDistribution::Zipf { exponent: 0.5 }, 7);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_range_rejected() {
+        let _ = KeySampler::new(KeyDistribution::Uniform, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The measurement driver: prefill a set, hammer it from `t` threads for a
+//! fixed duration, and report throughput.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use cset::ConcurrentSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distribution::KeySampler;
+use crate::spec::WorkloadSpec;
+
+/// Per-thread operation counts gathered during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// `contains` calls issued.
+    pub contains: u64,
+    /// `insert` calls issued (successful or not).
+    pub inserts: u64,
+    /// `remove` calls issued (successful or not).
+    pub removes: u64,
+    /// Successful inserts.
+    pub insert_hits: u64,
+    /// Successful removes.
+    pub remove_hits: u64,
+    /// Successful contains (key found).
+    pub contains_hits: u64,
+}
+
+impl ThreadStats {
+    /// Total operations issued by this thread.
+    pub fn total(&self) -> u64 {
+        self.contains + self.inserts + self.removes
+    }
+}
+
+/// The result of one [`run_workload`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Name reported by the set under test.
+    pub set_name: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock measurement window.
+    pub elapsed: Duration,
+    /// Per-thread counts.
+    pub per_thread: Vec<ThreadStats>,
+    /// Structure size after the run (quiescent).
+    pub final_size: usize,
+    /// Structure size after prefill, before the run.
+    pub prefill_size: usize,
+}
+
+impl Measurement {
+    /// Total operations across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.per_thread.iter().map(ThreadStats::total).sum()
+    }
+
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_secs_f64() / 1.0e6
+    }
+
+    /// Fraction of update operations (issued) that succeeded.
+    pub fn update_success_rate(&self) -> f64 {
+        let issued: u64 = self.per_thread.iter().map(|t| t.inserts + t.removes).sum();
+        let hit: u64 = self.per_thread.iter().map(|t| t.insert_hits + t.remove_hits).sum();
+        if issued == 0 {
+            0.0
+        } else {
+            hit as f64 / issued as f64
+        }
+    }
+}
+
+/// Prefills `set` to the spec's target size and then runs the operation mix
+/// from `threads` threads for `duration`.
+///
+/// The set is driven through the [`ConcurrentSet`] trait, so any structure in
+/// this workspace (or outside it) can be measured.  Each thread uses its own
+/// deterministic RNG stream derived from the spec seed, so runs are repeatable
+/// up to scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use workload::{run_workload, OperationMix, WorkloadSpec};
+/// use locked_bst::CoarseLockBst;
+///
+/// let set = Arc::new(CoarseLockBst::new());
+/// let spec = WorkloadSpec::new(1024, OperationMix::updates(50));
+/// let m = run_workload(set, &spec, 2, std::time::Duration::from_millis(50));
+/// assert!(m.total_ops() > 0);
+/// assert_eq!(m.threads, 2);
+/// ```
+pub fn run_workload<S>(
+    set: Arc<S>,
+    spec: &WorkloadSpec,
+    threads: usize,
+    duration: Duration,
+) -> Measurement
+where
+    S: ConcurrentSet<u64> + 'static,
+{
+    // Prefill from a dedicated RNG so the initial population is independent of
+    // the thread count.
+    let sampler = KeySampler::new(spec.key_distribution(), spec.key_range());
+    let mut prefill_rng = StdRng::seed_from_u64(spec.rng_seed());
+    let target = spec.prefill_target() as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < target && attempts < target * 64 + 1024 {
+        if set.insert(sampler.sample(&mut prefill_rng)) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+    let prefill_size = set.len();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let sampler = sampler.clone();
+        let mix = spec.mix();
+        let seed = spec.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stats = ThreadStats::default();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // Issue a small batch between stop-flag checks to keep the
+                // check overhead negligible.
+                for _ in 0..64 {
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        stats.contains += 1;
+                        if set.contains(&key) {
+                            stats.contains_hits += 1;
+                        }
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        stats.inserts += 1;
+                        if set.insert(key) {
+                            stats.insert_hits += 1;
+                        }
+                    } else {
+                        stats.removes += 1;
+                        if set.remove(&key) {
+                            stats.remove_hits += 1;
+                        }
+                    }
+                }
+            }
+            stats
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let per_thread: Vec<ThreadStats> = handles
+        .into_iter()
+        .map(|h| h.join().expect("workload thread panicked"))
+        .collect();
+    let elapsed = start.elapsed();
+
+    Measurement {
+        set_name: set.name().to_string(),
+        threads,
+        elapsed,
+        per_thread,
+        final_size: set.len(),
+        prefill_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OperationMix;
+    use locked_bst::CoarseLockBst;
+
+    #[test]
+    fn run_produces_sane_measurement() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(512, OperationMix::updates(40)).seed(1);
+        let m = run_workload(set, &spec, 3, Duration::from_millis(60));
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.per_thread.len(), 3);
+        assert!(m.total_ops() > 0);
+        assert!(m.mops() > 0.0);
+        assert!(m.prefill_size > 0);
+        assert!(m.elapsed >= Duration::from_millis(50));
+        // The mix keeps the size near the prefill level.
+        assert!(m.final_size <= 512);
+        assert!(m.update_success_rate() > 0.0);
+        assert_eq!(m.set_name, "coarse-mutex-bst");
+    }
+
+    #[test]
+    fn read_only_mix_never_changes_size() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(256, OperationMix::new(100, 0, 0)).seed(2);
+        let m = run_workload(set, &spec, 2, Duration::from_millis(40));
+        assert_eq!(m.final_size, m.prefill_size);
+        let issued_updates: u64 = m.per_thread.iter().map(|t| t.inserts + t.removes).sum();
+        assert_eq!(issued_updates, 0);
+    }
+
+    #[test]
+    fn thread_stats_total() {
+        let t = ThreadStats { contains: 1, inserts: 2, removes: 3, ..Default::default() };
+        assert_eq!(t.total(), 6);
+    }
+}

@@ -1,0 +1,118 @@
+//! A concurrent in-memory index: the workload the paper's introduction
+//! motivates (a Set used as the index of a larger system, with a mixed
+//! population of readers and writers).
+//!
+//! Three roles run concurrently against one `LfBst<u64>`:
+//!
+//! * *ingesters* add new record ids as data arrives;
+//! * *queriers* perform point lookups (the vast majority of traffic);
+//! * a *reaper* removes expired ids in the background.
+//!
+//! Run with: `cargo run --release -p examples --bin kv_index`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use examples::format_rate;
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RUN_FOR: Duration = Duration::from_millis(800);
+const ID_SPACE: u64 = 1 << 20;
+
+fn main() {
+    let index: Arc<LfBst<u64>> = Arc::new(LfBst::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let lookups = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let ingested = Arc::new(AtomicU64::new(0));
+    let reaped = Arc::new(AtomicU64::new(0));
+
+    // Pre-load yesterday's records.
+    for id in 0..100_000u64 {
+        index.insert(id * 8);
+    }
+    println!("index pre-loaded with {} records", index.len());
+
+    let mut handles = Vec::new();
+
+    // Two ingesters appending fresh ids.
+    for w in 0..2u64 {
+        let index = Arc::clone(&index);
+        let stop = Arc::clone(&stop);
+        let ingested = Arc::clone(&ingested);
+        handles.push(thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w);
+            while !stop.load(Ordering::Relaxed) {
+                let id = rng.gen_range(0..ID_SPACE);
+                if index.insert(id) {
+                    ingested.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // Four queriers doing point lookups.
+    for w in 0..4u64 {
+        let index = Arc::clone(&index);
+        let stop = Arc::clone(&stop);
+        let lookups = Arc::clone(&lookups);
+        let hits = Arc::clone(&hits);
+        handles.push(thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + w);
+            let mut local_lookups = 0u64;
+            let mut local_hits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let id = rng.gen_range(0..ID_SPACE);
+                local_lookups += 1;
+                if index.contains(&id) {
+                    local_hits += 1;
+                }
+            }
+            lookups.fetch_add(local_lookups, Ordering::Relaxed);
+            hits.fetch_add(local_hits, Ordering::Relaxed);
+        }));
+    }
+
+    // One reaper removing expired ids (the oldest block of the id space).
+    {
+        let index = Arc::clone(&index);
+        let stop = Arc::clone(&stop);
+        let reaped = Arc::clone(&reaped);
+        handles.push(thread::spawn(move || {
+            let mut cursor = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if index.remove(&cursor) {
+                    reaped.fetch_add(1, Ordering::Relaxed);
+                }
+                cursor = (cursor + 1) % ID_SPACE;
+            }
+        }));
+    }
+
+    let start = Instant::now();
+    thread::sleep(RUN_FOR);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let lookups = lookups.load(Ordering::Relaxed);
+    println!("ran for {secs:.2}s");
+    println!(
+        "lookups: {} ({}) — hit rate {:.1}%",
+        lookups,
+        format_rate(lookups as f64 / secs),
+        100.0 * hits.load(Ordering::Relaxed) as f64 / lookups.max(1) as f64
+    );
+    println!(
+        "ingested: {} new records, reaped: {} expired records",
+        ingested.load(Ordering::Relaxed),
+        reaped.load(Ordering::Relaxed)
+    );
+    println!("final index size: {} records, tree height {}", index.len(), index.height());
+}

@@ -1,0 +1,71 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are deliberately small, self-contained programs that exercise
+//! the public API of the [`lfbst`] crate on realistic scenarios:
+//!
+//! * `quickstart` — the 2-minute tour of the Set API;
+//! * `kv_index` — a concurrent in-memory index with writers, readers and an
+//!   expiring-id reaper;
+//! * `stream_dedup` — multi-threaded stream de-duplication using `insert`'s
+//!   return value as the "first time seen" signal;
+//! * `adaptive_helping` — the paper's read-/write-optimized helping knob and
+//!   the restart-policy ablation, with operation statistics.
+//!
+//! Run them with `cargo run --release -p examples --bin <name>`.
+
+/// Splits `total` work items as evenly as possible among `workers`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(examples::split_work(10, 3), vec![4, 3, 3]);
+/// assert_eq!(examples::split_work(9, 3), vec![3, 3, 3]);
+/// assert_eq!(examples::split_work(2, 4), vec![1, 1, 0, 0]);
+/// ```
+pub fn split_work(total: usize, workers: usize) -> Vec<usize> {
+    let base = total / workers;
+    let extra = total % workers;
+    (0..workers).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Formats an operations-per-second figure with a unit prefix.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(examples::format_rate(1_500.0), "1.5 Kops/s");
+/// assert_eq!(examples::format_rate(2_000_000.0), "2.0 Mops/s");
+/// assert_eq!(examples::format_rate(12.0), "12.0 ops/s");
+/// ```
+pub fn format_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1.0e6 {
+        format!("{:.1} Mops/s", ops_per_sec / 1.0e6)
+    } else if ops_per_sec >= 1.0e3 {
+        format!("{:.1} Kops/s", ops_per_sec / 1.0e3)
+    } else {
+        format!("{ops_per_sec:.1} ops/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_work_conserves_total() {
+        for total in [0usize, 1, 7, 100, 1001] {
+            for workers in [1usize, 2, 3, 8] {
+                let parts = split_work(total, workers);
+                assert_eq!(parts.len(), workers);
+                assert_eq!(parts.iter().sum::<usize>(), total);
+                assert!(parts.iter().max().unwrap() - parts.iter().min().unwrap() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert!(format_rate(0.5).ends_with("ops/s"));
+        assert!(format_rate(5.0e6).starts_with("5.0 M"));
+    }
+}

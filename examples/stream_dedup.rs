@@ -1,0 +1,81 @@
+//! Multi-threaded stream de-duplication.
+//!
+//! A fleet of workers consumes a stream of event ids in which roughly half the
+//! events are retransmissions.  The linearizable `insert` of the lock-free BST
+//! doubles as an exactly-once filter: the worker whose `insert` returns `true`
+//! owns the first sighting and processes the event; every other worker sees
+//! `false` and drops its copy.  At the end, the number of processed events must
+//! equal the number of distinct ids — a property this example checks.
+//!
+//! Run with: `cargo run --release -p examples --bin stream_dedup`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use examples::split_work;
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+const DISTINCT_EVENTS: u64 = 200_000;
+const DUPLICATION_FACTOR: usize = 2;
+const WORKERS: usize = 6;
+
+fn main() {
+    // Build the incoming stream: every event id appears DUPLICATION_FACTOR
+    // times, shuffled, as if several upstream shards retransmitted.
+    let mut stream: Vec<u64> = (0..DISTINCT_EVENTS)
+        .flat_map(|id| std::iter::repeat(id).take(DUPLICATION_FACTOR))
+        .collect();
+    stream.shuffle(&mut StdRng::seed_from_u64(2024));
+    println!(
+        "stream of {} events ({} distinct ids, duplication x{})",
+        stream.len(),
+        DISTINCT_EVENTS,
+        DUPLICATION_FACTOR
+    );
+
+    let seen: Arc<LfBst<u64>> = Arc::new(LfBst::new());
+    let processed = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+
+    let stream = Arc::new(stream);
+    let chunks = split_work(stream.len(), WORKERS);
+    let mut offset = 0usize;
+    let mut handles = Vec::new();
+    for chunk in chunks {
+        let range = offset..offset + chunk;
+        offset += chunk;
+        let stream = Arc::clone(&stream);
+        let seen = Arc::clone(&seen);
+        let processed = Arc::clone(&processed);
+        let dropped = Arc::clone(&dropped);
+        handles.push(thread::spawn(move || {
+            let mut local_processed = 0u64;
+            let mut local_dropped = 0u64;
+            for &event in &stream[range] {
+                if seen.insert(event) {
+                    // First sighting anywhere in the fleet: we own it.
+                    local_processed += 1;
+                } else {
+                    local_dropped += 1;
+                }
+            }
+            processed.fetch_add(local_processed, Ordering::Relaxed);
+            dropped.fetch_add(local_dropped, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let processed = processed.load(Ordering::Relaxed);
+    let dropped = dropped.load(Ordering::Relaxed);
+    println!("processed (first sightings): {processed}");
+    println!("dropped   (duplicates)     : {dropped}");
+    assert_eq!(processed, DISTINCT_EVENTS, "exactly one worker must own each id");
+    assert_eq!(processed + dropped, (DISTINCT_EVENTS as usize * DUPLICATION_FACTOR) as u64);
+    assert_eq!(seen.len(), DISTINCT_EVENTS as usize);
+    println!("exactly-once property verified: every id processed exactly once");
+}

@@ -1,0 +1,61 @@
+//! Every concurrent set in the workspace must pass the same conformance
+//! battery: sequential semantics, agreement with a `BTreeSet` model, and
+//! concurrent per-key accounting.
+
+use integration_tests::SetConformance;
+
+use ellen_bst::EllenBst;
+use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
+use lflist::LockFreeList;
+use locked_bst::{CoarseLockBst, RwLockBst};
+use natarajan_bst::NatarajanBst;
+
+fn battery() -> SetConformance {
+    SetConformance { threads: 4, ops_per_thread: 15_000, key_range: 256, seed: 0xFEED }
+}
+
+#[test]
+fn lfbst_default_conformance() {
+    battery().check_all(LfBst::<u64>::new);
+}
+
+#[test]
+fn lfbst_write_optimized_conformance() {
+    battery().check_all(|| {
+        LfBst::<u64>::with_config(Config::new().help_policy(HelpPolicy::WriteOptimized))
+    });
+}
+
+#[test]
+fn lfbst_root_restart_conformance() {
+    battery().check_all(|| {
+        LfBst::<u64>::with_config(Config::new().restart_policy(RestartPolicy::Root))
+    });
+}
+
+#[test]
+fn ellen_bst_conformance() {
+    battery().check_all(EllenBst::<u64>::new);
+}
+
+#[test]
+fn natarajan_bst_conformance() {
+    battery().check_all(NatarajanBst::<u64>::new);
+}
+
+#[test]
+fn harris_list_conformance() {
+    // Smaller key range: the list is O(n) per operation.
+    let c = SetConformance { key_range: 128, ops_per_thread: 8_000, ..battery() };
+    c.check_all(LockFreeList::<u64>::new);
+}
+
+#[test]
+fn coarse_lock_conformance() {
+    battery().check_all(CoarseLockBst::<u64>::new);
+}
+
+#[test]
+fn rwlock_conformance() {
+    battery().check_all(RwLockBst::<u64>::new);
+}

@@ -1,0 +1,101 @@
+//! Cross-implementation equivalence: feed the *same* operation sequence to all
+//! implementations and require identical results at every step, then identical
+//! final contents.  This catches semantic divergences that per-implementation
+//! unit tests might miss.
+
+use cset::ConcurrentSet;
+use ellen_bst::EllenBst;
+use lfbst::LfBst;
+use lflist::LockFreeList;
+use locked_bst::{CoarseLockBst, RwLockBst};
+use natarajan_bst::NatarajanBst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn random_ops(n: usize, key_range: u64, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..key_range);
+            match rng.gen_range(0..3) {
+                0 => Op::Insert(k),
+                1 => Op::Remove(k),
+                _ => Op::Contains(k),
+            }
+        })
+        .collect()
+}
+
+fn apply(set: &dyn ConcurrentSet<u64>, op: Op) -> bool {
+    match op {
+        Op::Insert(k) => set.insert(k),
+        Op::Remove(k) => set.remove(&k),
+        Op::Contains(k) => set.contains(&k),
+    }
+}
+
+#[test]
+fn all_implementations_agree_on_sequential_histories() {
+    for seed in [1u64, 7, 99] {
+        let ops = random_ops(30_000, 300, seed);
+        let lfbst = LfBst::new();
+        let ellen = EllenBst::new();
+        let natarajan = NatarajanBst::new();
+        let list = LockFreeList::new();
+        let coarse = CoarseLockBst::new();
+        let rwlock = RwLockBst::new();
+        let sets: Vec<&dyn ConcurrentSet<u64>> =
+            vec![&lfbst, &ellen, &natarajan, &list, &coarse, &rwlock];
+        for (i, &op) in ops.iter().enumerate() {
+            let expected = apply(sets[0], op);
+            for set in &sets[1..] {
+                assert_eq!(
+                    apply(*set, op),
+                    expected,
+                    "{} diverged from lfbst at step {i} ({op:?}), seed {seed}",
+                    set.name()
+                );
+            }
+        }
+        let reference_len = sets[0].len();
+        for set in &sets[1..] {
+            assert_eq!(set.len(), reference_len, "{} final size differs", set.name());
+        }
+        for k in 0..300u64 {
+            let expected = sets[0].contains(&k);
+            for set in &sets[1..] {
+                assert_eq!(set.contains(&k), expected, "{} final membership of {k}", set.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshots_agree_after_identical_updates() {
+    let ops = random_ops(20_000, 200, 1234);
+    let lfbst = LfBst::new();
+    let ellen = EllenBst::new();
+    let natarajan = NatarajanBst::new();
+    let list = LockFreeList::new();
+    for &op in &ops {
+        if let Op::Contains(_) = op {
+            continue;
+        }
+        apply(&lfbst, op);
+        apply(&ellen, op);
+        apply(&natarajan, op);
+        apply(&list, op);
+    }
+    let reference = lfbst.iter_keys();
+    assert_eq!(reference, ellen.iter_keys());
+    assert_eq!(reference, natarajan.iter_keys());
+    assert_eq!(reference, list.iter_keys());
+    lfbst::validate::validate(&lfbst).expect("lfbst structure must validate");
+}
