@@ -12,7 +12,10 @@ const N: u64 = 10_000;
 
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_sequential");
-    group.sample_size(20).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("lfbst_insert_10k", |b| {
         b.iter_batched(

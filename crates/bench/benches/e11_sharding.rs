@@ -1,0 +1,48 @@
+//! E11 — sharding sweep: throughput of the key-space partitioning layer over
+//! `lfbst`, for both routing policies, as the shard count grows.  Shard count
+//! 1 is the routing-overhead baseline; the interesting comparison is how much
+//! a mixed workload gains when the contention domain shrinks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::LfBst;
+use shard::{HashRouter, RangeRouter, Sharded};
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+const SHARD_COUNTS: &[usize] = &[1, 4, 16, 64];
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mix = OperationMix::updates(40);
+    let spec = WorkloadSpec::new(KEY_RANGE, mix);
+    let mut group = c.benchmark_group("e11_sharding");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
+    for &shards in SHARD_COUNTS {
+        let hash = Arc::new(Sharded::new(HashRouter::new(shards), |_| LfBst::new()));
+        prefill(&*hash, &spec);
+        group.bench_with_input(BenchmarkId::new("hash", shards), &shards, |b, _| {
+            b.iter_custom(|iters| {
+                timed_mixed_ops(&hash, threads, iters.max(1), mix, KEY_RANGE, 11)
+            });
+        });
+        let range =
+            Arc::new(Sharded::new(RangeRouter::covering(shards, KEY_RANGE), |_| LfBst::new()));
+        prefill(&*range, &spec);
+        group.bench_with_input(BenchmarkId::new("range", shards), &shards, |b, _| {
+            b.iter_custom(|iters| {
+                timed_mixed_ops(&range, threads, iters.max(1), mix, KEY_RANGE, 11)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e11, benches);
+criterion_main!(e11);

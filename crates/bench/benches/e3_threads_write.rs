@@ -27,7 +27,10 @@ fn bench_set<S: cset::ConcurrentSet<u64> + 'static>(
     let spec = WorkloadSpec::new(KEY_RANGE, mix());
     prefill(&*set, &spec);
     let mut group = c.benchmark_group(group_name);
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
     let mut thread_counts = vec![1usize];
     if bench_threads() > 1 {
         thread_counts.push(bench_threads());

@@ -15,7 +15,10 @@ fn benches(c: &mut Criterion) {
     let threads = bench_threads();
     let mix = OperationMix::updates(50);
     let mut group = c.benchmark_group("e4_key_range");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
     for shift in [7u32, 11, 15] {
         let range = 1u64 << shift;
         let spec = WorkloadSpec::new(range, mix);

@@ -16,7 +16,10 @@ const KEY_RANGE: u64 = 1 << 16;
 fn benches(c: &mut Criterion) {
     let threads = bench_threads();
     let mut group = c.benchmark_group("e5_update_ratio");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
     for updates in [0u8, 20, 50, 100] {
         let mix = OperationMix::updates(updates);
         let spec = WorkloadSpec::new(KEY_RANGE, mix);
@@ -24,13 +27,17 @@ fn benches(c: &mut Criterion) {
         let lfbst = Arc::new(LfBst::new());
         prefill(&*lfbst, &spec);
         group.bench_with_input(BenchmarkId::new("lfbst", updates), &updates, |b, _| {
-            b.iter_custom(|iters| timed_mixed_ops(&lfbst, threads, iters.max(1), mix, KEY_RANGE, 5));
+            b.iter_custom(|iters| {
+                timed_mixed_ops(&lfbst, threads, iters.max(1), mix, KEY_RANGE, 5)
+            });
         });
 
         let ellen = Arc::new(EllenBst::new());
         prefill(&*ellen, &spec);
         group.bench_with_input(BenchmarkId::new("ellen", updates), &updates, |b, _| {
-            b.iter_custom(|iters| timed_mixed_ops(&ellen, threads, iters.max(1), mix, KEY_RANGE, 5));
+            b.iter_custom(|iters| {
+                timed_mixed_ops(&ellen, threads, iters.max(1), mix, KEY_RANGE, 5)
+            });
         });
 
         let nat = Arc::new(NatarajanBst::new());

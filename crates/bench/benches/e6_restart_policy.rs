@@ -16,7 +16,10 @@ fn benches(c: &mut Criterion) {
     let mix = OperationMix::new(0, 50, 50);
     let spec = WorkloadSpec::new(KEY_RANGE, mix);
     let mut group = c.benchmark_group("e6_restart_policy");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
     for (name, policy) in [("vicinity", RestartPolicy::Vicinity), ("root", RestartPolicy::Root)] {
         let set = Arc::new(LfBst::with_config(Config::new().restart_policy(policy)));
         prefill(&*set, &spec);

@@ -14,11 +14,13 @@ const KEY_RANGE: u64 = 1 << 12;
 fn benches(c: &mut Criterion) {
     let threads = bench_threads();
     let mut group = c.benchmark_group("e7_help_policy");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
-    for (mix_name, mix) in [
-        ("read_heavy", OperationMix::new(95, 3, 2)),
-        ("write_heavy", OperationMix::new(0, 50, 50)),
-    ] {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
+    for (mix_name, mix) in
+        [("read_heavy", OperationMix::new(95, 3, 2)), ("write_heavy", OperationMix::new(0, 50, 50))]
+    {
         for (policy_name, policy) in [
             ("read-optimized", HelpPolicy::ReadOptimized),
             ("write-optimized", HelpPolicy::WriteOptimized),

@@ -79,7 +79,10 @@ fn bench_one<S: ConcurrentSet<u64> + 'static>(
 fn benches(c: &mut Criterion) {
     let threads = bench_threads();
     let mut group = c.benchmark_group("e8_disjoint_access");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
     bench_one(&mut group, "lfbst", Arc::new(LfBst::new()), threads);
     bench_one(&mut group, "natarajan", Arc::new(NatarajanBst::new()), threads);
     bench_one(&mut group, "ellen", Arc::new(EllenBst::new()), threads);

@@ -156,6 +156,55 @@ impl StatsSnapshot {
     pub fn cas_total(&self) -> u64 {
         self.cas_failures + self.cas_successes
     }
+
+    /// Component-wise sum `self + other`, saturating at `u64::MAX`.
+    ///
+    /// # Aggregation contract
+    ///
+    /// This is how composed structures (e.g. the sharding layer's
+    /// `Sharded::stats`) report statistics: each inner set's counters are
+    /// snapshotted independently and the snapshots are summed.  Because every
+    /// component is a monotone counter updated with relaxed atomics, the sum
+    /// obeys the same guarantee as a single snapshot:
+    ///
+    /// * **quiescent exactness** — when no operation is in flight on any inner
+    ///   set, the merged snapshot equals the true event totals;
+    /// * **monotonicity under concurrency** — while operations are in flight
+    ///   the merged value of each counter lies between the true total at the
+    ///   start and at the end of the merge, so two successive merges never go
+    ///   backwards;
+    /// * **no torn invariants** — counters are summed independently, so no
+    ///   cross-counter relation is invented: e.g. `cas_total()` of the merge
+    ///   equals the sum of the per-shard `cas_total()`s.
+    ///
+    /// The same contract applies to the sharding layer's `len()` (a sum of
+    /// per-shard quiescent counts).
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            cas_failures: self.cas_failures.saturating_add(other.cas_failures),
+            cas_successes: self.cas_successes.saturating_add(other.cas_successes),
+            helps: self.helps.saturating_add(other.helps),
+            restarts: self.restarts.saturating_add(other.restarts),
+            links_traversed: self.links_traversed.saturating_add(other.links_traversed),
+            nodes_retired: self.nodes_retired.saturating_add(other.nodes_retired),
+        }
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    /// Operator form of [`StatsSnapshot::merge`].
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        self.merge(&rhs)
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    /// Merges an iterator of snapshots (used by shard-aggregating wrappers).
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +268,81 @@ mod tests {
         assert_eq!(OpKind::Remove.label(), "remove");
         assert_eq!(OpKind::Contains.label(), "contains");
         assert_eq!(OpKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn merge_sums_component_wise() {
+        let a = StatsSnapshot {
+            cas_failures: 1,
+            cas_successes: 10,
+            helps: 2,
+            restarts: 3,
+            links_traversed: 100,
+            nodes_retired: 4,
+        };
+        let b = StatsSnapshot {
+            cas_failures: 5,
+            cas_successes: 20,
+            helps: 0,
+            restarts: 7,
+            links_traversed: 50,
+            nodes_retired: 1,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cas_failures, 6);
+        assert_eq!(m.cas_successes, 30);
+        assert_eq!(m.helps, 2);
+        assert_eq!(m.restarts, 10);
+        assert_eq!(m.links_traversed, 150);
+        assert_eq!(m.nodes_retired, 5);
+        // No cross-counter relation is invented by the merge.
+        assert_eq!(m.cas_total(), a.cas_total() + b.cas_total());
+        assert_eq!(a + b, m);
+    }
+
+    #[test]
+    fn merge_saturates() {
+        let a = StatsSnapshot { helps: u64::MAX - 1, ..Default::default() };
+        let b = StatsSnapshot { helps: 5, ..Default::default() };
+        assert_eq!(a.merge(&b).helps, u64::MAX);
+    }
+
+    #[test]
+    fn sum_merges_many_snapshots() {
+        let parts = vec![
+            StatsSnapshot { cas_successes: 1, ..Default::default() },
+            StatsSnapshot { cas_successes: 2, helps: 1, ..Default::default() },
+            StatsSnapshot { cas_successes: 3, ..Default::default() },
+        ];
+        let total: StatsSnapshot = parts.into_iter().sum();
+        assert_eq!(total.cas_successes, 6);
+        assert_eq!(total.helps, 1);
+    }
+
+    #[test]
+    fn quiescent_merge_is_exact() {
+        // Two counter blocks mutated from several threads; after joining
+        // (quiescence) the merged snapshot must be the exact event total.
+        use std::sync::Arc;
+        let blocks: Vec<Arc<OpStats>> = (0..2).map(|_| Arc::new(OpStats::new())).collect();
+        let mut handles = Vec::new();
+        for block in &blocks {
+            for _ in 0..2 {
+                let block = Arc::clone(block);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        block.record_cas(true);
+                        block.record_links(3);
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let merged: StatsSnapshot = blocks.iter().map(|b| b.snapshot()).sum();
+        assert_eq!(merged.cas_successes, 20_000);
+        assert_eq!(merged.links_traversed, 60_000);
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! The [`ConcurrentSet`] abstraction implemented by every set in this workspace.
+//! The [`ConcurrentSet`] and [`OrderedSet`] abstractions implemented by the
+//! sets in this workspace.
+
+use std::ops::Bound;
+
+use crate::stats::StatsSnapshot;
 
 /// A linearizable concurrent set of keys.
 ///
@@ -55,6 +60,44 @@ pub trait ConcurrentSet<K>: Send + Sync {
     /// A short, stable identifier used by the benchmark harness when labelling
     /// result rows (e.g. `"lfbst"`, `"ellen"`, `"natarajan"`).
     fn name(&self) -> &'static str;
+
+    /// Returns a snapshot of the operation statistics this set has recorded.
+    ///
+    /// The default implementation returns an all-zero snapshot, so only
+    /// implementations that actually count events (such as `lfbst` when built
+    /// with stats recording enabled) need to override it.  Wrappers that
+    /// compose several inner sets (e.g. a sharding layer) aggregate by summing
+    /// snapshots — see [`StatsSnapshot::merge`] for the contract of that sum.
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+/// A [`ConcurrentSet`] that additionally supports ordered range scans.
+///
+/// The scan contract matches the snapshots of the underlying structures:
+/// **weakly consistent** under concurrent mutation (keys inserted or removed
+/// during the scan may or may not be observed), exact in a quiescent state,
+/// and always **strictly ascending**.
+///
+/// The bounds are passed as [`Bound`] references rather than a generic
+/// `RangeBounds` parameter so that composed implementations (such as a
+/// sharding layer fanning one scan out over many inner sets) can forward them
+/// without re-materialising range types.
+pub trait OrderedSet<K>: ConcurrentSet<K> {
+    /// Collects the keys between `lo` and `hi`, in ascending order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::ops::Bound;
+    /// use cset::OrderedSet;
+    ///
+    /// fn scan_all<S: OrderedSet<u64>>(set: &S) -> Vec<u64> {
+    ///     set.keys_between(Bound::Unbounded, Bound::Unbounded)
+    /// }
+    /// ```
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>;
 }
 
 #[cfg(test)]

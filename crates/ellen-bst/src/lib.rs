@@ -60,11 +60,7 @@ impl<K: Ord> EKey<K> {
 /// Operation descriptor.
 enum Info<K> {
     /// An in-flight insert: `p`'s child `l` is being replaced by `new_internal`.
-    Insert {
-        p: *const ENode<K>,
-        l: *const ENode<K>,
-        new_internal: *const ENode<K>,
-    },
+    Insert { p: *const ENode<K>, l: *const ENode<K>, new_internal: *const ENode<K> },
     /// An in-flight delete of leaf `l` under parent `p` and grandparent `gp`.
     Delete {
         gp: *const ENode<K>,
@@ -118,9 +114,7 @@ unsafe impl<K: Send + Sync> Sync for EllenBst<K> {}
 
 impl<K> fmt::Debug for EllenBst<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EllenBst")
-            .field("len", &self.size.load(Ordering::Relaxed))
-            .finish()
+        f.debug_struct("EllenBst").field("len", &self.size.load(Ordering::Relaxed)).finish()
     }
 }
 
@@ -173,9 +167,10 @@ impl<K: Ord> EllenBst<K> {
         let mut gpupdate = Shared::null();
         let mut p = self.root_shared();
         let mut pupdate = unsafe { p.deref() }.update.load(ORD, guard);
-        let mut l = unsafe { p.deref() }.child[if unsafe { p.deref() }.key.goes_left(key) { 0 } else { 1 }]
-            .load(ORD, guard)
-            .with_tag(0);
+        let mut l = unsafe { p.deref() }.child
+            [if unsafe { p.deref() }.key.goes_left(key) { 0 } else { 1 }]
+        .load(ORD, guard)
+        .with_tag(0);
         loop {
             let l_ref = unsafe { l.deref() };
             if l_ref.is_leaf(guard) {
@@ -227,12 +222,8 @@ impl<K: Ord> EllenBst<K> {
                 (*new_internal).child[0].store(Shared::from(left), ORD);
                 (*new_internal).child[1].store(Shared::from(right), ORD);
             }
-            let op = Owned::new(Info::Insert {
-                p: s.p.as_raw(),
-                l: s.l.as_raw(),
-                new_internal,
-            })
-            .into_shared(guard);
+            let op = Owned::new(Info::Insert { p: s.p.as_raw(), l: s.l.as_raw(), new_internal })
+                .into_shared(guard);
             match unsafe { s.p.deref() }.update.compare_exchange(
                 s.pupdate,
                 op.with_tag(IFLAG),
@@ -334,7 +325,7 @@ impl<K: Ord> EllenBst<K> {
         let p_ref = unsafe { &**p };
         // CAS-child: replace l with new_internal under p.
         let l_shared: Shared<'_, ENode<K>> = Shared::from(*l);
-        let ni_shared: Shared<'_, ENode<K>> = Shared::from(*new_internal as *const ENode<K>);
+        let ni_shared: Shared<'_, ENode<K>> = Shared::from(*new_internal);
         for dir in 0..2 {
             let c = p_ref.child[dir].load(ORD, guard);
             if c.with_tag(0) == l_shared {
@@ -342,13 +333,8 @@ impl<K: Ord> EllenBst<K> {
             }
         }
         // Unflag.
-        let _ = p_ref.update.compare_exchange(
-            op.with_tag(IFLAG),
-            op.with_tag(CLEAN),
-            ORD,
-            ORD,
-            guard,
-        );
+        let _ =
+            p_ref.update.compare_exchange(op.with_tag(IFLAG), op.with_tag(CLEAN), ORD, ORD, guard);
     }
 
     /// Tries to complete a delete whose descriptor has been installed (DFLAG).
@@ -360,13 +346,7 @@ impl<K: Ord> EllenBst<K> {
         };
         let p_ref = unsafe { &**p };
         let expected = unpack::<K>(*pupdate, guard);
-        let result = p_ref.update.compare_exchange(
-            expected,
-            op.with_tag(MARK),
-            ORD,
-            ORD,
-            guard,
-        );
+        let result = p_ref.update.compare_exchange(expected, op.with_tag(MARK), ORD, ORD, guard);
         let marked_by_us = result.is_ok();
         let current = match result {
             Ok(_) => op.with_tag(MARK),
@@ -403,34 +383,23 @@ impl<K: Ord> EllenBst<K> {
         // The sibling of l under p survives.
         let l_shared: Shared<'_, ENode<K>> = Shared::from(*l);
         let left = p_ref.child[0].load(ORD, guard);
-        let other = if left.with_tag(0) == l_shared {
-            p_ref.child[1].load(ORD, guard)
-        } else {
-            left
-        };
+        let other =
+            if left.with_tag(0) == l_shared { p_ref.child[1].load(ORD, guard) } else { left };
         let p_shared: Shared<'_, ENode<K>> = Shared::from(*p);
         for dir in 0..2 {
             let c = gp_ref.child[dir].load(ORD, guard);
-            if c.with_tag(0) == p_shared {
-                if gp_ref.child[dir]
-                    .compare_exchange(c, other.with_tag(0), ORD, ORD, guard)
-                    .is_ok()
-                {
-                    // Winner retires the removed parent and leaf.
-                    unsafe {
-                        guard.defer_destroy(p_shared);
-                        guard.defer_destroy(l_shared);
-                    }
+            if c.with_tag(0) == p_shared
+                && gp_ref.child[dir].compare_exchange(c, other.with_tag(0), ORD, ORD, guard).is_ok()
+            {
+                // Winner retires the removed parent and leaf.
+                unsafe {
+                    guard.defer_destroy(p_shared);
+                    guard.defer_destroy(l_shared);
                 }
             }
         }
-        let _ = gp_ref.update.compare_exchange(
-            op.with_tag(DFLAG),
-            op.with_tag(CLEAN),
-            ORD,
-            ORD,
-            guard,
-        );
+        let _ =
+            gp_ref.update.compare_exchange(op.with_tag(DFLAG), op.with_tag(CLEAN), ORD, ORD, guard);
     }
 
     /// Keys in ascending order (weakly consistent; exact at quiescence).
@@ -482,7 +451,7 @@ fn unpack<'g, K>(word: usize, _guard: &'g Guard) -> Shared<'g, Info<K>> {
 impl<K> Drop for EllenBst<K> {
     fn drop(&mut self) {
         let guard = unsafe { epoch::unprotected() };
-        let mut stack = vec![self.root as *mut ENode<K>];
+        let mut stack = vec![self.root];
         while let Some(p) = stack.pop() {
             unsafe {
                 for dir in 0..2 {
@@ -517,6 +486,13 @@ impl<K: Ord + Clone + Send + Sync> ConcurrentSet<K> for EllenBst<K> {
     fn name(&self) -> &'static str {
         "ellen-bst"
     }
+}
+
+/// Size in bytes of one (internal or leaf) node for `u64` keys (footprint
+/// reporting, experiment E9).  An external tree needs `2n - 1` such nodes for
+/// `n` keys, plus one operation descriptor per in-flight update.
+pub fn node_size_bytes() -> usize {
+    std::mem::size_of::<ENode<u64>>()
 }
 
 #[cfg(test)]
@@ -616,11 +592,4 @@ mod tests {
         assert_eq!(tree.len(), expected);
         assert_eq!(tree.iter_keys().len(), expected);
     }
-}
-
-/// Size in bytes of one (internal or leaf) node for `u64` keys (footprint
-/// reporting, experiment E9).  An external tree needs `2n - 1` such nodes for
-/// `n` keys, plus one operation descriptor per in-flight update.
-pub fn node_size_bytes() -> usize {
-    std::mem::size_of::<ENode<u64>>()
 }

@@ -3,12 +3,12 @@
 //! Reproduces the planned evaluation of *Efficient Lock-free Binary Search
 //! Trees* (the paper defers experiments to future work; the suite below is the
 //! standard concurrent-set methodology its comparators use, see `DESIGN.md`
-//! and `EXPERIMENTS.md` for the experiment index E1–E10).
+//! and `EXPERIMENTS.md` for the experiment index E1–E11).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e10|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]
+//! experiments [e1|e2|...|e11|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]
 //! ```
 //!
 //! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
@@ -25,6 +25,7 @@ use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
 use lflist::LockFreeList;
 use locked_bst::{CoarseLockBst, RwLockBst};
 use natarajan_bst::NatarajanBst;
+use shard::{HashRouter, RangeRouter, Sharded};
 use workload::{
     format_csv, format_markdown_table, run_workload, Measurement, OperationMix, WorkloadSpec,
 };
@@ -36,6 +37,14 @@ enum SetKind {
     Lfbst,
     LfbstWriteOptimized,
     LfbstRestartRoot,
+    /// `lfbst` behind the sharding layer with a hash router (E11).
+    LfbstShardedHash {
+        shards: usize,
+    },
+    /// `lfbst` behind the sharding layer with a range router (E11).
+    LfbstShardedRange {
+        shards: usize,
+    },
     Ellen,
     Natarajan,
     HarrisList,
@@ -43,12 +52,19 @@ enum SetKind {
     RwLock,
 }
 
+/// Shard counts swept by E11.
+const SHARD_COUNTS: &[usize] = &[1, 4, 16, 64];
+
 impl SetKind {
     fn label(self) -> &'static str {
         match self {
             SetKind::Lfbst => "lfbst",
             SetKind::LfbstWriteOptimized => "lfbst-eager",
             SetKind::LfbstRestartRoot => "lfbst-root-restart",
+            // Interned to the exact string a `Sharded` of this configuration
+            // reports from `name()`, for any shard count.
+            SetKind::LfbstShardedHash { shards } => shard::config_name("lfbst", shards, "hash"),
+            SetKind::LfbstShardedRange { shards } => shard::config_name("lfbst", shards, "range"),
             SetKind::Ellen => "ellen",
             SetKind::Natarajan => "natarajan",
             SetKind::HarrisList => "harris-list",
@@ -84,10 +100,27 @@ fn run_kind(kind: SetKind, spec: &WorkloadSpec, threads: usize, duration: Durati
             threads,
             duration,
         ),
+        SetKind::LfbstShardedHash { shards } => run_workload(
+            Arc::new(Sharded::new(HashRouter::new(shards), |_| LfBst::new())),
+            spec,
+            threads,
+            duration,
+        ),
+        SetKind::LfbstShardedRange { shards } => run_workload(
+            // Partition only the populated key span so every shard sees load.
+            Arc::new(Sharded::new(RangeRouter::covering(shards, spec.key_range()), |_| {
+                LfBst::new()
+            })),
+            spec,
+            threads,
+            duration,
+        ),
         SetKind::Ellen => run_workload(Arc::new(EllenBst::new()), spec, threads, duration),
         SetKind::Natarajan => run_workload(Arc::new(NatarajanBst::new()), spec, threads, duration),
         SetKind::HarrisList => run_workload(Arc::new(LockFreeList::new()), spec, threads, duration),
-        SetKind::CoarseLock => run_workload(Arc::new(CoarseLockBst::new()), spec, threads, duration),
+        SetKind::CoarseLock => {
+            run_workload(Arc::new(CoarseLockBst::new()), spec, threads, duration)
+        }
         SetKind::RwLock => run_workload(Arc::new(RwLockBst::new()), spec, threads, duration),
     }
 }
@@ -125,7 +158,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e10|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]"
+                        "usage: experiments [e1..e11|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]"
                     );
                     std::process::exit(0);
                 }
@@ -263,9 +296,8 @@ fn e6(opts: &Options) {
     let spec = WorkloadSpec::new(1 << 10, OperationMix::new(0, 50, 50));
     let mut rows = Vec::new();
     for (label, restart) in [("vicinity", RestartPolicy::Vicinity), ("root", RestartPolicy::Root)] {
-        let set = Arc::new(LfBst::with_config(
-            Config::new().restart_policy(restart).record_stats(true),
-        ));
+        let set =
+            Arc::new(LfBst::with_config(Config::new().restart_policy(restart).record_stats(true)));
         let handle = Arc::clone(&set);
         let m = run_workload(set, &spec, threads, opts.duration);
         let stats = handle.stats();
@@ -423,11 +455,7 @@ fn e9(opts: &Options) {
             ],
         ));
     }
-    opts.emit(
-        "E9 — memory footprint (bytes per stored key, from node layouts)",
-        "keys",
-        &rows,
-    );
+    opts.emit("E9 — memory footprint (bytes per stored key, from node layouts)", "keys", &rows);
     println!(
         "lfbst node = {} bytes ({} words per key; the paper predicts 5 words plus the key-bound tag)",
         LfBst::<u64>::node_size_bytes(),
@@ -492,16 +520,47 @@ fn e10(opts: &Options) {
     ));
     rows.push((
         "height / log2(n)".to_string(),
-        vec![
-            ("lfbst(1 thread)".to_string(), height / ideal),
-            ("BTreeSet".to_string(), 1.0),
-        ],
+        vec![("lfbst(1 thread)".to_string(), height / ideal), ("BTreeSet".to_string(), 1.0)],
     ));
-    opts.emit(
-        &format!("E10 — sequential sanity, n = {n} random keys"),
-        "metric",
-        &rows,
-    );
+    opts.emit(&format!("E10 — sequential sanity, n = {n} random keys"), "metric", &rows);
+}
+
+fn e11(opts: &Options) {
+    // Sharding sweep: shard count x thread count x operation mix, for both
+    // routing policies.  Rows are shard counts (1 = the unsharded baseline
+    // modulo one routing call); columns are policy/thread-count cells, so one
+    // table per mix shows whether partitioning pays off as threads grow.
+    let mut thread_counts: Vec<usize> =
+        if opts.quick { vec![1, opts.max_threads] } else { opts.thread_counts() };
+    thread_counts.dedup();
+    for (mix_label, mix) in [
+        ("read-dominated 90/9/1", OperationMix::new(90, 9, 1)),
+        ("write-heavy 0/50/50", OperationMix::new(0, 50, 50)),
+    ] {
+        let spec = WorkloadSpec::new(1 << 16, mix);
+        let mut rows = Vec::new();
+        for &shards in SHARD_COUNTS {
+            let mut cells = Vec::new();
+            for &threads in &thread_counts {
+                for kind in
+                    [SetKind::LfbstShardedHash { shards }, SetKind::LfbstShardedRange { shards }]
+                {
+                    let m = run_kind(kind, &spec, threads, opts.duration);
+                    let policy = match kind {
+                        SetKind::LfbstShardedHash { .. } => "hash",
+                        _ => "range",
+                    };
+                    cells.push((format!("{policy}/{threads}t"), m.mops()));
+                }
+            }
+            rows.push((shards.to_string(), cells));
+        }
+        opts.emit(
+            &format!("E11 — sharding sweep over lfbst, {mix_label} (range 2^16)"),
+            "shards",
+            &rows,
+        );
+    }
 }
 
 fn main() {
@@ -543,5 +602,8 @@ fn main() {
     }
     if all || exp == "e10" {
         e10(&opts);
+    }
+    if all || exp == "e11" {
+        e11(&opts);
     }
 }

@@ -63,7 +63,7 @@ mod tests {
         assert_eq!(THREAD & MARK, 0);
         assert_eq!(THREAD & FLAG, 0);
         assert_eq!(MARK & FLAG, 0);
-        assert!(THREAD | MARK | FLAG <= 0b111);
+        assert_eq!(THREAD | MARK | FLAG, 0b111);
     }
 
     #[test]

@@ -60,10 +60,7 @@ mod tests {
         // word-sized key and the KeyBound discriminant the Rust layout stays
         // within six words; this test documents (and pins) the footprint.
         let words = std::mem::size_of::<Node<usize>>() / std::mem::size_of::<usize>();
-        assert!(
-            (5..=6).contains(&words),
-            "Node<usize> occupies {words} words, expected 5-6"
-        );
+        assert!((5..=6).contains(&words), "Node<usize> occupies {words} words, expected 5-6");
     }
 
     #[test]

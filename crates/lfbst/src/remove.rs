@@ -174,10 +174,33 @@ impl<K: Ord> LfBst<K> {
     ) -> FinishOutcome {
         let victim_ref = unsafe { victim.deref() };
         let order_ref = unsafe { order.deref() };
+        // Whether a mark on the victim proves *this* removal's logical point
+        // depends on the order-link category (see the flag re-validation
+        // below): a category-2/3 order link (`dir == 1`, a thread out of the
+        // predecessor) is only ever swung by the removal that flagged it, so
+        // under it any mark is ours.  A category-1 order link (`dir == 0`,
+        // the victim's own left self-thread) is never cleaned by its own
+        // removal — the victim retires still carrying it — but it *can* be
+        // consumed when the victim is shifted upward by its successor's
+        // category-3 removal.  After such a shift the victim lives on, and a
+        // mark found on it belongs to a *later* removal of the same key; if
+        // this removal counted that mark as its own, both removals would
+        // report success for a single key presence.  So for `dir == 0` a mark
+        // only counts while the flag is still in place.
         loop {
             let r = victim_ref.child[1].load(ORD, guard);
             if is_mark(r) {
-                break;
+                if dir == 1 {
+                    break;
+                }
+                let ol = order_ref.child[dir].load(ORD, guard);
+                if same_node(ol, victim) && is_flag(ol) && is_thread(ol) {
+                    // Marked under our still-standing flag: our logical point.
+                    break;
+                }
+                // Our flag was consumed by a shift and the mark belongs to a
+                // later removal of the shifted (still live) victim.
+                return FinishOutcome::Invalidated;
             }
             if is_flag(r) {
                 // The victim's right link is held by another removal:
@@ -199,10 +222,19 @@ impl<K: Ord> LfBst<K> {
             // link is overwritten by the shift and this removal must restart.
             let ol = order_ref.child[dir].load(ORD, guard);
             if !(same_node(ol, victim) && is_flag(ol) && is_thread(ol)) {
-                let r2 = victim_ref.child[1].load(ORD, guard);
-                if is_mark(r2) {
-                    break;
+                if dir == 1 {
+                    // A category-2/3 order link is consumed only by its own
+                    // removal's swing, which follows the mark: the victim is
+                    // logically removed by *us* and the unlinking is driven by
+                    // whoever performed the swing.
+                    let r2 = victim_ref.child[1].load(ORD, guard);
+                    if is_mark(r2) {
+                        break;
+                    }
                 }
+                // `dir == 0`: the flag was consumed by a shift of the (still
+                // live) victim; whatever state the victim is in now belongs
+                // to a different removal.  Restart.
                 return FinishOutcome::Invalidated;
             }
             // Step II: record the order node for later helpers (validated hint).
@@ -414,13 +446,11 @@ impl<K: Ord> LfBst<K> {
                 );
             }
             let pl = parent_ref.child[pdir].load(ORD, guard);
-            if same_node(pl, victim) && is_flag(pl) {
-                if parent_ref.child[pdir]
-                    .compare_exchange(pl, new_right, ORD, ORD, guard)
-                    .is_ok()
-                {
-                    self.retire(victim, guard);
-                }
+            if same_node(pl, victim)
+                && is_flag(pl)
+                && parent_ref.child[pdir].compare_exchange(pl, new_right, ORD, ORD, guard).is_ok()
+            {
+                self.retire(victim, guard);
             }
         } else {
             // Category 2 (paper lines 102-106): the order node (the victim's
@@ -447,13 +477,13 @@ impl<K: Ord> LfBst<K> {
                 guard,
             );
             let pl = parent_ref.child[pdir].load(ORD, guard);
-            if same_node(pl, victim) && is_flag(pl) {
-                if parent_ref.child[pdir]
+            if same_node(pl, victim)
+                && is_flag(pl)
+                && parent_ref.child[pdir]
                     .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
                     .is_ok()
-                {
-                    self.retire(victim, guard);
-                }
+            {
+                self.retire(victim, guard);
             }
         }
         true
@@ -681,13 +711,13 @@ impl<K: Ord> LfBst<K> {
             );
         }
         let pl = parent_ref.child[pdir].load(ORD, guard);
-        if same_node(pl, victim) && is_flag(pl) {
-            if parent_ref.child[pdir]
+        if same_node(pl, victim)
+            && is_flag(pl)
+            && parent_ref.child[pdir]
                 .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
                 .is_ok()
-            {
-                self.retire(victim, guard);
-            }
+        {
+            self.retire(victim, guard);
         }
         Cat3Outcome::Done
     }

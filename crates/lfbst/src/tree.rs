@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
-use cset::{ConcurrentSet, KeyBound, OpStats, StatsSnapshot};
+use cset::{ConcurrentSet, KeyBound, OpStats, OrderedSet, StatsSnapshot};
 
 use crate::config::{Config, HelpPolicy, RestartPolicy};
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, THREAD};
@@ -102,12 +102,7 @@ impl<K: Ord> LfBst<K> {
             (*r1).backlink.store(s1, ORD);
         }
         let _ = guard;
-        LfBst {
-            roots: [r0, r1],
-            config,
-            stats: OpStats::new(),
-            size: AtomicUsize::new(0),
-        }
+        LfBst { roots: [r0, r1], config, stats: OpStats::new(), size: AtomicUsize::new(0) }
     }
 
     /// The `-inf` dummy node.
@@ -553,6 +548,19 @@ where
 
     fn name(&self) -> &'static str {
         "lfbst"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        LfBst::stats(self)
+    }
+}
+
+impl<K> OrderedSet<K> for LfBst<K>
+where
+    K: Ord + Clone + Send + Sync,
+{
+    fn keys_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<K> {
+        self.keys_in_range((lo.cloned(), hi.cloned()))
     }
 }
 

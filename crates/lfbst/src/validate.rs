@@ -58,7 +58,9 @@ impl fmt::Display for ValidationError {
             ValidationError::OrderViolation { position } => {
                 write!(f, "in-order walk out of order at position {position}")
             }
-            ValidationError::LeftThreadNotSelf => write!(f, "threaded left link is not a self link"),
+            ValidationError::LeftThreadNotSelf => {
+                write!(f, "threaded left link is not a self link")
+            }
             ValidationError::RightThreadWrongSuccessor => {
                 write!(f, "threaded right link does not point at the successor")
             }
@@ -220,10 +222,7 @@ pub fn validate<K: Ord + Clone + std::fmt::Debug>(
         }
     }
 
-    Ok(ValidationReport {
-        nodes: reachable.len(),
-        height: tree.height(),
-    })
+    Ok(ValidationReport { nodes: reachable.len(), height: tree.height() })
 }
 
 #[cfg(test)]

@@ -203,12 +203,7 @@ fn mixed_workload_write_optimized_eager_helping() {
 
 #[test]
 fn mixed_workload_restart_from_root_ablation() {
-    mixed_workload(
-        Config::new().restart_policy(RestartPolicy::Root),
-        512,
-        20_000,
-        parallelism(),
-    );
+    mixed_workload(Config::new().restart_policy(RestartPolicy::Root), 512, 20_000, parallelism());
 }
 
 #[test]
@@ -217,12 +212,7 @@ fn mixed_workload_tiny_range_adjacent_key_conflicts() {
     // successor conflicts, category-3 shifts) which are the hardest cases of
     // the protocol.
     mixed_workload(Config::new(), 8, 40_000, parallelism());
-    mixed_workload(
-        Config::new().help_policy(HelpPolicy::WriteOptimized),
-        8,
-        40_000,
-        parallelism(),
-    );
+    mixed_workload(Config::new().help_policy(HelpPolicy::WriteOptimized), 8, 40_000, parallelism());
 }
 
 #[test]

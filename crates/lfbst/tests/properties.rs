@@ -1,12 +1,19 @@
-//! Property-based tests for the lock-free BST (single-threaded properties;
+//! Property-style tests for the lock-free BST (single-threaded properties;
 //! the concurrent properties are covered by `tests/concurrent.rs` and the
 //! cross-crate conformance suite).
+//!
+//! Each property runs over many independently seeded random cases, so a
+//! failure report (the printed seed) reproduces deterministically.
 
 use std::collections::BTreeSet;
 
 use lfbst::validate::validate;
 use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases per property.
+const CASES: u64 = 64;
 
 /// An abstract set operation for property generation.
 #[derive(Clone, Copy, Debug)]
@@ -16,53 +23,65 @@ enum Op {
     Contains(u16),
 }
 
-fn op_strategy(key_bits: u32) -> impl Strategy<Value = Op> {
-    let max = (1u16 << key_bits) - 1;
-    prop_oneof![
-        (0..=max).prop_map(Op::Insert),
-        (0..=max).prop_map(Op::Remove),
-        (0..=max).prop_map(Op::Contains),
-    ]
+fn random_ops(rng: &mut StdRng, key_bits: u32, max_len: usize) -> Vec<Op> {
+    let bound = 1u16 << key_bits;
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| {
+            let k = rng.gen_range(0..bound);
+            match rng.gen_range(0..3) {
+                0 => Op::Insert(k),
+                1 => Op::Remove(k),
+                _ => Op::Contains(k),
+            }
+        })
+        .collect()
 }
 
-fn apply_both(tree: &LfBst<u16>, model: &mut BTreeSet<u16>, op: Op) {
+fn apply_both(tree: &LfBst<u16>, model: &mut BTreeSet<u16>, op: Op, seed: u64) {
     match op {
-        Op::Insert(k) => assert_eq!(tree.insert(k), model.insert(k), "insert({k})"),
-        Op::Remove(k) => assert_eq!(tree.remove(&k), model.remove(&k), "remove({k})"),
-        Op::Contains(k) => assert_eq!(tree.contains(&k), model.contains(&k), "contains({k})"),
+        Op::Insert(k) => assert_eq!(tree.insert(k), model.insert(k), "insert({k}), seed {seed}"),
+        Op::Remove(k) => assert_eq!(tree.remove(&k), model.remove(&k), "remove({k}), seed {seed}"),
+        Op::Contains(k) => {
+            assert_eq!(tree.contains(&k), model.contains(&k), "contains({k}), seed {seed}")
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any operation sequence leaves the tree behaving exactly like BTreeSet
-    /// and structurally valid.
-    #[test]
-    fn behaves_like_btreeset(ops in proptest::collection::vec(op_strategy(8), 1..600)) {
+/// Any operation sequence leaves the tree behaving exactly like BTreeSet and
+/// structurally valid.
+#[test]
+fn behaves_like_btreeset() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = random_ops(&mut rng, 8, 600);
         let tree = LfBst::new();
         let mut model = BTreeSet::new();
         for &op in &ops {
-            apply_both(&tree, &mut model, op);
+            apply_both(&tree, &mut model, op, seed);
         }
-        prop_assert_eq!(tree.len(), model.len());
-        prop_assert_eq!(tree.iter_keys(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(tree.len(), model.len(), "seed {seed}");
+        assert_eq!(tree.iter_keys(), model.iter().copied().collect::<Vec<_>>(), "seed {seed}");
         let report = validate(&tree).expect("structure invariants");
-        prop_assert_eq!(report.nodes, model.len());
+        assert_eq!(report.nodes, model.len(), "seed {seed}");
     }
+}
 
-    /// The same property holds for the non-default configurations (eager
-    /// helping and the restart-from-root ablation share all structural code
-    /// paths that sequential execution can reach, but this guards regressions
-    /// in the configuration plumbing).
-    #[test]
-    fn configurations_behave_identically(ops in proptest::collection::vec(op_strategy(7), 1..400)) {
+/// The same property holds for the non-default configurations (eager helping
+/// and the restart-from-root ablation share all structural code paths that
+/// sequential execution can reach, but this guards regressions in the
+/// configuration plumbing).
+#[test]
+fn configurations_behave_identically() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + seed);
+        let ops = random_ops(&mut rng, 7, 400);
         let default_tree = LfBst::new();
         let eager = LfBst::with_config(Config::new().help_policy(HelpPolicy::WriteOptimized));
         let root_restart = LfBst::with_config(Config::new().restart_policy(RestartPolicy::Root));
         let mut model = BTreeSet::new();
         for &op in &ops {
-            apply_both(&default_tree, &mut model, op);
+            apply_both(&default_tree, &mut model, op, seed);
             match op {
                 Op::Insert(k) => {
                     eager.insert(k);
@@ -79,44 +98,57 @@ proptest! {
             }
         }
         let expected: Vec<u16> = model.iter().copied().collect();
-        prop_assert_eq!(default_tree.iter_keys(), expected.clone());
-        prop_assert_eq!(eager.iter_keys(), expected.clone());
-        prop_assert_eq!(root_restart.iter_keys(), expected);
+        assert_eq!(default_tree.iter_keys(), expected, "seed {seed}");
+        assert_eq!(eager.iter_keys(), expected, "seed {seed}");
+        assert_eq!(root_restart.iter_keys(), expected, "seed {seed}");
         validate(&eager).expect("eager tree invariants");
         validate(&root_restart).expect("root-restart tree invariants");
     }
+}
 
-    /// Inserting any permutation of a key set then removing another permutation
-    /// of the same keys always empties the tree, exercising every removal
-    /// category along the way.
-    #[test]
-    fn insert_all_then_remove_all(keys in proptest::collection::btree_set(0u16..512, 1..200)) {
+/// Inserting any permutation of a key set then removing another permutation of
+/// the same keys always empties the tree, exercising every removal category
+/// along the way.
+#[test]
+fn insert_all_then_remove_all() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + seed);
+        let len = rng.gen_range(1..200usize);
+        let keys: BTreeSet<u16> = (0..len).map(|_| rng.gen_range(0..512u16)).collect();
         let tree = LfBst::new();
         for &k in &keys {
-            prop_assert!(tree.insert(k));
+            assert!(tree.insert(k), "seed {seed}");
         }
-        prop_assert_eq!(tree.len(), keys.len());
+        assert_eq!(tree.len(), keys.len(), "seed {seed}");
         validate(&tree).expect("after inserts");
         // Remove in reverse order so predecessors are exercised heavily.
         for &k in keys.iter().rev() {
-            prop_assert!(tree.remove(&k), "key {} must be removable", k);
+            assert!(tree.remove(&k), "key {k} must be removable, seed {seed}");
         }
-        prop_assert!(tree.is_empty());
+        assert!(tree.is_empty(), "seed {seed}");
         let report = validate(&tree).expect("after removes");
-        prop_assert_eq!(report.nodes, 0);
+        assert_eq!(report.nodes, 0, "seed {seed}");
     }
+}
 
-    /// The height never exceeds the number of stored keys and the snapshot is
-    /// always sorted and duplicate-free.
-    #[test]
-    fn snapshot_sorted_and_height_bounded(keys in proptest::collection::vec(0u16..1024, 1..300)) {
+/// The height never exceeds the number of stored keys and the snapshot is
+/// always sorted and duplicate-free.
+#[test]
+fn snapshot_sorted_and_height_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + seed);
+        let len = rng.gen_range(1..300usize);
+        let keys: Vec<u16> = (0..len).map(|_| rng.gen_range(0..1024u16)).collect();
         let tree = LfBst::new();
         for &k in &keys {
             tree.insert(k);
         }
         let snapshot = tree.iter_keys();
-        prop_assert!(snapshot.windows(2).all(|w| w[0] < w[1]), "snapshot must be strictly sorted");
-        prop_assert!(tree.height() <= tree.len(), "height cannot exceed node count");
-        prop_assert_eq!(snapshot.len(), tree.len());
+        assert!(
+            snapshot.windows(2).all(|w| w[0] < w[1]),
+            "snapshot must be strictly sorted, seed {seed}"
+        );
+        assert!(tree.height() <= tree.len(), "height cannot exceed node count, seed {seed}");
+        assert_eq!(snapshot.len(), tree.len(), "seed {seed}");
     }
 }

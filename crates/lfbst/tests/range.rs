@@ -32,10 +32,7 @@ fn range_bounds_semantics() {
     assert_eq!(t.keys_in_range(0..10), Vec::<u64>::new());
     // Exclusive start bound on an existing key.
     use std::ops::Bound;
-    assert_eq!(
-        t.keys_in_range((Bound::Excluded(20u64), Bound::Unbounded)),
-        vec![30, 40, 50]
-    );
+    assert_eq!(t.keys_in_range((Bound::Excluded(20u64), Bound::Unbounded)), vec![30, 40, 50]);
     assert_eq!(t.min_key(), Some(10));
     assert_eq!(t.max_key(), Some(50));
 }
@@ -94,5 +91,65 @@ fn range_scan_during_concurrent_churn_sees_pinned_keys() {
         assert_eq!(pinned, (1_000..2_000).step_by(100).collect::<Vec<u64>>());
     }
     churn.join().unwrap();
+    lfbst::validate::validate(&*tree).unwrap();
+}
+
+#[test]
+fn concurrent_scan_is_strictly_ordered_and_sound() {
+    // Key universe 0..10_000 split by residue mod 10:
+    //   residue 0       — "pinned": inserted up front, never removed;
+    //   residues 1..=5  — "churn": writer threads insert/remove them freely;
+    //   residues 6..=9  — "forbidden": never inserted by anyone.
+    // While writers churn, every scan must (a) be strictly ascending, (b) stay
+    // inside its bounds, (c) contain only keys that were live at some point
+    // (pinned or churn — a forbidden key in the result would be a key the
+    // scan invented), and (d) contain every pinned key in bounds.
+    const UNIVERSE: u64 = 10_000;
+    let tree = Arc::new(LfBst::new());
+    for k in (0..UNIVERSE).step_by(10) {
+        tree.insert(k);
+    }
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + w);
+                for _ in 0..40_000 {
+                    let k = rng.gen_range(0..UNIVERSE);
+                    match k % 10 {
+                        0 | 6..=9 => continue,
+                        _ => {
+                            if rng.gen_bool(0.5) {
+                                tree.insert(k);
+                            } else {
+                                tree.remove(&k);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(999);
+    for _ in 0..60 {
+        let a: u64 = rng.gen_range(0..UNIVERSE);
+        let b: u64 = rng.gen_range(0..UNIVERSE);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let scan = tree.keys_in_range(lo..=hi);
+        assert!(
+            scan.windows(2).all(|w| w[0] < w[1]),
+            "scan of {lo}..={hi} not strictly ascending: {scan:?}"
+        );
+        for &k in &scan {
+            assert!((lo..=hi).contains(&k), "scan of {lo}..={hi} returned out-of-bounds {k}");
+            assert!(k % 10 <= 5, "scan returned key {k}, which was never inserted by any thread");
+        }
+        let pinned_seen: Vec<u64> = scan.iter().copied().filter(|k| k % 10 == 0).collect();
+        let pinned_expected: Vec<u64> = (lo..=hi).filter(|k| k % 10 == 0).collect();
+        assert_eq!(pinned_seen, pinned_expected, "pinned keys missing from {lo}..={hi}");
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
     lfbst::validate::validate(&*tree).unwrap();
 }

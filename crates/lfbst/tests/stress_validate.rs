@@ -1,0 +1,54 @@
+//! Repeated short concurrent workloads followed by full structural validation,
+//! used to hunt rare protocol races (ignored by default: run with
+//! `cargo test -p lfbst --test stress_validate -- --ignored`).
+
+use std::sync::Arc;
+
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn one_round(seed: u64, threads: usize, ops: usize, range: u64) {
+    let tree = Arc::new(LfBst::new());
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t.wrapping_mul(0x9E3779B97F4A7C15)));
+                let mut net = 0i64;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    if rng.gen_bool(0.5) {
+                        if tree.insert(k) {
+                            net += 1;
+                        }
+                    } else if tree.remove(&k) {
+                        net -= 1;
+                    }
+                }
+                net
+            })
+        })
+        .collect();
+    let mut net_total = 0i64;
+    for h in handles {
+        net_total += h.join().unwrap();
+    }
+    let report = lfbst::validate::validate(&*tree)
+        .unwrap_or_else(|e| panic!("seed {seed}: validation failed: {e}"));
+    assert_eq!(report.nodes as i64, net_total, "seed {seed}: node count vs op accounting");
+    assert_eq!(tree.len() as i64, net_total, "seed {seed}: len() vs op accounting");
+}
+
+#[test]
+#[ignore = "long-running race hunt; run explicitly"]
+fn stress_many_rounds() {
+    let rounds: u64 =
+        std::env::var("STRESS_ROUNDS").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let base: u64 = std::env::var("STRESS_BASE").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    for r in 0..rounds {
+        let threads =
+            std::env::var("STRESS_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(8);
+        one_round(base + r, threads, 2_000, 1 << 6);
+    }
+}

@@ -54,9 +54,7 @@ unsafe impl<K: Send + Sync> Sync for LockFreeList<K> {}
 
 impl<K> fmt::Debug for LockFreeList<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockFreeList")
-            .field("len", &self.size.load(Ordering::Relaxed))
-            .finish()
+        f.debug_struct("LockFreeList").field("len", &self.size.load(Ordering::Relaxed)).finish()
     }
 }
 
@@ -69,14 +67,10 @@ impl<K: Ord> Default for LockFreeList<K> {
 impl<K: Ord> LockFreeList<K> {
     /// Creates an empty list (two permanent sentinel nodes).
     pub fn new() -> Self {
-        let tail = Box::into_raw(Box::new(ListNode {
-            key: KeyBound::PosInf,
-            next: Atomic::null(),
-        }));
-        let head = Box::into_raw(Box::new(ListNode {
-            key: KeyBound::NegInf,
-            next: Atomic::null(),
-        }));
+        let tail =
+            Box::into_raw(Box::new(ListNode { key: KeyBound::PosInf, next: Atomic::null() }));
+        let head =
+            Box::into_raw(Box::new(ListNode { key: KeyBound::NegInf, next: Atomic::null() }));
         unsafe {
             (*head).next.store(Shared::from(tail as *const ListNode<K>), ORD);
         }
@@ -196,11 +190,7 @@ impl<K: Ord> LockFreeList<K> {
                 continue;
             }
             // Logical removal: mark the next pointer.
-            if curr_ref
-                .next
-                .compare_exchange(next, next.with_tag(MARK), ORD, ORD, guard)
-                .is_err()
-            {
+            if curr_ref.next.compare_exchange(next, next.with_tag(MARK), ORD, ORD, guard).is_err() {
                 continue;
             }
             self.size.fetch_sub(1, Ordering::AcqRel);
@@ -276,6 +266,11 @@ impl<K: Ord + Send + Sync> ConcurrentSet<K> for LockFreeList<K> {
     fn name(&self) -> &'static str {
         "harris-list"
     }
+}
+
+/// Size in bytes of one list node for `u64` keys (footprint reporting, experiment E9).
+pub fn node_size_bytes() -> usize {
+    std::mem::size_of::<ListNode<u64>>()
 }
 
 #[cfg(test)]
@@ -362,9 +357,4 @@ mod tests {
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(keys.len(), expected);
     }
-}
-
-/// Size in bytes of one list node for `u64` keys (footprint reporting, experiment E9).
-pub fn node_size_bytes() -> usize {
-    std::mem::size_of::<ListNode<u64>>()
 }

@@ -4,9 +4,9 @@
 //! baselines in the evaluation (experiments E1–E5):
 //!
 //! * [`CoarseLockBst`] — a sequential internal BST behind a single
-//!   `parking_lot::Mutex`.  This is the classic coarse-grained baseline whose
+//!   `std::sync::Mutex`.  This is the classic coarse-grained baseline whose
 //!   throughput flattens (and often collapses) as threads are added.
-//! * [`RwLockBst`] — the same tree behind a `parking_lot::RwLock`, so lookups
+//! * [`RwLockBst`] — the same tree behind a `std::sync::RwLock`, so lookups
 //!   proceed in parallel but any mutation serialises the structure.  This is a
 //!   stand-in for the "carefully tailored locking scheme" class the paper
 //!   compares against: it is extremely fast for read-dominated workloads and
@@ -22,9 +22,30 @@ mod sequential;
 
 pub use sequential::SeqBst;
 
-use cset::ConcurrentSet;
-use parking_lot::{Mutex, RwLock};
+use cset::{ConcurrentSet, OrderedSet};
 use std::fmt;
+use std::ops::Bound;
+use std::sync::{Mutex, RwLock};
+
+/// Filters an ascending key vector down to `[lo, hi]` (shared by the two
+/// lock-based [`OrderedSet`] impls, which scan under the lock).
+fn filter_range<K: Ord>(keys: Vec<K>, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+    keys.into_iter()
+        .filter(|k| {
+            let above = match lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+            };
+            let below = match hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+            };
+            above && below
+        })
+        .collect()
+}
 
 /// A sequential internal BST protected by one global mutex.
 ///
@@ -64,23 +85,29 @@ impl<K> fmt::Debug for CoarseLockBst<K> {
 
 impl<K: Ord + Send + Sync> ConcurrentSet<K> for CoarseLockBst<K> {
     fn insert(&self, key: K) -> bool {
-        self.inner.lock().insert(key)
+        self.inner.lock().unwrap().insert(key)
     }
 
     fn remove(&self, key: &K) -> bool {
-        self.inner.lock().remove(key)
+        self.inner.lock().unwrap().remove(key)
     }
 
     fn contains(&self, key: &K) -> bool {
-        self.inner.lock().contains(key)
+        self.inner.lock().unwrap().contains(key)
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     fn name(&self) -> &'static str {
         "coarse-mutex-bst"
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for CoarseLockBst<K> {
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        filter_range(self.inner.lock().unwrap().keys(), lo, hi)
     }
 }
 
@@ -125,23 +152,29 @@ impl<K> fmt::Debug for RwLockBst<K> {
 
 impl<K: Ord + Send + Sync> ConcurrentSet<K> for RwLockBst<K> {
     fn insert(&self, key: K) -> bool {
-        self.inner.write().insert(key)
+        self.inner.write().unwrap().insert(key)
     }
 
     fn remove(&self, key: &K) -> bool {
-        self.inner.write().remove(key)
+        self.inner.write().unwrap().remove(key)
     }
 
     fn contains(&self, key: &K) -> bool {
-        self.inner.read().contains(key)
+        self.inner.read().unwrap().contains(key)
     }
 
     fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     fn name(&self) -> &'static str {
         "rwlock-bst"
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for RwLockBst<K> {
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        filter_range(self.inner.read().unwrap().keys(), lo, hi)
     }
 }
 

@@ -1,0 +1,294 @@
+//! # microbench — a minimal wall-clock benchmark runner
+//!
+//! Exposes the subset of the `criterion` API that this workspace's benchmark
+//! targets use, so that `cargo bench` works in the offline build environment
+//! (the workspace maps the dependency name `criterion` onto this crate; see
+//! the root `Cargo.toml`).
+//!
+//! Compared to criterion proper there is no statistical machinery: each
+//! benchmark runs `sample_size` samples after a short warm-up and reports the
+//! min / mean / max time per iteration on stdout.  That is sufficient to
+//! compare the set implementations against each other; rigorous runs belong
+//! to the real criterion when a registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// How batched inputs are grouped in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per sample.
+    SmallInput,
+    /// Large inputs: fewer per sample.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a swept parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/param"`.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// The per-benchmark measurement driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// (total elapsed, total iterations) per sample, filled by the iter calls.
+    results: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, results: Vec::new() }
+    }
+
+    /// Calibrated iterations per sample targeting roughly `target` of runtime.
+    fn calibrate<F: FnMut() -> Duration>(target: Duration, mut once: F) -> u64 {
+        let probe = once().max(Duration::from_nanos(1));
+        (target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64
+    }
+
+    /// Times `routine` run in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = Self::calibrate(Duration::from_millis(10), || {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            t.elapsed()
+        });
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.results.push((t.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine(iters)` where the routine reports its own elapsed time
+    /// (criterion's escape hatch for multi-threaded measurements).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let iters = {
+            let probe = routine(1).max(Duration::from_nanos(1));
+            (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64
+        };
+        for _ in 0..self.samples {
+            let elapsed = routine(iters);
+            self.results.push((elapsed, iters));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push((t.elapsed(), 1));
+        }
+    }
+
+    /// Per-iteration times across samples: (min, mean, max).
+    fn summary(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.results.is_empty() {
+            return None;
+        }
+        let per_iter: Vec<f64> =
+            self.results.iter().map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64).collect();
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Some((
+            Duration::from_secs_f64(min),
+            Duration::from_secs_f64(mean),
+            Duration::from_secs_f64(max),
+        ))
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+    _marker: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is folded into calibration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sample counts control the run length.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        match bencher.summary() {
+            Some((min, mean, max)) => println!(
+                "{}/{id}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+                self.name, bencher.samples
+            ),
+            None => println!("{}/{id}: no measurements recorded", self.name),
+        }
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self, _marker: PhantomData }
+    }
+}
+
+/// Prevents the optimizer from discarding `value` (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_custom_passes_iteration_count() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &_x| {
+            b.iter_custom(|iters| {
+                assert!(iters >= 1);
+                Duration::from_micros(iters)
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        let mut made = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(made, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("lfbst", 8);
+        assert_eq!(id.id, "lfbst/8");
+    }
+}

@@ -104,9 +104,7 @@ unsafe impl<K: Send + Sync> Sync for NatarajanBst<K> {}
 
 impl<K> fmt::Debug for NatarajanBst<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NatarajanBst")
-            .field("len", &self.size.load(Ordering::Relaxed))
-            .finish()
+        f.debug_struct("NatarajanBst").field("len", &self.size.load(Ordering::Relaxed)).finish()
     }
 }
 
@@ -163,12 +161,8 @@ impl<K: Ord> NatarajanBst<K> {
         let s = unsafe { r.deref() }.child[0].load(ORD, guard).with_tag(0);
         // Edge from parent to leaf, as read at the parent.
         let mut parent_field = unsafe { s.deref() }.child[0].load(ORD, guard);
-        let mut record = SeekRecord {
-            ancestor: r,
-            successor: s,
-            parent: s,
-            leaf: parent_field.with_tag(0),
-        };
+        let mut record =
+            SeekRecord { ancestor: r, successor: s, parent: s, leaf: parent_field.with_tag(0) };
         let mut current_field = unsafe { record.leaf.deref() }.child
             [Self::child_index(unsafe { record.leaf.deref() }, key)]
         .load(ORD, guard);
@@ -211,8 +205,7 @@ impl<K: Ord> NatarajanBst<K> {
             let dir = Self::child_index(parent_ref, &key);
             // Build the replacement subtree: a routing node whose children are
             // the existing leaf and a new leaf holding `key`.
-            let new_leaf =
-                Owned::new(ExtNode::leaf(ExtKey::Key(key.clone()))).into_shared(guard);
+            let new_leaf = Owned::new(ExtNode::leaf(ExtKey::Key(key.clone()))).into_shared(guard);
             let (internal_key, left, right) = if leaf_ref.key.goes_left(&key) {
                 // existing leaf key > new key: new leaf on the left
                 (clone_ext_key(&leaf_ref.key), new_leaf, record.leaf)
@@ -366,9 +359,8 @@ impl<K: Ord> NatarajanBst<K> {
             if node.with_tag(0) == record.parent.with_tag(0) {
                 // Retire the parent routing node and the removed leaf (the
                 // child on the non-surviving side).
-                let removed = record.parent.deref().child[1 - sibling_dir]
-                    .load(ORD, guard)
-                    .with_tag(0);
+                let removed =
+                    record.parent.deref().child[1 - sibling_dir].load(ORD, guard).with_tag(0);
                 if !removed.is_null() {
                     guard.defer_destroy(removed);
                 }
@@ -405,9 +397,9 @@ impl<K: Ord> NatarajanBst<K> {
     }
 }
 
-fn clone_ext_key<K: Ord>(key: &ExtKey<K>) -> ExtKey<K>
+fn clone_ext_key<K>(key: &ExtKey<K>) -> ExtKey<K>
 where
-    K: Clone,
+    K: Ord + Clone,
 {
     match key {
         ExtKey::Key(k) => ExtKey::Key(k.clone()),
@@ -420,7 +412,7 @@ where
 impl<K> Drop for NatarajanBst<K> {
     fn drop(&mut self) {
         let guard = unsafe { epoch::unprotected() };
-        let mut stack = vec![self.root as *mut ExtNode<K>];
+        let mut stack = vec![self.root];
         while let Some(p) = stack.pop() {
             unsafe {
                 for dir in 0..2 {
@@ -455,6 +447,13 @@ impl<K: Ord + Clone + Send + Sync> ConcurrentSet<K> for NatarajanBst<K> {
     fn name(&self) -> &'static str {
         "natarajan-mittal-bst"
     }
+}
+
+/// Size in bytes of one (internal or leaf) node for `u64` keys (footprint
+/// reporting, experiment E9).  An external tree needs `2n - 1` such nodes for
+/// `n` keys.
+pub fn node_size_bytes() -> usize {
+    std::mem::size_of::<ExtNode<u64>>()
 }
 
 #[cfg(test)]
@@ -576,11 +575,4 @@ mod tests {
         assert_eq!(tree.len(), expected);
         assert_eq!(tree.iter_keys().len(), expected);
     }
-}
-
-/// Size in bytes of one (internal or leaf) node for `u64` keys (footprint
-/// reporting, experiment E9).  An external tree needs `2n - 1` such nodes for
-/// `n` keys.
-pub fn node_size_bytes() -> usize {
-    std::mem::size_of::<ExtNode<u64>>()
 }

@@ -1,0 +1,301 @@
+//! # shard — key-space partitioning over any concurrent set
+//!
+//! The paper's tree coordinates at the granularity of individual links, so
+//! operations on disjoint parts of the tree do not obstruct each other — but
+//! under heavy load the *upper levels* of a single tree are still a shared
+//! hot path that every operation traverses.  The standard remedy in the
+//! concurrent-search-structure literature is **key-space partitioning**: run
+//! `N` independent structures and route each key to one of them, shrinking
+//! both the contention domain and the search depth by a factor of `N`.
+//!
+//! This crate provides that layer for *any* [`cset::ConcurrentSet`]:
+//!
+//! * [`ShardRouter`] — the routing policy abstraction;
+//! * [`HashRouter`] — uniform spread by hashing (order-destroying);
+//! * [`RangeRouter`] — contiguous `u64` key ranges (order-preserving, so
+//!   cross-shard ordered scans remain possible; see [`OrderedRouter`]);
+//! * [`Sharded`] — the wrapper that owns the inner sets, implements
+//!   [`cset::ConcurrentSet`] by routing each operation, aggregates
+//!   `len`/statistics across shards, and (with an ordered router) serves
+//!   merged range scans via [`Sharded::keys_in_range`].
+//!
+//! The benchmark harness measures this layer as experiment **E11** (shard
+//! count × thread count × operation mix); see `EXPERIMENTS.md` at the
+//! repository root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cset::ConcurrentSet;
+//! use lfbst::LfBst;
+//! use shard::{HashRouter, Sharded};
+//! use std::sync::Arc;
+//!
+//! // 16 lock-free trees behind one Set facade.
+//! let set = Arc::new(Sharded::new(HashRouter::new(16), |_| LfBst::new()));
+//! let handles: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let set = Arc::clone(&set);
+//!         std::thread::spawn(move || {
+//!             for i in 0..1000u64 {
+//!                 set.insert(t * 1000 + i);
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(set.len(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod router;
+mod sharded;
+
+pub use router::{HashRouter, OrderedRouter, RangeRouter, ShardRouter};
+pub use sharded::{config_name, Sharded};
+
+pub use cset::{ConcurrentSet, OrderedSet, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    use cset::{ConcurrentSet, OrderedSet};
+    use lfbst::{Config, LfBst};
+    use locked_bst::CoarseLockBst;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    #[test]
+    fn routes_every_operation_to_exactly_one_shard() {
+        let set = Sharded::new(HashRouter::new(8), |_| LfBst::new());
+        for k in 0u64..1_000 {
+            assert!(set.insert(k));
+            assert!(!set.insert(k), "duplicate insert must fail");
+        }
+        assert_eq!(set.len(), 1_000);
+        // Each key is visible through the facade and lives in its routed shard.
+        for k in 0u64..1_000 {
+            assert!(set.contains(&k));
+            let routed = set.router().route(&k);
+            assert!(set.shard(routed).contains(&k));
+            for i in 0..set.shard_count() {
+                if i != routed {
+                    assert!(!set.shard(i).contains(&k), "key {k} leaked into shard {i}");
+                }
+            }
+        }
+        for k in 0u64..1_000 {
+            assert!(set.remove(&k));
+            assert!(!set.remove(&k));
+        }
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_model_under_random_ops() {
+        let set = Sharded::new(HashRouter::new(4), |_| LfBst::new());
+        let mut model = BTreeSet::new();
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        for step in 0..30_000 {
+            let k: u64 = rng.gen_range(0..400);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(set.insert(k), model.insert(k), "insert {k} @ {step}"),
+                1 => assert_eq!(set.remove(&k), model.remove(&k), "remove {k} @ {step}"),
+                _ => assert_eq!(set.contains(&k), model.contains(&k), "contains {k} @ {step}"),
+            }
+        }
+        assert_eq!(set.len(), model.len());
+    }
+
+    #[test]
+    fn range_router_scan_matches_model() {
+        let set = Sharded::new(RangeRouter::covering(8, 5_000), |_| LfBst::new());
+        let mut model = BTreeSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3_000 {
+            let k: u64 = rng.gen_range(0..5_000);
+            set.insert(k);
+            model.insert(k);
+        }
+        for _ in 0..200 {
+            let a: u64 = rng.gen_range(0..5_000);
+            let b: u64 = rng.gen_range(0..5_000);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let expected: Vec<u64> = model.range(lo..hi).copied().collect();
+            assert_eq!(set.keys_in_range(lo..hi), expected, "range {lo}..{hi}");
+            let expected: Vec<u64> = model.range(lo..=hi).copied().collect();
+            assert_eq!(set.keys_in_range(lo..=hi), expected, "range {lo}..={hi}");
+        }
+        let all: Vec<u64> = model.iter().copied().collect();
+        assert_eq!(set.keys_in_range(..), all);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted on purpose: the case under test
+    fn inverted_range_is_empty_not_a_panic() {
+        // Inverted bounds must behave like every inner implementation (an
+        // empty result), not index shards backwards.
+        let set = Sharded::new(RangeRouter::covering(4, 100), |_| LfBst::new());
+        for k in [5u64, 30, 55, 80, 99] {
+            set.insert(k);
+        }
+        assert_eq!(set.keys_in_range(80..=10), Vec::<u64>::new());
+        assert_eq!(set.keys_in_range(90..10), Vec::<u64>::new());
+        assert_eq!(LfBst::keys_in_range(set.shard(0), 80..=10), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scan_composes_with_locked_inner_sets() {
+        // The layer is generic: the same scan works over a lock-based inner set.
+        let set = Sharded::new(RangeRouter::covering(4, 100), |_| CoarseLockBst::new());
+        for k in [5u64, 30, 55, 80, 99] {
+            set.insert(k);
+        }
+        assert_eq!(set.keys_in_range(10..=90), vec![30, 55, 80]);
+        assert_eq!(
+            set.keys_between(std::ops::Bound::Unbounded, std::ops::Bound::Excluded(&55)),
+            vec![5, 30]
+        );
+    }
+
+    #[test]
+    fn len_is_exact_at_quiescence() {
+        // Hammer the sharded set from several threads, join, then check that
+        // the aggregated len equals ground truth — the quiescent-sum contract.
+        let set = Arc::new(Sharded::new(HashRouter::new(8), |_| LfBst::new()));
+        let present = Arc::new((0..512u64).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                let present = Arc::clone(&present);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    for _ in 0..20_000 {
+                        let k = rng.gen_range(0..512u64);
+                        if rng.gen_bool(0.5) {
+                            if set.insert(k) {
+                                present[k as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if set.remove(&k) {
+                            present[k as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: i64 = present.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+        assert_eq!(set.len() as i64, expected);
+        assert_eq!(set.len_per_shard().iter().sum::<usize>(), set.len());
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let set = Sharded::new(HashRouter::new(4), |_| {
+            LfBst::with_config(Config::new().record_stats(true))
+        });
+        for k in 0u64..2_000 {
+            set.insert(k);
+        }
+        for k in 0u64..2_000 {
+            set.remove(&k);
+        }
+        let merged = Sharded::stats(&set);
+        // Every successful insert performs at least one CAS, and those CASes
+        // are spread over the shards; the merge must see them all.
+        assert!(merged.cas_successes >= 2_000, "merged CAS count {merged:?}");
+        let per_shard: Vec<_> =
+            (0..set.shard_count()).map(|i| ConcurrentSet::<u64>::stats(set.shard(i))).collect();
+        assert!(per_shard.iter().all(|s| s.cas_successes > 0), "all shards saw traffic");
+        assert_eq!(merged.cas_successes, per_shard.iter().map(|s| s.cas_successes).sum::<u64>());
+    }
+
+    #[test]
+    fn single_shard_behaves_like_inner() {
+        let sharded = Sharded::new(HashRouter::new(1), |_| LfBst::new());
+        let plain = LfBst::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let k: u64 = rng.gen_range(0..200);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(sharded.insert(k), plain.insert(k)),
+                1 => assert_eq!(sharded.remove(&k), plain.remove(&k)),
+                _ => assert_eq!(sharded.contains(&k), plain.contains(&k)),
+            }
+        }
+        assert_eq!(sharded.len(), plain.len());
+    }
+
+    #[test]
+    fn names_encode_configuration() {
+        let a = Sharded::new(HashRouter::new(4), |_| LfBst::<u64>::new());
+        let b = Sharded::new(RangeRouter::covering(16, 100), |_| LfBst::new());
+        assert_eq!(a.name(), "lfbstx4-hash");
+        assert_eq!(b.name(), "lfbstx16-range");
+        // Interning: the same configuration yields the same static pointer.
+        let c = Sharded::new(HashRouter::new(4), |_| LfBst::<u64>::new());
+        assert!(std::ptr::eq(a.name(), c.name()));
+    }
+
+    #[test]
+    fn concurrent_mixed_load_accounting() {
+        // Per-key accounting across threads, the same invariant the workspace
+        // conformance battery checks, applied to the sharded facade.
+        let set: Arc<Sharded<LfBst<u64>, RangeRouter>> =
+            Arc::new(Sharded::new(RangeRouter::covering(8, 256), |_| LfBst::new()));
+        let balance = Arc::new((0..256u64).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                let balance = Arc::clone(&balance);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xBEEF ^ t);
+                    for _ in 0..15_000 {
+                        let k = rng.gen_range(0..256u64);
+                        match rng.gen_range(0..10) {
+                            0..=3 => {
+                                if set.insert(k) {
+                                    balance[k as usize].fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            4..=7 => {
+                                if set.remove(&k) {
+                                    balance[k as usize].fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            _ => {
+                                set.contains(&k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut expected = 0usize;
+        for k in 0..256u64 {
+            let b = balance[k as usize].load(Ordering::Relaxed);
+            assert!(b == 0 || b == 1, "impossible balance {b} for key {k}");
+            assert_eq!(set.contains(&k), b == 1, "membership mismatch for {k}");
+            expected += b as usize;
+        }
+        assert_eq!(set.len(), expected);
+        // Order-preserving router: the full scan is strictly ascending.
+        let scan = set.keys_in_range(..);
+        assert!(scan.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(scan.len(), expected);
+    }
+}

@@ -1,0 +1,323 @@
+//! Key-to-shard routing policies.
+//!
+//! A [`ShardRouter`] maps every key to one of `N` shard indices.  Two
+//! policies are provided:
+//!
+//! * [`HashRouter`] — spreads keys uniformly by hashing.  Best load balance
+//!   under skewed key popularity, but destroys key order across shards.
+//! * [`RangeRouter`] — partitions a `u64` key space into `N` contiguous
+//!   ranges.  Shard `i` holds a key interval strictly below shard `i + 1`'s,
+//!   so a cross-shard ordered scan is a concatenation of per-shard scans
+//!   (the router implements [`OrderedRouter`]).
+
+use std::hash::{Hash, Hasher};
+
+/// Maps keys to shard indices.
+///
+/// Implementations must be pure: the same key always routes to the same shard
+/// index, and every returned index is `< shard_count()`.
+pub trait ShardRouter<K>: Send + Sync {
+    /// The number of shards this router targets.
+    fn shard_count(&self) -> usize;
+
+    /// The shard index for `key`, in `0..shard_count()`.
+    fn route(&self, key: &K) -> usize;
+
+    /// A short static label used in benchmark row names (`"hash"`, `"range"`).
+    fn policy_name(&self) -> &'static str;
+}
+
+/// Marker for routers whose mapping is **monotone** in the key order:
+/// `a <= b` implies `route(a) <= route(b)`.
+///
+/// Monotonicity is what makes cross-shard ordered scans possible: all keys in
+/// `[lo, hi]` live in the contiguous shard interval `[route(lo), route(hi)]`,
+/// and concatenating the per-shard ascending scans in shard order yields one
+/// globally ascending scan.
+pub trait OrderedRouter<K>: ShardRouter<K> {}
+
+/// A fast, fixed-key multiply-xor hasher (FxHash-style).
+///
+/// Routing runs on every operation, so the standard `DefaultHasher` (SipHash)
+/// would tax the hot path; this hasher is two multiplies per word and is more
+/// than uniform enough for shard selection.
+#[derive(Default)]
+struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so that low-entropy keys (sequential integers)
+        // spread over the full 64-bit range before shard reduction.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Routes by hashing the key: uniform spread, order-destroying.
+///
+/// # Examples
+///
+/// ```
+/// use shard::{HashRouter, ShardRouter};
+///
+/// let r = HashRouter::new(16);
+/// assert_eq!(ShardRouter::<u64>::shard_count(&r), 16);
+/// assert!(r.route(&42u64) < 16);
+/// assert_eq!(r.route(&42u64), r.route(&42u64));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct HashRouter {
+    shards: usize,
+}
+
+impl HashRouter {
+    /// Creates a router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        HashRouter { shards }
+    }
+}
+
+impl<K: Hash> ShardRouter<K> for HashRouter {
+    #[inline]
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    fn route(&self, key: &K) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // Multiply-shift reduction: unbiased for power-of-two shard counts and
+        // near-unbiased otherwise, without a divide.
+        ((h.finish() as u128 * self.shards as u128) >> 64) as usize
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Routes `u64` keys by contiguous range: order-preserving.
+///
+/// The key space `[0, span)` is divided into `shards` equal-width contiguous
+/// strips; keys at or above `span` (if any) land in the last shard, keeping
+/// the mapping total and monotone.
+///
+/// # Examples
+///
+/// ```
+/// use shard::{OrderedRouter, RangeRouter, ShardRouter};
+///
+/// // Partition the keys 0..1000 over 4 shards of width 250.
+/// let r = RangeRouter::covering(4, 1000);
+/// assert_eq!(r.route(&0u64), 0);
+/// assert_eq!(r.route(&249u64), 0);
+/// assert_eq!(r.route(&250u64), 1);
+/// assert_eq!(r.route(&999u64), 3);
+/// // Monotone: ordered scans can concatenate shard scans.
+/// fn assert_ordered<R: OrderedRouter<u64>>(_r: &R) {}
+/// assert_ordered(&r);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RangeRouter {
+    shards: usize,
+    /// Width of each shard's key strip.
+    stride: u64,
+}
+
+impl RangeRouter {
+    /// Creates a router partitioning the **full** `u64` key space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        Self::covering(shards, u64::MAX)
+    }
+
+    /// Creates a router partitioning `[0, span)` into `shards` equal strips.
+    ///
+    /// Use this when the workload's key range is known (as in the benchmark
+    /// harness): partitioning only the populated span keeps all shards loaded
+    /// instead of leaving high shards empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `span == 0`.
+    pub fn covering(shards: usize, span: u64) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(span > 0, "key span must be non-empty");
+        let stride = (span / shards as u64).max(1);
+        RangeRouter { shards, stride }
+    }
+
+    /// The width of each shard's key strip.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
+impl ShardRouter<u64> for RangeRouter {
+    #[inline]
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    fn route(&self, key: &u64) -> usize {
+        ((key / self.stride) as usize).min(self.shards - 1)
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "range"
+    }
+}
+
+impl OrderedRouter<u64> for RangeRouter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_router_is_total_and_stable() {
+        let r = HashRouter::new(7);
+        for k in 0u64..10_000 {
+            let s = r.route(&k);
+            assert!(s < 7);
+            assert_eq!(s, r.route(&k), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn hash_router_spreads_sequential_keys() {
+        // Sequential integer keys (the workload generator's key space) must
+        // not clump: every shard should receive within 2x of its fair share.
+        let shards = 16;
+        let r = HashRouter::new(shards);
+        let n = 64_000u64;
+        let mut counts = vec![0u64; shards];
+        for k in 0..n {
+            counts[ShardRouter::<u64>::route(&r, &k)] += 1;
+        }
+        let fair = n / shards as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > fair / 2 && c < fair * 2,
+                "shard {i} got {c} of {n} keys (fair share {fair})"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_router_generic_over_key_types() {
+        let r = HashRouter::new(4);
+        assert!(r.route(&"some-key") < 4);
+        assert!(r.route(&(17u32, 3u8)) < 4);
+    }
+
+    #[test]
+    fn range_router_is_monotone() {
+        let r = RangeRouter::covering(8, 1 << 16);
+        let mut last = 0;
+        for k in (0u64..(1 << 16)).step_by(97) {
+            let s = r.route(&k);
+            assert!(s >= last, "monotonicity violated at key {k}");
+            assert!(s < 8);
+            last = s;
+        }
+        assert_eq!(r.route(&0), 0);
+        assert_eq!(r.route(&((1 << 16) - 1)), 7);
+    }
+
+    #[test]
+    fn range_router_full_space_covers_extremes() {
+        let r = RangeRouter::new(4);
+        assert_eq!(r.route(&0), 0);
+        assert_eq!(r.route(&u64::MAX), 3);
+    }
+
+    #[test]
+    fn range_router_out_of_span_keys_land_in_last_shard() {
+        let r = RangeRouter::covering(4, 100);
+        assert_eq!(r.route(&1_000_000), 3);
+    }
+
+    #[test]
+    fn range_router_balances_uniform_span() {
+        let shards = 4;
+        let r = RangeRouter::covering(shards, 4_000);
+        let mut counts = vec![0u64; shards];
+        for k in 0..4_000u64 {
+            counts[r.route(&k)] += 1;
+        }
+        assert_eq!(counts, vec![1_000; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_rejected() {
+        let _ = HashRouter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_rejected_for_range() {
+        let _ = RangeRouter::covering(0, 10);
+    }
+
+    #[test]
+    fn single_shard_routers_are_trivial() {
+        let h = HashRouter::new(1);
+        let r = RangeRouter::covering(1, 1 << 20);
+        for k in [0u64, 17, u64::MAX] {
+            assert_eq!(ShardRouter::<u64>::route(&h, &k), 0);
+            assert_eq!(r.route(&k), 0);
+        }
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(ShardRouter::<u64>::policy_name(&HashRouter::new(2)), "hash");
+        assert_eq!(RangeRouter::new(2).policy_name(), "range");
+    }
+}

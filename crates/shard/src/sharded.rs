@@ -1,0 +1,254 @@
+//! The [`Sharded`] wrapper: one logical set backed by many inner sets.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::Mutex;
+
+use cset::{ConcurrentSet, OrderedSet, StatsSnapshot};
+
+use crate::router::{OrderedRouter, ShardRouter};
+
+/// Interns a shard configuration label so [`ConcurrentSet::name`] can return
+/// `&'static str`.  One short string leaks per **distinct** configuration
+/// (inner name × shard count × policy), which is bounded and tiny.
+///
+/// Exposed so harnesses labelling result rows use the exact same string a
+/// [`Sharded`] of that configuration reports from `name()`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(shard::config_name("lfbst", 4, "hash"), "lfbstx4-hash");
+/// ```
+pub fn config_name(inner: &'static str, shards: usize, policy: &'static str) -> &'static str {
+    static NAMES: Mutex<Option<HashMap<String, &'static str>>> = Mutex::new(None);
+    let key = format!("{inner}x{shards}-{policy}");
+    let mut guard = NAMES.lock().expect("shard name table poisoned");
+    let table = guard.get_or_insert_with(HashMap::new);
+    if let Some(&name) = table.get(&key) {
+        return name;
+    }
+    let leaked: &'static str = Box::leak(key.clone().into_boxed_str());
+    table.insert(key, leaked);
+    leaked
+}
+
+/// A key-space-partitioned concurrent set.
+///
+/// `Sharded` owns a boxed slice of inner sets and a [`ShardRouter`]; every
+/// operation is forwarded to the shard the router selects for its key.  Since
+/// each key always lands on the same shard, per-key linearizability of the
+/// inner sets lifts directly to the whole: `Sharded` is a linearizable Set
+/// whenever its inner sets are.
+///
+/// What sharding buys:
+///
+/// * **Contention isolation** — the upper levels of a single tree are a shared
+///   hot path touched by every operation; with `N` shards an operation only
+///   contends with the `1/N` of traffic routed to its shard.
+/// * **Smaller structures** — each shard holds `1/N` of the keys, shortening
+///   search paths (`log(n/N)` vs `log n`).
+///
+/// Cross-shard aggregate queries (`len`, [`stats`](Sharded::stats)) sum
+/// shard-local values; see [`StatsSnapshot::merge`] for the exact/monotone
+/// contract of such sums.  With an order-preserving router
+/// ([`OrderedRouter`], e.g. [`RangeRouter`](crate::RangeRouter)), ordered
+/// range scans remain available and are served by concatenating per-shard
+/// scans in shard order — see [`Sharded::keys_in_range`].
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentSet;
+/// use shard::{HashRouter, Sharded};
+/// use std::collections::BTreeSet;
+/// use std::sync::Mutex;
+///
+/// // Any ConcurrentSet works as the inner set.
+/// #[derive(Default)]
+/// struct MutexSet(Mutex<BTreeSet<u64>>);
+/// impl ConcurrentSet<u64> for MutexSet {
+///     fn insert(&self, k: u64) -> bool { self.0.lock().unwrap().insert(k) }
+///     fn remove(&self, k: &u64) -> bool { self.0.lock().unwrap().remove(k) }
+///     fn contains(&self, k: &u64) -> bool { self.0.lock().unwrap().contains(k) }
+///     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+///     fn name(&self) -> &'static str { "mutex-btreeset" }
+/// }
+///
+/// let set = Sharded::new(HashRouter::new(4), |_| MutexSet::default());
+/// assert!(set.insert(7));
+/// assert!(set.contains(&7));
+/// assert_eq!(set.len(), 1);
+/// ```
+pub struct Sharded<S, R> {
+    router: R,
+    shards: Box<[S]>,
+    name: &'static str,
+}
+
+impl<S, R> Sharded<S, R> {
+    /// Builds one inner set per shard with `make(shard_index)`.
+    ///
+    /// The router decides the shard count; `make` lets callers configure each
+    /// inner set (or build heterogeneous ones for testing).
+    pub fn new<K>(router: R, mut make: impl FnMut(usize) -> S) -> Self
+    where
+        S: ConcurrentSet<K>,
+        R: ShardRouter<K>,
+    {
+        let shards: Box<[S]> = (0..router.shard_count()).map(&mut make).collect();
+        assert!(!shards.is_empty(), "router must declare at least one shard");
+        let name = config_name(shards[0].name(), shards.len(), router.policy_name());
+        Sharded { router, shards, name }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to shard `i` (diagnostics and tests).
+    pub fn shard(&self, i: usize) -> &S {
+        &self.shards[i]
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &R {
+        &self.router
+    }
+
+    /// Per-shard quiescent sizes, in shard order.
+    ///
+    /// Useful for observing load balance; the sum is [`len`](ConcurrentSet::len).
+    pub fn len_per_shard<K>(&self) -> Vec<usize>
+    where
+        S: ConcurrentSet<K>,
+        R: ShardRouter<K>,
+    {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Merged operation statistics across all shards.
+    ///
+    /// Shard snapshots are taken one after another and summed; the result is
+    /// exact at quiescence and component-wise monotone under concurrency
+    /// (see [`StatsSnapshot::merge`]).
+    pub fn stats<K>(&self) -> StatsSnapshot
+    where
+        S: ConcurrentSet<K>,
+        R: ShardRouter<K>,
+    {
+        self.shards.iter().map(|s| s.stats()).sum()
+    }
+}
+
+impl<K, S, R> ConcurrentSet<K> for Sharded<S, R>
+where
+    S: ConcurrentSet<K>,
+    R: ShardRouter<K>,
+{
+    #[inline]
+    fn insert(&self, key: K) -> bool {
+        let shard = self.router.route(&key);
+        self.shards[shard].insert(key)
+    }
+
+    #[inline]
+    fn remove(&self, key: &K) -> bool {
+        self.shards[self.router.route(key)].remove(key)
+    }
+
+    #[inline]
+    fn contains(&self, key: &K) -> bool {
+        self.shards[self.router.route(key)].contains(key)
+    }
+
+    /// Sum of the per-shard quiescent counts.
+    ///
+    /// Each shard's `len` is exact at quiescence, so the sum is too; while
+    /// mutations are in flight the sum is a monotone-per-shard approximation
+    /// with the same caveat as any single shard's `len`.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        Sharded::stats(self)
+    }
+}
+
+impl<K, S, R> OrderedSet<K> for Sharded<S, R>
+where
+    S: OrderedSet<K>,
+    R: OrderedRouter<K>,
+{
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        // A monotone router puts every key of [lo, hi] into the contiguous
+        // shard interval [route(lo), route(hi)]; each shard scan is ascending
+        // and shard i's keys all precede shard i+1's, so plain concatenation
+        // yields one ascending scan.
+        let first = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(k) | Bound::Excluded(k) => self.router.route(k),
+        };
+        let last = match hi {
+            Bound::Unbounded => self.shards.len() - 1,
+            Bound::Included(k) | Bound::Excluded(k) => self.router.route(k),
+        };
+        if first > last {
+            // Inverted bounds: empty, matching every inner implementation.
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for shard in &self.shards[first..=last] {
+            out.extend(shard.keys_between(lo, hi));
+        }
+        out
+    }
+}
+
+impl<S, R> Sharded<S, R> {
+    /// Collects the keys in `range` across all shards, in ascending order.
+    ///
+    /// Only available with an order-preserving router.  Like the inner sets'
+    /// scans this is **weakly consistent** under concurrent mutation and exact
+    /// in a quiescent state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// use shard::{RangeRouter, Sharded};
+    /// use cset::ConcurrentSet;
+    ///
+    /// let set = Sharded::new(RangeRouter::covering(4, 100), |_| LfBst::new());
+    /// for k in [5u64, 30, 55, 80] {
+    ///     set.insert(k);
+    /// }
+    /// assert_eq!(set.keys_in_range(10..=80), vec![30, 55, 80]);
+    /// assert_eq!(set.keys_in_range(..), vec![5, 30, 55, 80]);
+    /// ```
+    pub fn keys_in_range<K, Rg>(&self, range: Rg) -> Vec<K>
+    where
+        S: OrderedSet<K>,
+        R: OrderedRouter<K>,
+        Rg: RangeBounds<K>,
+    {
+        self.keys_between(range.start_bound(), range.end_bound())
+    }
+}
+
+impl<S, R: fmt::Debug> fmt::Debug for Sharded<S, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sharded")
+            .field("name", &self.name)
+            .field("shards", &self.shards.len())
+            .field("router", &self.router)
+            .finish_non_exhaustive()
+    }
+}

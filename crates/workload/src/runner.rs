@@ -166,10 +166,8 @@ where
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let per_thread: Vec<ThreadStats> = handles
-        .into_iter()
-        .map(|h| h.join().expect("workload thread panicked"))
-        .collect();
+    let per_thread: Vec<ThreadStats> =
+        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect();
     let elapsed = start.elapsed();
 
     Measurement {

@@ -76,22 +76,14 @@ fn run_policy(label: &str, config: Config, read_pct: u8) {
 fn main() {
     println!("== adaptive helping (paper §3.1): {THREADS} threads, key range {KEY_RANGE} ==");
     println!("write-heavy mix (0% reads):");
-    run_policy(
-        "read-optimized helping",
-        Config::new().help_policy(HelpPolicy::ReadOptimized),
-        0,
-    );
+    run_policy("read-optimized helping", Config::new().help_policy(HelpPolicy::ReadOptimized), 0);
     run_policy(
         "write-optimized (eager) helping",
         Config::new().help_policy(HelpPolicy::WriteOptimized),
         0,
     );
     println!("read-heavy mix (95% reads):");
-    run_policy(
-        "read-optimized helping",
-        Config::new().help_policy(HelpPolicy::ReadOptimized),
-        95,
-    );
+    run_policy("read-optimized helping", Config::new().help_policy(HelpPolicy::ReadOptimized), 95);
     run_policy(
         "write-optimized (eager) helping",
         Config::new().help_policy(HelpPolicy::WriteOptimized),

@@ -97,7 +97,12 @@ impl SetConformance {
         }
         assert_eq!(set.len(), model.len());
         for k in 0..self.key_range {
-            assert_eq!(set.contains(&k), model.contains(&k), "{}: final membership of {k}", set.name());
+            assert_eq!(
+                set.contains(&k),
+                model.contains(&k),
+                "{}: final membership of {k}",
+                set.name()
+            );
         }
     }
 
@@ -108,9 +113,7 @@ impl SetConformance {
     where
         S: ConcurrentSet<u64> + 'static,
     {
-        let balance = Arc::new(
-            (0..self.key_range).map(|_| AtomicI64::new(0)).collect::<Vec<_>>(),
-        );
+        let balance = Arc::new((0..self.key_range).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
         let handles: Vec<_> = (0..self.threads)
             .map(|t| {
                 let set = Arc::clone(&set);
@@ -147,17 +150,8 @@ impl SetConformance {
         let mut expected = 0usize;
         for k in 0..self.key_range {
             let b = balance[k as usize].load(Ordering::Relaxed);
-            assert!(
-                b == 0 || b == 1,
-                "{}: impossible balance {b} for key {k}",
-                set.name()
-            );
-            assert_eq!(
-                set.contains(&k),
-                b == 1,
-                "{}: membership mismatch for key {k}",
-                set.name()
-            );
+            assert!(b == 0 || b == 1, "{}: impossible balance {b} for key {k}", set.name());
+            assert_eq!(set.contains(&k), b == 1, "{}: membership mismatch for key {k}", set.name());
             expected += b as usize;
         }
         assert_eq!(set.len(), expected, "{}: len disagrees with accounting", set.name());

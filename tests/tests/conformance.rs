@@ -9,6 +9,7 @@ use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
 use lflist::LockFreeList;
 use locked_bst::{CoarseLockBst, RwLockBst};
 use natarajan_bst::NatarajanBst;
+use shard::{HashRouter, RangeRouter, Sharded};
 
 fn battery() -> SetConformance {
     SetConformance { threads: 4, ops_per_thread: 15_000, key_range: 256, seed: 0xFEED }
@@ -28,9 +29,8 @@ fn lfbst_write_optimized_conformance() {
 
 #[test]
 fn lfbst_root_restart_conformance() {
-    battery().check_all(|| {
-        LfBst::<u64>::with_config(Config::new().restart_policy(RestartPolicy::Root))
-    });
+    battery()
+        .check_all(|| LfBst::<u64>::with_config(Config::new().restart_policy(RestartPolicy::Root)));
 }
 
 #[test]
@@ -53,6 +53,24 @@ fn harris_list_conformance() {
 #[test]
 fn coarse_lock_conformance() {
     battery().check_all(CoarseLockBst::<u64>::new);
+}
+
+#[test]
+fn sharded_hash_lfbst_conformance() {
+    battery().check_all(|| Sharded::new(HashRouter::new(8), |_| LfBst::<u64>::new()));
+}
+
+#[test]
+fn sharded_range_lfbst_conformance() {
+    let c = battery();
+    let key_range = c.key_range;
+    c.check_all(move || Sharded::new(RangeRouter::covering(8, key_range), |_| LfBst::<u64>::new()));
+}
+
+#[test]
+fn sharded_layer_is_generic_over_inner_sets() {
+    // The same wrapper must conform over a lock-based inner set.
+    battery().check_all(|| Sharded::new(HashRouter::new(4), |_| CoarseLockBst::<u64>::new()));
 }
 
 #[test]

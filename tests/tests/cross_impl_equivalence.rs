@@ -11,6 +11,7 @@ use locked_bst::{CoarseLockBst, RwLockBst};
 use natarajan_bst::NatarajanBst;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use shard::{HashRouter, RangeRouter, Sharded};
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -51,8 +52,18 @@ fn all_implementations_agree_on_sequential_histories() {
         let list = LockFreeList::new();
         let coarse = CoarseLockBst::new();
         let rwlock = RwLockBst::new();
-        let sets: Vec<&dyn ConcurrentSet<u64>> =
-            vec![&lfbst, &ellen, &natarajan, &list, &coarse, &rwlock];
+        let sharded_hash = Sharded::new(HashRouter::new(8), |_| LfBst::new());
+        let sharded_range = Sharded::new(RangeRouter::covering(8, 300), |_| LfBst::new());
+        let sets: Vec<&dyn ConcurrentSet<u64>> = vec![
+            &lfbst,
+            &ellen,
+            &natarajan,
+            &list,
+            &coarse,
+            &rwlock,
+            &sharded_hash,
+            &sharded_range,
+        ];
         for (i, &op) in ops.iter().enumerate() {
             let expected = apply(sets[0], op);
             for set in &sets[1..] {
@@ -84,6 +95,7 @@ fn snapshots_agree_after_identical_updates() {
     let ellen = EllenBst::new();
     let natarajan = NatarajanBst::new();
     let list = LockFreeList::new();
+    let sharded_range = Sharded::new(RangeRouter::covering(8, 200), |_| LfBst::new());
     for &op in &ops {
         if let Op::Contains(_) = op {
             continue;
@@ -92,10 +104,13 @@ fn snapshots_agree_after_identical_updates() {
         apply(&ellen, op);
         apply(&natarajan, op);
         apply(&list, op);
+        apply(&sharded_range, op);
     }
     let reference = lfbst.iter_keys();
     assert_eq!(reference, ellen.iter_keys());
     assert_eq!(reference, natarajan.iter_keys());
     assert_eq!(reference, list.iter_keys());
+    // The order-preserving sharded scan must reproduce the global order.
+    assert_eq!(reference, sharded_range.keys_in_range(..));
     lfbst::validate::validate(&lfbst).expect("lfbst structure must validate");
 }
