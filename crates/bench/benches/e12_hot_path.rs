@@ -1,0 +1,121 @@
+//! E12 — hot-path cost over `lfbst`: per-operation epoch pin vs the reusable
+//! guard API, on contains-only and read-dominated mixes (key range 2^16).
+//!
+//! The cross-implementation sweeps (E1–E3) hide fixed per-operation costs
+//! behind scheduling noise; this target isolates them on a prefilled tree:
+//!
+//! * `contains/pin-per-op`   — the plain trait path (`LfBst::contains`).
+//! * `contains/pinned-guard` — the same lookups through `LfBst::pin()`.
+//! * `mixed/pin-per-op` and `mixed/pinned-guard` — 90/9/1 mixes either way.
+//!
+//! The guard variants refresh their pin every few thousand operations so the
+//! measurement does not trade throughput for unbounded reclamation delay.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{bench_threads, prefill, timed_mixed_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workload::{KeyDistribution, KeySampler, OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+/// Operations between guard refreshes in the pinned-guard variants.
+const REFRESH_EVERY: u64 = 4096;
+
+fn read_mix() -> OperationMix {
+    OperationMix::new(90, 9, 1)
+}
+
+/// Runs `total_ops` operations of `mix` from `threads` threads, each thread
+/// holding one periodically refreshed [`lfbst::Pinned`] handle.
+fn timed_pinned_ops(
+    set: &Arc<LfBst<u64>>,
+    threads: usize,
+    total_ops: u64,
+    mix: OperationMix,
+    seed: u64,
+) -> Duration {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Barrier;
+    let per_thread = total_ops / threads as u64;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    // Never set, but loaded per operation exactly like `timed_mixed_ops`'s
+    // stop flag: the two variants must differ only in pinning, not in
+    // per-operation harness overhead.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = KeySampler::new(KeyDistribution::Uniform, KEY_RANGE);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(set);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            let sampler = sampler.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B9));
+                barrier.wait();
+                let mut pinned = set.pin();
+                for i in 0..per_thread {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if i % REFRESH_EVERY == REFRESH_EVERY - 1 {
+                        pinned.refresh();
+                    }
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        std::hint::black_box(pinned.contains(&key));
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        std::hint::black_box(pinned.insert(key));
+                    } else {
+                        std::hint::black_box(pinned.remove(&key));
+                    }
+                }
+                drop(pinned);
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    elapsed
+}
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    for (group_name, mix) in [
+        ("e12_hot_path_contains", OperationMix::new(100, 0, 0)),
+        ("e12_hot_path_mixed", read_mix()),
+    ] {
+        let set = Arc::new(LfBst::new());
+        prefill(&*set, &WorkloadSpec::new(KEY_RANGE, mix));
+        let mut group = c.benchmark_group(group_name);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_secs(1))
+            .measurement_time(Duration::from_secs(1));
+        for t in [1usize, threads] {
+            group.bench_with_input(BenchmarkId::new("pin-per-op", t), &t, |b, &t| {
+                b.iter_custom(|iters| timed_mixed_ops(&set, t, iters.max(1), mix, KEY_RANGE, 7));
+            });
+            group.bench_with_input(BenchmarkId::new("pinned-guard", t), &t, |b, &t| {
+                b.iter_custom(|iters| timed_pinned_ops(&set, t, iters.max(1), mix, 7));
+            });
+            if threads == 1 {
+                break;
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(e12, benches);
+criterion_main!(e12);

@@ -70,6 +70,14 @@ impl<K> KeyBound<K> {
     /// Compares this bound against a real key.
     ///
     /// Sentinels compare as strictly smaller / larger than every real key.
+    ///
+    /// This is the general (discriminant-matching) comparison.  Structures
+    /// that can identify their sentinel-carrying nodes some cheaper way — e.g.
+    /// `lfbst`, whose only `±∞` nodes are the two permanent root dummies,
+    /// recognisable by pointer — may bypass it on their hot paths and compare
+    /// `K` directly; this method remains the semantic reference
+    /// (`NegInf < k < PosInf` for every real `k`).
+    #[inline]
     pub fn cmp_key(&self, key: &K) -> Ordering
     where
         K: Ord,

@@ -7,4 +7,4 @@ pub mod traits;
 
 pub use key::KeyBound;
 pub use stats::{OpKind, OpStats, StatsSnapshot};
-pub use traits::{ConcurrentSet, OrderedSet};
+pub use traits::{ConcurrentSet, OrderedSet, PinnedOps};

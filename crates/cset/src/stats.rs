@@ -38,6 +38,11 @@ impl OpKind {
 ///
 /// All methods use relaxed atomics; the struct is cheap enough to embed in a
 /// data structure unconditionally and to share across threads.
+///
+/// These counters are **write-only diagnostics**: no implementation in this
+/// workspace reads them back to make a protocol decision, so their relaxed
+/// ordering (and their complete elision in stats-off builds of `lfbst`) can
+/// never anchor a correctness argument.
 #[derive(Debug, Default)]
 pub struct OpStats {
     /// CAS instructions that failed because of a concurrent modification.
@@ -84,6 +89,10 @@ impl OpStats {
     }
 
     /// Records `n` traversed links.
+    ///
+    /// `n == 0` (a search that stops at the starting node, common in vicinity
+    /// restarts) skips the `fetch_add` entirely — no shared-cache-line traffic
+    /// on the empty case.
     #[inline]
     pub fn record_links(&self, n: u64) {
         if n > 0 {

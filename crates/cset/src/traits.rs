@@ -73,6 +73,42 @@ pub trait ConcurrentSet<K>: Send + Sync {
     }
 }
 
+/// A [`ConcurrentSet`] whose operations can run under a caller-held,
+/// reusable protection guard (e.g. an epoch-reclamation pin).
+///
+/// Lock-free structures built on safe memory reclamation pay a fixed
+/// per-operation cost to announce the thread to the reclamation scheme.  This
+/// trait lets callers hoist that cost: acquire one [`OpGuard`](Self::OpGuard),
+/// run many operations under it, drop it when done.
+///
+/// # Contract
+///
+/// * A guard obtained from **any** instance must be accepted by **every**
+///   instance of the same implementation (protection is domain-wide, e.g. a
+///   process-global epoch).  Composed wrappers (such as a sharding layer) rely
+///   on this to obtain one guard and fan operations out over many inner sets.
+/// * Operations under a guard are linearizable exactly like their guard-free
+///   counterparts; the guard only amortizes protection, it is not a
+///   transaction.
+/// * Holding a guard may delay memory reclamation; callers batching large
+///   amounts of work should periodically drop and re-acquire it.
+pub trait PinnedOps<K>: ConcurrentSet<K> {
+    /// The reusable protection guard.
+    type OpGuard;
+
+    /// Acquires a guard under which any number of `*_with` operations may run.
+    fn op_guard(&self) -> Self::OpGuard;
+
+    /// [`ConcurrentSet::insert`] under a caller-held guard.
+    fn insert_with(&self, key: K, guard: &Self::OpGuard) -> bool;
+
+    /// [`ConcurrentSet::remove`] under a caller-held guard.
+    fn remove_with(&self, key: &K, guard: &Self::OpGuard) -> bool;
+
+    /// [`ConcurrentSet::contains`] under a caller-held guard.
+    fn contains_with(&self, key: &K, guard: &Self::OpGuard) -> bool;
+}
+
 /// A [`ConcurrentSet`] that additionally supports ordered range scans.
 ///
 /// The scan contract matches the snapshots of the underlying structures:

@@ -51,7 +51,13 @@ use std::sync::{Arc, Mutex};
 const NOT_PINNED: usize = usize::MAX;
 
 /// Pins between collection attempts (per thread).
-const PINS_PER_COLLECT: u64 = 64;
+///
+/// Each attempt takes the registry lock (`try_lock`) and scans every slot, so
+/// the cadence is a direct tax on pin-heavy (read-mostly) workloads.  256
+/// keeps reclamation latency bounded by a few hundred pins while making the
+/// common pin a pure store + fence; the garbage high-water mark below still
+/// triggers eager collection under write bursts.
+const PINS_PER_COLLECT: u64 = 256;
 
 /// Retired-node count that triggers an eager collection attempt.
 const GARBAGE_HIGH_WATER: usize = 1024;
@@ -78,8 +84,18 @@ struct Deferred {
 // Deferred items are only created from owned boxes and only consumed once.
 unsafe impl Send for Deferred {}
 
-/// Retired nodes, stamped with the global epoch at retirement.
-static GARBAGE: Mutex<Vec<(usize, Deferred)>> = Mutex::new(Vec::new());
+/// Retired nodes, stamped with the global epoch at retirement, plus the
+/// smallest stamp present: a collection attempt first checks the cached
+/// minimum and returns in O(1) when no entry can be freed yet, so a burst of
+/// retirements during a stalled epoch (pinned readers) does not degenerate
+/// into an O(n) scan per retirement.
+struct GarbageBag {
+    items: Vec<(usize, Deferred)>,
+    min_stamp: usize,
+}
+
+static GARBAGE: Mutex<GarbageBag> =
+    Mutex::new(GarbageBag { items: Vec::new(), min_stamp: usize::MAX });
 
 unsafe fn drop_box<T>(ptr: *mut u8) {
     drop(Box::from_raw(ptr.cast::<T>()));
@@ -107,11 +123,18 @@ impl Local {
             // it is still current: if an advancement raced with the store, the
             // stale claim could otherwise let a second advancement free nodes
             // this thread is about to read.
+            //
+            // The store and the loads are relaxed; the SeqCst fence between
+            // them is what matters.  It places the slot publication before the
+            // re-check load in the fence total order, and the collector's
+            // SeqCst slot scans order against the same fence — so a collector
+            // that advances past this pin must have scanned the slot after the
+            // publication (crossbeam's scheme).
             loop {
-                let e = GLOBAL_EPOCH.load(Ordering::SeqCst);
-                self.slot.state.store(e, Ordering::SeqCst);
+                let e = GLOBAL_EPOCH.load(Ordering::Relaxed);
+                self.slot.state.store(e, Ordering::Relaxed);
                 fence(Ordering::SeqCst);
-                if GLOBAL_EPOCH.load(Ordering::SeqCst) == e {
+                if GLOBAL_EPOCH.load(Ordering::Relaxed) == e {
                     break;
                 }
             }
@@ -129,7 +152,9 @@ impl Local {
         debug_assert!(d > 0, "unpin without matching pin");
         self.pin_depth.set(d - 1);
         if d == 1 {
-            self.slot.state.store(NOT_PINNED, Ordering::SeqCst);
+            // Release: everything this thread read/wrote while pinned happens
+            // before a collector that observes the slot as unpinned.
+            self.slot.state.store(NOT_PINNED, Ordering::Release);
         }
     }
 }
@@ -166,16 +191,23 @@ fn try_collect() {
         let _ = GLOBAL_EPOCH.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
     }
     let now = GLOBAL_EPOCH.load(Ordering::SeqCst);
-    if let Ok(mut garbage) = GARBAGE.try_lock() {
+    if let Ok(mut bag) = GARBAGE.try_lock() {
+        if bag.min_stamp.saturating_add(2) > now {
+            // Nothing is old enough yet: skip the scan entirely.
+            return;
+        }
+        let mut new_min = usize::MAX;
         let mut i = 0;
-        while i < garbage.len() {
-            if garbage[i].0 + 2 <= now {
-                let (_, d) = garbage.swap_remove(i);
+        while i < bag.items.len() {
+            if bag.items[i].0 + 2 <= now {
+                let (_, d) = bag.items.swap_remove(i);
                 unsafe { (d.drop_fn)(d.ptr) };
             } else {
+                new_min = new_min.min(bag.items[i].0);
                 i += 1;
             }
         }
+        bag.min_stamp = new_min;
     }
 }
 
@@ -226,9 +258,10 @@ impl Guard {
         let deferred = Deferred { ptr: raw.cast(), drop_fn: drop_box::<T> };
         let stamp = GLOBAL_EPOCH.load(Ordering::SeqCst);
         let len = {
-            let mut garbage = GARBAGE.lock().expect("ebr garbage poisoned");
-            garbage.push((stamp, deferred));
-            garbage.len()
+            let mut bag = GARBAGE.lock().expect("ebr garbage poisoned");
+            bag.items.push((stamp, deferred));
+            bag.min_stamp = bag.min_stamp.min(stamp);
+            bag.items.len()
         };
         if len >= GARBAGE_HIGH_WATER {
             try_collect();
@@ -238,6 +271,23 @@ impl Guard {
     /// Forces a collection attempt (best effort, non-blocking).
     pub fn flush(&self) {
         try_collect();
+    }
+
+    /// Momentarily unpins and re-pins the guard's thread at the current epoch
+    /// so that epoch advancement (and therefore reclamation) can make progress
+    /// while a long-lived guard is held.
+    ///
+    /// Any `Shared` pointers loaded before the call must not be dereferenced
+    /// afterwards: the unpin window allows their nodes to be reclaimed.  On a
+    /// nested pin (another guard of the same thread is alive) this is a no-op,
+    /// matching `crossbeam-epoch`.
+    pub fn repin(&mut self) {
+        if self.protected {
+            LOCAL.with(|local| {
+                local.unpin();
+                local.pin();
+            });
+        }
     }
 }
 

@@ -3,19 +3,25 @@
 //! Reproduces the planned evaluation of *Efficient Lock-free Binary Search
 //! Trees* (the paper defers experiments to future work; the suite below is the
 //! standard concurrent-set methodology its comparators use, see `DESIGN.md`
-//! and `EXPERIMENTS.md` for the experiment index E1–E11).
+//! and `EXPERIMENTS.md` for the experiment index E1–E12).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e11|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]
+//! experiments [e1|e2|...|e12|all|e1,e12,...] [--quick] [--duration-ms N]
+//!             [--max-threads N] [--csv] [--json <path>]
 //! ```
 //!
 //! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
 //! the swept parameter and whose columns are the competing set implementations,
 //! reporting throughput in million operations per second unless stated
-//! otherwise.
+//! otherwise.  With `--json <path>` the throughput experiments additionally
+//! write their machine-readable records (implementation, threads, key range,
+//! mix, ops/s) to a JSON file — one document per run, overwriting the path —
+//! so successive runs can be committed as trajectory points (`BENCH_*.json`)
+//! and compared across PRs.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -125,14 +131,69 @@ fn run_kind(kind: SetKind, spec: &WorkloadSpec, threads: usize, duration: Durati
     }
 }
 
+/// One machine-readable throughput data point, emitted by `--json`.
+#[derive(Clone, Debug, PartialEq)]
+struct JsonRecord {
+    experiment: String,
+    impl_name: String,
+    threads: usize,
+    key_range: u64,
+    mix: String,
+    mops: f64,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the collected records as a self-describing JSON document.
+fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"lfbst-bench-v1\",\n");
+    out.push_str(&format!("  \"duration_ms\": {},\n", duration.as_millis()));
+    out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"mops\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            json_escape(&r.experiment),
+            json_escape(&r.impl_name),
+            r.threads,
+            r.key_range,
+            json_escape(&r.mix),
+            r.mops,
+            r.mops * 1.0e6,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Command-line options.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Options {
     experiment: String,
     duration: Duration,
     max_threads: usize,
     csv: bool,
     quick: bool,
+    json: Option<String>,
+    records: RefCell<Vec<JsonRecord>>,
 }
 
 impl Options {
@@ -142,6 +203,7 @@ impl Options {
         let mut max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let mut csv = false;
         let mut quick = false;
+        let mut json = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -156,9 +218,13 @@ impl Options {
                     i += 1;
                     max_threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(max_threads);
                 }
+                "--json" => {
+                    i += 1;
+                    json = args.get(i).cloned();
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e11|all] [--quick] [--duration-ms N] [--max-threads N] [--csv]"
+                        "usage: experiments [e1..e12|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -175,6 +241,44 @@ impl Options {
             max_threads: max_threads.max(1),
             csv,
             quick,
+            json,
+            records: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Returns `true` if `name` was selected on the command line (`all`, a
+    /// single experiment, or a comma-separated list).
+    fn selected(&self, name: &str) -> bool {
+        self.experiment == "all" || self.experiment.split(',').any(|e| e.trim() == name)
+    }
+
+    /// Collects one machine-readable data point for `--json`.
+    fn record(
+        &self,
+        experiment: &str,
+        impl_name: &str,
+        threads: usize,
+        key_range: u64,
+        mix: &str,
+        mops: f64,
+    ) {
+        self.records.borrow_mut().push(JsonRecord {
+            experiment: experiment.to_string(),
+            impl_name: impl_name.to_string(),
+            threads,
+            key_range,
+            mix: mix.to_string(),
+            mops,
+        });
+    }
+
+    /// Writes the collected records to the `--json` path, if one was given.
+    fn write_json(&self) {
+        let Some(path) = &self.json else { return };
+        let doc = json_document(&self.records.borrow(), self.duration, self.max_threads);
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("\nwrote {} JSON records to {path}", self.records.borrow().len()),
+            Err(e) => eprintln!("failed to write --json {path}: {e}"),
         }
     }
 
@@ -202,13 +306,21 @@ impl Options {
 }
 
 /// Generic "throughput vs thread count" experiment (E1, E2, E3).
-fn thread_sweep(opts: &Options, title: &str, mix: OperationMix, key_range: u64) {
+fn thread_sweep(
+    opts: &Options,
+    exp: &str,
+    title: &str,
+    mix_label: &str,
+    mix: OperationMix,
+    key_range: u64,
+) {
     let spec = WorkloadSpec::new(key_range, mix);
     let mut rows = Vec::new();
     for &threads in &opts.thread_counts() {
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
             let m = run_kind(kind, &spec, threads, opts.duration);
+            opts.record(exp, kind.label(), threads, key_range, mix_label, m.mops());
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((threads.to_string(), cells));
@@ -219,7 +331,9 @@ fn thread_sweep(opts: &Options, title: &str, mix: OperationMix, key_range: u64) 
 fn e1(opts: &Options) {
     thread_sweep(
         opts,
+        "e1",
         "E1 — throughput vs threads, read-dominated (90% contains / 9% insert / 1% remove, range 2^16)",
+        "90/9/1",
         OperationMix::new(90, 9, 1),
         1 << 16,
     );
@@ -228,7 +342,9 @@ fn e1(opts: &Options) {
 fn e2(opts: &Options) {
     thread_sweep(
         opts,
+        "e2",
         "E2 — throughput vs threads, mixed (70% contains / 20% insert / 10% remove, range 2^16)",
+        "70/20/10",
         OperationMix::new(70, 20, 10),
         1 << 16,
     );
@@ -237,7 +353,9 @@ fn e2(opts: &Options) {
 fn e3(opts: &Options) {
     thread_sweep(
         opts,
+        "e3",
         "E3 — throughput vs threads, write-heavy (50% insert / 50% remove, range 2^16)",
+        "0/50/50",
         OperationMix::new(0, 50, 50),
         1 << 16,
     );
@@ -257,6 +375,7 @@ fn e4(opts: &Options) {
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
             let m = run_kind(kind, &spec, threads, opts.duration);
+            opts.record("e4", kind.label(), threads, range, "50% updates", m.mops());
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((format!("2^{}", range.trailing_zeros()), cells));
@@ -277,6 +396,7 @@ fn e5(opts: &Options) {
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
             let m = run_kind(kind, &spec, threads, opts.duration);
+            opts.record("e5", kind.label(), threads, 1 << 16, &format!("{u}% updates"), m.mops());
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((format!("{u}%"), cells));
@@ -292,6 +412,12 @@ fn e6(opts: &Options) {
     // Restart-from-vicinity vs restart-from-root under high contention: the
     // O(H + c) vs O(c * H) claim, measured as throughput plus contention
     // diagnostics per completed operation.
+    if !lfbst::stats_compiled() {
+        println!(
+            "\n(note: lfbst built without the `stats` feature — E6's per-op \
+             counters will read zero; rebuild with `--features stats`)"
+        );
+    }
     let threads = opts.max_threads;
     let spec = WorkloadSpec::new(1 << 10, OperationMix::new(0, 50, 50));
     let mut rows = Vec::new();
@@ -550,6 +676,7 @@ fn e11(opts: &Options) {
                         SetKind::LfbstShardedHash { .. } => "hash",
                         _ => "range",
                     };
+                    opts.record("e11", kind.label(), threads, 1 << 16, mix_label, m.mops());
                     cells.push((format!("{policy}/{threads}t"), m.mops()));
                 }
             }
@@ -563,6 +690,121 @@ fn e11(opts: &Options) {
     }
 }
 
+/// E12's reusable-guard driver: like `run_workload`, but each worker holds one
+/// periodically refreshed [`lfbst::Pinned`] handle instead of pinning the
+/// epoch per operation.  Returns throughput in Mops.
+fn run_lfbst_pinned(spec: &WorkloadSpec, threads: usize, duration: Duration) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use workload::KeySampler;
+
+    let set = Arc::new(LfBst::new());
+    let sampler = KeySampler::new(spec.key_distribution(), spec.key_range());
+    let mut prefill_rng = StdRng::seed_from_u64(spec.rng_seed());
+    let target = spec.prefill_target() as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < target && attempts < target * 64 + 1024 {
+        if set.insert(sampler.sample(&mut prefill_rng)) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let mix = spec.mix();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(&set);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            let barrier = Arc::clone(&barrier);
+            let sampler = sampler.clone();
+            let seed = spec.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ops = 0u64;
+                // Mirrors `run_workload`'s hit accounting so the per-op-pin
+                // and reusable-guard rows differ only in pinning.
+                let mut hits = 0u64;
+                barrier.wait();
+                let mut pinned = set.pin();
+                while !stop.load(Ordering::Relaxed) {
+                    // One refresh per 64-op batch keeps reclamation moving
+                    // while amortizing the pin across the batch.
+                    pinned.refresh();
+                    for _ in 0..64 {
+                        let key = sampler.sample(&mut rng);
+                        let op = rng.gen_range(0..100u8);
+                        let hit = if op < mix.contains_pct() {
+                            pinned.contains(&key)
+                        } else if op < mix.contains_pct() + mix.insert_pct() {
+                            pinned.insert(key)
+                        } else {
+                            pinned.remove(&key)
+                        };
+                        hits += hit as u64;
+                        ops += 1;
+                    }
+                }
+                drop(pinned);
+                std::hint::black_box(hits);
+                total.fetch_add(ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = std::time::Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64() / 1.0e6
+}
+
+fn e12(opts: &Options) {
+    // Hot-path microbenchmark over lfbst alone: the per-operation taxes this
+    // experiment tracks (atomic ordering strength, stats branches, sentinel
+    // comparisons, epoch pinning) are invisible in the cross-implementation
+    // sweeps but dominate single-structure throughput.  Rows are workload
+    // variant × key range; columns are thread counts × pinning modes.  The
+    // 2^9 range keeps the traversal shallow so the per-operation pin is a
+    // visible fraction of the cost (the reusable guard's best case); 2^16 is
+    // the traversal-dominated canonical range of E1.
+    let mut thread_counts = vec![1usize, opts.max_threads];
+    thread_counts.dedup();
+    let mut rows = Vec::new();
+    for key_range in [1u64 << 9, 1u64 << 16] {
+        for (variant, mix_label, mix) in [
+            ("contains-only", "100/0/0", OperationMix::new(100, 0, 0)),
+            ("read-dominated", "90/9/1", OperationMix::new(90, 9, 1)),
+        ] {
+            let spec = WorkloadSpec::new(key_range, mix);
+            let mut cells = Vec::new();
+            for &threads in &thread_counts {
+                let m = run_kind(SetKind::Lfbst, &spec, threads, opts.duration);
+                let impl_name = format!("lfbst-{variant}");
+                opts.record("e12", &impl_name, threads, key_range, mix_label, m.mops());
+                cells.push((format!("{threads}t"), m.mops()));
+                let pinned_mops = run_lfbst_pinned(&spec, threads, opts.duration);
+                let pinned_name = format!("lfbst-pinned-{variant}");
+                opts.record("e12", &pinned_name, threads, key_range, mix_label, pinned_mops);
+                cells.push((format!("{threads}t guard"), pinned_mops));
+            }
+            rows.push((format!("{variant}@2^{}", key_range.trailing_zeros()), cells));
+        }
+    }
+    opts.emit(
+        "E12 — hot-path throughput over lfbst (per-op pin vs reusable guard)",
+        "workload",
+        &rows,
+    );
+}
+
 fn main() {
     let opts = Options::parse();
     println!(
@@ -571,39 +813,85 @@ fn main() {
         opts.duration,
         if opts.quick { " (quick mode)" } else { "" }
     );
-    let exp = opts.experiment.as_str();
-    let all = exp == "all";
-    if all || exp == "e1" {
-        e1(&opts);
+    type Experiment = (&'static str, fn(&Options));
+    let experiments: [Experiment; 12] = [
+        ("e1", e1),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e10", e10),
+        ("e11", e11),
+        ("e12", e12),
+    ];
+    for (name, run) in experiments {
+        if opts.selected(name) {
+            run(&opts);
+        }
     }
-    if all || exp == "e2" {
-        e2(&opts);
+    opts.write_json();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
-    if all || exp == "e3" {
-        e3(&opts);
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let records = vec![
+            JsonRecord {
+                experiment: "e1".into(),
+                impl_name: "lfbst".into(),
+                threads: 4,
+                key_range: 65536,
+                mix: "90/9/1".into(),
+                mops: 12.5,
+            },
+            JsonRecord {
+                experiment: "e12".into(),
+                impl_name: "lfbst-contains-only".into(),
+                threads: 1,
+                key_range: 65536,
+                mix: "100/0/0".into(),
+                mops: 8.0,
+            },
+        ];
+        let doc = json_document(&records, Duration::from_millis(300), 8);
+        assert!(doc.contains("\"schema\": \"lfbst-bench-v1\""));
+        assert!(doc.contains("\"duration_ms\": 300"));
+        assert!(doc.contains("\"ops_per_sec\": 12500000.0"));
+        // Exactly one comma separates the two records; the last has none.
+        assert_eq!(doc.matches("},\n").count(), 1);
+        // Balanced braces and brackets.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
-    if all || exp == "e4" {
-        e4(&opts);
-    }
-    if all || exp == "e5" {
-        e5(&opts);
-    }
-    if all || exp == "e6" {
-        e6(&opts);
-    }
-    if all || exp == "e7" {
-        e7(&opts);
-    }
-    if all || exp == "e8" {
-        e8(&opts);
-    }
-    if all || exp == "e9" {
-        e9(&opts);
-    }
-    if all || exp == "e10" {
-        e10(&opts);
-    }
-    if all || exp == "e11" {
-        e11(&opts);
+
+    #[test]
+    fn selection_accepts_lists() {
+        let opts = Options {
+            experiment: "e1,e12".to_string(),
+            duration: Duration::from_millis(1),
+            max_threads: 1,
+            csv: false,
+            quick: true,
+            json: None,
+            records: RefCell::new(Vec::new()),
+        };
+        assert!(opts.selected("e1"));
+        assert!(opts.selected("e12"));
+        assert!(!opts.selected("e2"));
     }
 }

@@ -51,7 +51,13 @@ pub enum RestartPolicy {
 ///     .record_stats(true);
 /// let set: LfBst<u64> = LfBst::with_config(config);
 /// assert!(set.insert(1));
-/// assert!(set.stats().cas_successes >= 1);
+/// // Counters only accumulate when the crate is built with the `stats`
+/// // feature; without it they stay zero at no runtime cost.
+/// if lfbst::stats_compiled() {
+///     assert!(set.stats().cas_successes >= 1);
+/// } else {
+///     assert_eq!(set.stats().cas_successes, 0);
+/// }
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Config {
@@ -83,6 +89,11 @@ impl Config {
     /// Statistics use relaxed shared counters: useful for the contention
     /// experiments, but they add measurable overhead on the fast path, so they
     /// default to `false`.
+    ///
+    /// Recording additionally requires the crate's `stats` cargo feature;
+    /// without it this flag is accepted but ignored (the stats branches are
+    /// compiled out entirely).  `lfbst::stats_compiled()` reports which build
+    /// this is.
     pub fn record_stats(mut self, record: bool) -> Self {
         self.record_stats = record;
         self

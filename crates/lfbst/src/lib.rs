@@ -83,6 +83,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod guard;
 mod link;
 mod locate;
 mod node;
@@ -91,6 +92,21 @@ mod tree;
 pub mod validate;
 
 pub use config::{Config, HelpPolicy, RestartPolicy};
+pub use guard::Pinned;
 pub use tree::LfBst;
 
-pub use cset::{ConcurrentSet, KeyBound, OpStats, StatsSnapshot};
+/// The epoch guard type accepted by the `*_with` entry points
+/// ([`LfBst::insert_with`] and friends); obtain one from [`LfBst::pin`] /
+/// [`Pinned::guard`] or from `crossbeam_epoch::pin` directly.
+pub use crossbeam_epoch::Guard;
+pub use cset::{ConcurrentSet, KeyBound, OpStats, PinnedOps, StatsSnapshot};
+
+/// Returns `true` if this build of the crate records operation statistics
+/// (the `stats` cargo feature).
+///
+/// Without the feature, [`Config::record_stats`] is accepted but ignored and
+/// every [`StatsSnapshot`] is zero; tests and harnesses use this to skip
+/// stats-dependent assertions.
+pub const fn stats_compiled() -> bool {
+    cfg!(feature = "stats")
+}

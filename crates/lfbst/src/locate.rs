@@ -16,7 +16,8 @@ use crossbeam_epoch::{Guard, Shared};
 
 use crate::link::{is_mark, is_thread, same_node};
 use crate::node::Node;
-use crate::tree::{LfBst, ORD};
+use crate::tree::ord::LOAD;
+use crate::tree::LfBst;
 
 /// Where a traversal stopped.
 pub(crate) struct Location<'g, K> {
@@ -46,12 +47,18 @@ impl<K: Ord> LfBst<K> {
         eager: bool,
         guard: &'g Guard,
     ) -> Location<'g, K> {
+        // Hoisted so the loop body carries no config loads; with the `stats`
+        // feature off this is a compile-time `false` and every stats branch
+        // below folds away.
+        let record = self.record_stats();
         let mut links: u64 = 0;
         loop {
             let curr_ref = unsafe { curr.deref() };
-            let dir = match curr_ref.key.cmp_key(key) {
+            // Sentinel-free comparison: root dummies by pointer, real keys via
+            // `K::cmp` (see `LfBst::cmp_node_key`).
+            let dir = match self.cmp_node_key(curr, key) {
                 CmpOrdering::Equal => {
-                    if self.record_stats() {
+                    if record {
                         self.stats.record_links(links);
                     }
                     return Location { prev, curr, dir: 2, link: Shared::null() };
@@ -59,12 +66,12 @@ impl<K: Ord> LfBst<K> {
                 CmpOrdering::Greater => 0,
                 CmpOrdering::Less => 1,
             };
-            let link = curr_ref.child[dir].load(ORD, guard);
+            let link = curr_ref.child[dir].load(LOAD, guard);
 
             // Eager helping (lines 14-20): clean a node whose marked right link
             // we are about to step over, then resume from the vicinity.
             if eager && dir == 1 && is_mark(link) {
-                let new_prev = unsafe { prev.deref() }.backlink.load(ORD, guard).with_tag(0);
+                let new_prev = unsafe { prev.deref() }.backlink.load(LOAD, guard).with_tag(0);
                 self.note_help();
                 self.clean_mark_right(curr, guard);
                 prev = new_prev;
@@ -75,7 +82,7 @@ impl<K: Ord> LfBst<K> {
 
             if is_thread(link) {
                 if dir == 0 {
-                    if self.record_stats() {
+                    if record {
                         self.stats.record_links(links);
                     }
                     return Location { prev, curr, dir, link };
@@ -84,10 +91,9 @@ impl<K: Ord> LfBst<K> {
                 // searched key precedes the successor's key; otherwise the
                 // interval shifted right and the traversal follows the thread.
                 let next = link.with_tag(0);
-                let next_ref = unsafe { next.deref() };
-                match next_ref.key.cmp_key(key) {
+                match self.cmp_node_key(next, key) {
                     CmpOrdering::Greater => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_links(links);
                         }
                         return Location { prev, curr, dir, link };
@@ -120,18 +126,19 @@ impl<K: Ord> LfBst<K> {
         eager: bool,
         guard: &'g Guard,
     ) -> Location<'g, K> {
+        let record = self.record_stats();
         let mut links: u64 = 0;
         loop {
             let curr_ref = unsafe { curr.deref() };
             // "go left on equal": searching for key - epsilon.
-            let dir = match curr_ref.key.cmp_key(key) {
+            let dir = match self.cmp_node_key(curr, key) {
                 CmpOrdering::Less => 1,
                 _ => 0,
             };
-            let link = curr_ref.child[dir].load(ORD, guard);
+            let link = curr_ref.child[dir].load(LOAD, guard);
 
             if eager && dir == 1 && is_mark(link) {
-                let new_prev = unsafe { prev.deref() }.backlink.load(ORD, guard).with_tag(0);
+                let new_prev = unsafe { prev.deref() }.backlink.load(LOAD, guard).with_tag(0);
                 self.note_help();
                 self.clean_mark_right(curr, guard);
                 prev = new_prev;
@@ -142,21 +149,20 @@ impl<K: Ord> LfBst<K> {
 
             if is_thread(link) {
                 if dir == 0 {
-                    if self.record_stats() {
+                    if record {
                         self.stats.record_links(links);
                     }
                     return Location { prev, curr, dir, link };
                 }
                 let next = link.with_tag(0);
-                let next_ref = unsafe { next.deref() };
                 // Stop if key <= successor key (i.e. key - epsilon < successor key).
-                match next_ref.key.cmp_key(key) {
+                match self.cmp_node_key(next, key) {
                     CmpOrdering::Less => {
                         prev = curr;
                         curr = next;
                     }
                     _ => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_links(links);
                         }
                         return Location { prev, curr, dir, link };
@@ -251,6 +257,32 @@ mod tests {
         let loc = t.locate_order_from(t.root1(), t.root0(), &8, false, guard);
         let target_key = &unsafe { loc.link.with_tag(0).deref() }.key;
         assert_ne!(*target_key, cset::KeyBound::Key(8));
+    }
+
+    #[test]
+    fn sentinel_fast_path_boundary_searches() {
+        // The sentinel-free comparison must preserve the traversal stopping
+        // rules: equal-key stop for `locate`, "go left on equal" for the
+        // order-locate, and correct behaviour at both ends of the key space.
+        let t = LfBst::new();
+        for k in [5u64, 10, 15] {
+            t.insert(k);
+        }
+        let guard = &epoch::pin();
+        for k in [5u64, 10, 15] {
+            assert_eq!(t.locate_from(t.root1(), t.root0(), &k, false, guard).dir, 2, "key {k}");
+        }
+        // Order-locate treats equality as "go left": the order node of the
+        // minimum is the minimum itself via its left self-thread.
+        let loc = t.locate_order_from(t.root1(), t.root0(), &5, false, guard);
+        assert_eq!(loc.dir, 0);
+        assert!(same_node(loc.link.with_tag(0), loc.curr));
+        // Searches past either end stop in the sentinel-bounded intervals.
+        let lo = t.locate_from(t.root1(), t.root0(), &0, false, guard);
+        assert_ne!(lo.dir, 2);
+        let hi = t.locate_from(t.root1(), t.root0(), &100, false, guard);
+        assert_ne!(hi.dir, 2);
+        assert!(same_node(hi.link, t.root1()));
     }
 
     #[test]

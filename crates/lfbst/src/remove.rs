@@ -30,7 +30,8 @@ use crossbeam_epoch::{self as epoch, Guard, Shared};
 
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, FLAG, MARK, THREAD};
 use crate::node::Node;
-use crate::tree::{LfBst, ORD};
+use crate::tree::ord::{CAS, CAS_ERR, LOAD, STORE};
+use crate::tree::LfBst;
 
 /// Result of driving a removal forward from its flagged order-link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,15 +61,20 @@ impl<K: Ord> LfBst<K> {
     /// node holding `key` with a predecessor query, flag it, then drive the
     /// removal to completion (helping any conflicting removals on the way).
     pub fn remove(&self, key: &K) -> bool {
-        let guard = &epoch::pin();
+        self.remove_with(key, &epoch::pin())
+    }
+
+    /// [`remove`](Self::remove) under a caller-held guard (see
+    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
+    pub fn remove_with(&self, key: &K, guard: &Guard) -> bool {
+        let record = self.record_stats();
         let mut prev = self.root1();
         let mut curr = self.root0();
         loop {
             let loc = self.locate_order_from(prev, curr, key, self.eager_help(), guard);
             let link = loc.link;
             let victim = link.with_tag(0);
-            let victim_ref = unsafe { victim.deref() };
-            if victim_ref.key.cmp_key(key) != std::cmp::Ordering::Equal {
+            if self.cmp_node_key(victim, key) != std::cmp::Ordering::Equal {
                 // The interval containing `key` is empty: the key is absent.
                 return false;
             }
@@ -80,12 +86,12 @@ impl<K: Ord> LfBst<K> {
                 match order_ref.child[loc.dir].compare_exchange(
                     victim.with_tag(THREAD),
                     victim.with_tag(THREAD | FLAG),
-                    ORD,
-                    ORD,
+                    CAS,
+                    CAS_ERR,
                     guard,
                 ) {
                     Ok(_) => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_cas(true);
                         }
                         match self.clean_flag_threaded(order, loc.dir, victim, guard) {
@@ -97,7 +103,7 @@ impl<K: Ord> LfBst<K> {
                                 // Our flag was consumed by a shift of the victim;
                                 // retry from the vicinity (or the root in the
                                 // ablation mode).
-                                if self.record_stats() {
+                                if record {
                                     self.stats.record_restart();
                                 }
                                 if self.restart_from_root() {
@@ -112,7 +118,7 @@ impl<K: Ord> LfBst<K> {
                         }
                     }
                     Err(_) => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_cas(false);
                         }
                         // Fall through to the failure analysis below.
@@ -122,7 +128,7 @@ impl<K: Ord> LfBst<K> {
 
             // Either the observed link was already tagged, or our flag CAS lost
             // a race.  Re-read and decide.
-            let observed = order_ref.child[loc.dir].load(ORD, guard);
+            let observed = order_ref.child[loc.dir].load(LOAD, guard);
             if same_node(observed, victim) && is_flag(observed) && is_thread(observed) {
                 // Another `Remove` owns this victim: help it finish, then report
                 // the key as already absent (our linearization point follows the
@@ -137,14 +143,14 @@ impl<K: Ord> LfBst<K> {
                 // help, then retry nearby.
                 self.note_help();
                 self.help_node(order, guard);
-                if self.record_stats() {
+                if record {
                     self.stats.record_restart();
                 }
                 if self.restart_from_root() {
                     prev = self.root1();
                     curr = self.root0();
                 } else {
-                    let back = order_ref.backlink.load(ORD, guard).with_tag(0);
+                    let back = order_ref.backlink.load(LOAD, guard).with_tag(0);
                     prev = back;
                     curr = back;
                 }
@@ -152,7 +158,7 @@ impl<K: Ord> LfBst<K> {
             }
             // The link's target changed (an insert landed in the interval or a
             // swing completed): re-locate from the current position.
-            if self.record_stats() {
+            if record {
                 self.stats.record_restart();
             }
             prev = loc.prev;
@@ -188,12 +194,12 @@ impl<K: Ord> LfBst<K> {
         // report success for a single key presence.  So for `dir == 0` a mark
         // only counts while the flag is still in place.
         loop {
-            let r = victim_ref.child[1].load(ORD, guard);
+            let r = victim_ref.child[1].load(LOAD, guard);
             if is_mark(r) {
                 if dir == 1 {
                     break;
                 }
-                let ol = order_ref.child[dir].load(ORD, guard);
+                let ol = order_ref.child[dir].load(LOAD, guard);
                 if same_node(ol, victim) && is_flag(ol) && is_thread(ol) {
                     // Marked under our still-standing flag: our logical point.
                     break;
@@ -220,14 +226,14 @@ impl<K: Ord> LfBst<K> {
             // going irreversible (DESIGN.md deviation 4).  If the victim was
             // shifted upward by its successor's removal, a category-1 order
             // link is overwritten by the shift and this removal must restart.
-            let ol = order_ref.child[dir].load(ORD, guard);
+            let ol = order_ref.child[dir].load(LOAD, guard);
             if !(same_node(ol, victim) && is_flag(ol) && is_thread(ol)) {
                 if dir == 1 {
                     // A category-2/3 order link is consumed only by its own
                     // removal's swing, which follows the mark: the victim is
                     // logically removed by *us* and the unlinking is driven by
                     // whoever performed the swing.
-                    let r2 = victim_ref.child[1].load(ORD, guard);
+                    let r2 = victim_ref.child[1].load(LOAD, guard);
                     if is_mark(r2) {
                         break;
                     }
@@ -238,16 +244,16 @@ impl<K: Ord> LfBst<K> {
                 return FinishOutcome::Invalidated;
             }
             // Step II: record the order node for later helpers (validated hint).
-            let pre = victim_ref.prelink.load(ORD, guard);
+            let pre = victim_ref.prelink.load(LOAD, guard);
             if !same_node(pre, order) {
-                victim_ref.prelink.store(order.with_tag(0), ORD);
+                victim_ref.prelink.store(order.with_tag(0), STORE);
             }
             // Step III: mark the right link (the logical removal point).
             match victim_ref.child[1].compare_exchange(
                 r,
                 r.with_tag(r.tag() | MARK),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             ) {
                 Ok(_) => {
@@ -274,7 +280,7 @@ impl<K: Ord> LfBst<K> {
     pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K>>, guard: &'g Guard) {
         let victim_ref = unsafe { victim.deref() };
         loop {
-            let left = victim_ref.child[0].load(ORD, guard);
+            let left = victim_ref.child[0].load(LOAD, guard);
             let order = self.order_node_of(victim, guard);
             if order.is_null() {
                 // No threaded link points at the victim any more: the order-link
@@ -314,7 +320,7 @@ impl<K: Ord> LfBst<K> {
         guard: &'g Guard,
     ) -> Shared<'g, Node<K>> {
         let victim_ref = unsafe { victim.deref() };
-        let hint = victim_ref.prelink.load(ORD, guard).with_tag(0);
+        let hint = victim_ref.prelink.load(LOAD, guard).with_tag(0);
         if !hint.is_null() && self.is_order_node_of(hint, victim, guard) {
             return hint;
         }
@@ -323,7 +329,7 @@ impl<K: Ord> LfBst<K> {
         // for the narrow hint-overwrite window; bound the restarts so that a
         // helper of an already-completed removal cannot spin forever.
         for _ in 0..8 {
-            let left = victim_ref.child[0].load(ORD, guard);
+            let left = victim_ref.child[0].load(LOAD, guard);
             if is_thread(left) {
                 if is_flag(left) {
                     // No left child and the self-thread is flagged: the victim
@@ -340,7 +346,7 @@ impl<K: Ord> LfBst<K> {
                 if self.is_order_node_of(n, victim, guard) {
                     return n;
                 }
-                let r = unsafe { n.deref() }.child[1].load(ORD, guard);
+                let r = unsafe { n.deref() }.child[1].load(LOAD, guard);
                 if is_thread(r) {
                     // A thread that does not point back at the victim: either
                     // the order link has already been swung (removal complete)
@@ -367,10 +373,10 @@ impl<K: Ord> LfBst<K> {
         guard: &'g Guard,
     ) -> bool {
         if same_node(cand, victim) {
-            let l = unsafe { victim.deref() }.child[0].load(ORD, guard);
+            let l = unsafe { victim.deref() }.child[0].load(LOAD, guard);
             return is_thread(l) && same_node(l, victim);
         }
-        let r = unsafe { cand.deref() }.child[1].load(ORD, guard);
+        let r = unsafe { cand.deref() }.child[1].load(LOAD, guard);
         is_thread(r) && same_node(r, victim)
     }
 
@@ -392,7 +398,7 @@ impl<K: Ord> LfBst<K> {
             // reader holding a stale backlink to the (soon physically removed)
             // victim can recognise it as dead instead of flagging its links.
             loop {
-                let vl = victim_ref.child[0].load(ORD, guard);
+                let vl = victim_ref.child[0].load(LOAD, guard);
                 if is_mark(vl) {
                     break;
                 }
@@ -408,7 +414,7 @@ impl<K: Ord> LfBst<K> {
                     continue;
                 }
                 if victim_ref.child[0]
-                    .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), ORD, ORD, guard)
+                    .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                     .is_ok()
                 {
                     break;
@@ -424,7 +430,7 @@ impl<K: Ord> LfBst<K> {
         let parent_ref = unsafe { parent.deref() };
 
         // Frozen right link of the victim (marked in step III, never changes).
-        let vr = victim_ref.child[1].load(ORD, guard);
+        let vr = victim_ref.child[1].load(LOAD, guard);
         let rt = is_thread(vr);
         let rtarget = vr.with_tag(0);
         let new_right = rtarget.with_tag(if rt { THREAD } else { 0 });
@@ -440,15 +446,17 @@ impl<K: Ord> LfBst<K> {
                 let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
                     victim.with_tag(0),
                     parent.with_tag(0),
-                    ORD,
-                    ORD,
+                    CAS,
+                    CAS_ERR,
                     guard,
                 );
             }
-            let pl = parent_ref.child[pdir].load(ORD, guard);
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
             if same_node(pl, victim)
                 && is_flag(pl)
-                && parent_ref.child[pdir].compare_exchange(pl, new_right, ORD, ORD, guard).is_ok()
+                && parent_ref.child[pdir]
+                    .compare_exchange(pl, new_right, CAS, CAS_ERR, guard)
+                    .is_ok()
             {
                 self.retire(victim, guard);
             }
@@ -460,27 +468,27 @@ impl<K: Ord> LfBst<K> {
                 let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
                     victim.with_tag(0),
                     order.with_tag(0),
-                    ORD,
-                    ORD,
+                    CAS,
+                    CAS_ERR,
                     guard,
                 );
             }
-            let orl = order_ref.child[1].load(ORD, guard);
+            let orl = order_ref.child[1].load(LOAD, guard);
             if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
-                let _ = order_ref.child[1].compare_exchange(orl, new_right, ORD, ORD, guard);
+                let _ = order_ref.child[1].compare_exchange(orl, new_right, CAS, CAS_ERR, guard);
             }
             let _ = order_ref.backlink.compare_exchange(
                 victim.with_tag(0),
                 parent.with_tag(0),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             );
-            let pl = parent_ref.child[pdir].load(ORD, guard);
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
             if same_node(pl, victim)
                 && is_flag(pl)
                 && parent_ref.child[pdir]
-                    .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
+                    .compare_exchange(pl, order.with_tag(0), CAS, CAS_ERR, guard)
                     .is_ok()
             {
                 self.retire(victim, guard);
@@ -505,11 +513,11 @@ impl<K: Ord> LfBst<K> {
         loop {
             // Category re-check: if the order node became the victim's left
             // child, the victim is now category 2.
-            let vl = victim_ref.child[0].load(ORD, guard);
+            let vl = victim_ref.child[0].load(LOAD, guard);
             if same_node(vl, order) {
                 return Cat3Outcome::Reexamine;
             }
-            let ocl = order_ref.child[0].load(ORD, guard);
+            let ocl = order_ref.child[0].load(LOAD, guard);
             if is_mark(ocl) {
                 // Step VII already happened, therefore step IV did too.
                 break;
@@ -527,7 +535,7 @@ impl<K: Ord> LfBst<K> {
                 continue;
             };
             let opar_ref = unsafe { opar.deref() };
-            let ol = opar_ref.child[odir].load(ORD, guard);
+            let ol = opar_ref.child[odir].load(LOAD, guard);
             if !same_node(ol, order) || is_thread(ol) {
                 // Raced with a restructuring; retry.
                 continue;
@@ -542,15 +550,15 @@ impl<K: Ord> LfBst<K> {
             match opar_ref.child[odir].compare_exchange(
                 ol,
                 ol.with_tag(ol.tag() | FLAG),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             ) {
                 Ok(_) => {
                     // ABA mitigation (DESIGN.md): confirm the removal is still
                     // pre-swing; if not, our flag is spurious — roll it back.
                     let live = {
-                        let orl = order_ref.child[1].load(ORD, guard);
+                        let orl = order_ref.child[1].load(LOAD, guard);
                         same_node(orl, victim) && is_flag(orl) && is_thread(orl)
                     };
                     if live {
@@ -559,8 +567,8 @@ impl<K: Ord> LfBst<K> {
                     let _ = opar_ref.child[odir].compare_exchange(
                         ol.with_tag(ol.tag() | FLAG),
                         ol,
-                        ORD,
-                        ORD,
+                        CAS,
+                        CAS_ERR,
                         guard,
                     );
                     return Cat3Outcome::Done;
@@ -582,7 +590,7 @@ impl<K: Ord> LfBst<K> {
 
         // ---- Step VI: mark the victim's left link. -----------------------------
         loop {
-            let vl = victim_ref.child[0].load(ORD, guard);
+            let vl = victim_ref.child[0].load(LOAD, guard);
             if is_mark(vl) {
                 break;
             }
@@ -599,7 +607,7 @@ impl<K: Ord> LfBst<K> {
                 continue;
             }
             if victim_ref.child[0]
-                .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), ORD, ORD, guard)
+                .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                 .is_ok()
             {
                 break;
@@ -607,9 +615,9 @@ impl<K: Ord> LfBst<K> {
         }
 
         // ---- Step VII: mark the order node's left link. ------------------------
-        let vl_frozen = victim_ref.child[0].load(ORD, guard);
+        let vl_frozen = victim_ref.child[0].load(LOAD, guard);
         loop {
-            let ocl = order_ref.child[0].load(ORD, guard);
+            let ocl = order_ref.child[0].load(LOAD, guard);
             if is_mark(ocl) {
                 break;
             }
@@ -628,7 +636,7 @@ impl<K: Ord> LfBst<K> {
             // removal, blocked behind ours) is marked in place, preserving the
             // flag (Lemma 8 allows flag+mark on threaded left links).
             if order_ref.child[0]
-                .compare_exchange(ocl, ocl.with_tag(ocl.tag() | MARK), ORD, ORD, guard)
+                .compare_exchange(ocl, ocl.with_tag(ocl.tag() | MARK), CAS, CAS_ERR, guard)
                 .is_ok()
             {
                 break;
@@ -639,7 +647,7 @@ impl<K: Ord> LfBst<K> {
         // Each backlink fix is performed *before* the swing that installs the
         // corresponding new parent (DESIGN.md, Lemma-7 ordering), so that a
         // backlink never refers to a retired node.
-        let vr_frozen = victim_ref.child[1].load(ORD, guard);
+        let vr_frozen = victim_ref.child[1].load(LOAD, guard);
         let rt = is_thread(vr_frozen);
         let rtarget = vr_frozen.with_tag(0);
         let lstar = vl_frozen.with_tag(0);
@@ -647,26 +655,26 @@ impl<K: Ord> LfBst<K> {
         // s1: splice the order node out of its old position (its parent adopts
         // the order node's left link value); the left child's backlink is fixed
         // first.
-        let opar = order_ref.backlink.load(ORD, guard).with_tag(0);
+        let opar = order_ref.backlink.load(LOAD, guard).with_tag(0);
         if !opar.is_null() {
             let opar_ref = unsafe { opar.deref() };
             let okey = &order_ref.key;
             let odir = if *okey < unsafe { opar.deref() }.key { 0 } else { 1 };
-            let ol = opar_ref.child[odir].load(ORD, guard);
+            let ol = opar_ref.child[odir].load(LOAD, guard);
             if same_node(ol, order) && is_flag(ol) && !is_thread(ol) {
-                let ofl = order_ref.child[0].load(ORD, guard);
+                let ofl = order_ref.child[0].load(LOAD, guard);
                 if is_mark(ofl) {
                     if !is_thread(ofl) {
                         let _ = unsafe { ofl.with_tag(0).deref() }.backlink.compare_exchange(
                             order.with_tag(0),
                             opar.with_tag(0),
-                            ORD,
-                            ORD,
+                            CAS,
+                            CAS_ERR,
                             guard,
                         );
                     }
                     let new_val = ofl.with_tag(if is_thread(ofl) { THREAD } else { 0 });
-                    let _ = opar_ref.child[odir].compare_exchange(ol, new_val, ORD, ORD, guard);
+                    let _ = opar_ref.child[odir].compare_exchange(ol, new_val, CAS, CAS_ERR, guard);
                 }
             }
         }
@@ -675,13 +683,14 @@ impl<K: Ord> LfBst<K> {
         let _ = unsafe { lstar.deref() }.backlink.compare_exchange(
             victim.with_tag(0),
             order.with_tag(0),
-            ORD,
-            ORD,
+            CAS,
+            CAS_ERR,
             guard,
         );
-        let ocl = order_ref.child[0].load(ORD, guard);
+        let ocl = order_ref.child[0].load(LOAD, guard);
         if is_mark(ocl) {
-            let _ = order_ref.child[0].compare_exchange(ocl, lstar.with_tag(0), ORD, ORD, guard);
+            let _ =
+                order_ref.child[0].compare_exchange(ocl, lstar.with_tag(0), CAS, CAS_ERR, guard);
         }
 
         // s3: the order node adopts the victim's right link.
@@ -689,15 +698,15 @@ impl<K: Ord> LfBst<K> {
             let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
                 victim.with_tag(0),
                 order.with_tag(0),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             );
         }
-        let orl = order_ref.child[1].load(ORD, guard);
+        let orl = order_ref.child[1].load(LOAD, guard);
         if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
             let new_right = rtarget.with_tag(if rt { THREAD } else { 0 });
-            let _ = order_ref.child[1].compare_exchange(orl, new_right, ORD, ORD, guard);
+            let _ = order_ref.child[1].compare_exchange(orl, new_right, CAS, CAS_ERR, guard);
         }
 
         // s4: the victim's parent adopts the order node (physical removal).
@@ -705,16 +714,16 @@ impl<K: Ord> LfBst<K> {
             let _ = order_ref.backlink.compare_exchange(
                 opar.with_tag(0),
                 parent.with_tag(0),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             );
         }
-        let pl = parent_ref.child[pdir].load(ORD, guard);
+        let pl = parent_ref.child[pdir].load(LOAD, guard);
         if same_node(pl, victim)
             && is_flag(pl)
             && parent_ref.child[pdir]
-                .compare_exchange(pl, order.with_tag(0), ORD, ORD, guard)
+                .compare_exchange(pl, order.with_tag(0), CAS, CAS_ERR, guard)
                 .is_ok()
         {
             self.retire(victim, guard);
@@ -746,7 +755,7 @@ impl<K: Ord> LfBst<K> {
                 return None;
             };
             let parent_ref = unsafe { parent.deref() };
-            let pl = parent_ref.child[pdir].load(ORD, guard);
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
             if !same_node(pl, victim) || is_thread(pl) {
                 // Raced with a swing; retry from scratch.
                 continue;
@@ -764,8 +773,8 @@ impl<K: Ord> LfBst<K> {
             match parent_ref.child[pdir].compare_exchange(
                 pl,
                 pl.with_tag(pl.tag() | FLAG),
-                ORD,
-                ORD,
+                CAS,
+                CAS_ERR,
                 guard,
             ) {
                 Ok(_) => return Some((parent, pdir)),
@@ -791,10 +800,10 @@ impl<K: Ord> LfBst<K> {
     ) -> Option<(Shared<'g, Node<K>>, usize)> {
         let node_ref = unsafe { node.deref() };
         // Fast path: the backlink hint.
-        let hint = node_ref.backlink.load(ORD, guard).with_tag(0);
+        let hint = node_ref.backlink.load(LOAD, guard).with_tag(0);
         if !hint.is_null() {
             let hdir = if node_ref.key < unsafe { hint.deref() }.key { 0 } else { 1 };
-            let hl = unsafe { hint.deref() }.child[hdir].load(ORD, guard);
+            let hl = unsafe { hint.deref() }.child[hdir].load(LOAD, guard);
             if same_node(hl, node) && !is_thread(hl) {
                 return Some((hint, hdir));
             }
@@ -813,7 +822,7 @@ impl<K: Ord> LfBst<K> {
                         break;
                     }
                 };
-                let link = curr_ref.child[dir].load(ORD, guard);
+                let link = curr_ref.child[dir].load(LOAD, guard);
                 if is_thread(link) {
                     break;
                 }
@@ -830,7 +839,7 @@ impl<K: Ord> LfBst<K> {
     /// parent link pointing at it.  By the canonical step order the child's
     /// right link is already marked, so completing it is a `clean_mark_right`.
     fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K>>, guard: &'g Guard) {
-        let r = unsafe { child.deref() }.child[1].load(ORD, guard);
+        let r = unsafe { child.deref() }.child[1].load(LOAD, guard);
         if is_mark(r) {
             self.clean_mark_right(child, guard);
         }
@@ -840,7 +849,7 @@ impl<K: Ord> LfBst<K> {
     /// node's links and finishes whatever pending removal they reveal.
     pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K>>, guard: &'g Guard) {
         let node_ref = unsafe { node.deref() };
-        let r = node_ref.child[1].load(ORD, guard);
+        let r = node_ref.child[1].load(LOAD, guard);
         if is_mark(r) {
             // The node is logically removed.
             self.clean_mark_right(node, guard);
@@ -856,7 +865,7 @@ impl<K: Ord> LfBst<K> {
             }
             return;
         }
-        let l = node_ref.child[0].load(ORD, guard);
+        let l = node_ref.child[0].load(LOAD, guard);
         if is_flag(l) {
             if is_thread(l) {
                 // The node's own order link is flagged: it is a category-1

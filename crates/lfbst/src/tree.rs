@@ -2,6 +2,7 @@
 //! snapshots and teardown.  The removal protocol lives in `remove.rs`, the
 //! traversal in `locate.rs`.
 
+use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -12,13 +13,47 @@ use crate::config::{Config, HelpPolicy, RestartPolicy};
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, THREAD};
 use crate::node::Node;
 
-/// The memory ordering used by every atomic access of the algorithm.
+/// Per-site memory orderings, derived from the protocol's happens-before
+/// argument (see `DESIGN.md`, "Memory ordering").
 ///
-/// The protocol's correctness argument leans on program-order visibility
-/// between the flag/mark steps and the pointer swings of concurrent helpers;
-/// sequential consistency keeps that reasoning simple and is the conservative
-/// choice for a reference implementation.
-pub(crate) const ORD: Ordering = Ordering::SeqCst;
+/// Every protocol decision is made by (re-)reading a single tagged link word
+/// and every irreversible step is a CAS on such a word, so the algorithm only
+/// needs the release/acquire edges below — never a total order over unrelated
+/// locations:
+///
+/// * a traversal load that observes a published pointer must also observe the
+///   node initialisation behind it (`LOAD` = `Acquire` pairs with the `AcqRel`
+///   publishing CAS);
+/// * a helper that observes a flag/mark must observe every protocol step the
+///   flagging/marking thread performed before it (`Acquire` load pairs with
+///   the `AcqRel` flag/mark/swing CAS);
+/// * a failed CAS is only used as a signal to re-read and re-decide, so its
+///   failure ordering can stay `Acquire`;
+/// * the size counter and the `OpStats` counters are diagnostics, not
+///   synchronization: `Relaxed`.
+pub(crate) mod ord {
+    use std::sync::atomic::Ordering;
+
+    /// Traversal and protocol-state loads: pairs with `CAS` to make the
+    /// pointed-to node (and the protocol steps preceding the store) visible.
+    pub(crate) const LOAD: Ordering = Ordering::Acquire;
+    /// Stores of cross-thread hints on shared nodes (`prelink`): release the
+    /// hint value; readers validate it after an acquiring load.
+    pub(crate) const STORE: Ordering = Ordering::Release;
+    /// Success ordering of every protocol CAS (inject, flag, mark, backlink
+    /// fix, pointer swing): releases the steps performed so far and acquires
+    /// the state being taken over.
+    pub(crate) const CAS: Ordering = Ordering::AcqRel;
+    /// Failure ordering of protocol CASes: the observed value is only used to
+    /// re-decide, never as proof of someone else's protocol progress beyond
+    /// what a fresh `LOAD` would give.
+    pub(crate) const CAS_ERR: Ordering = Ordering::Acquire;
+    /// Initialisation of a node that has not been published yet (insert's
+    /// pre-threading, constructor wiring): the publishing CAS releases it.
+    pub(crate) const INIT: Ordering = Ordering::Relaxed;
+}
+
+use ord::{CAS, CAS_ERR, INIT, LOAD};
 
 /// A lock-free internal (threaded) binary search tree implementing a Set.
 ///
@@ -94,12 +129,12 @@ impl<K: Ord> LfBst<K> {
         let s0: Shared<'_, Node<K>> = Shared::from(r0 as *const Node<K>);
         let s1: Shared<'_, Node<K>> = Shared::from(r1 as *const Node<K>);
         unsafe {
-            (*r0).child[0].store(s0.with_tag(THREAD), ORD);
-            (*r0).child[1].store(s1.with_tag(THREAD), ORD);
-            (*r0).backlink.store(s1, ORD);
-            (*r1).child[0].store(s0, ORD);
-            (*r1).child[1].store(s1.with_tag(THREAD), ORD);
-            (*r1).backlink.store(s1, ORD);
+            (*r0).child[0].store(s0.with_tag(THREAD), INIT);
+            (*r0).child[1].store(s1.with_tag(THREAD), INIT);
+            (*r0).backlink.store(s1, INIT);
+            (*r1).child[0].store(s0, INIT);
+            (*r1).child[1].store(s1.with_tag(THREAD), INIT);
+            (*r1).backlink.store(s1, INIT);
         }
         let _ = guard;
         LfBst { roots: [r0, r1], config, stats: OpStats::new(), size: AtomicUsize::new(0) }
@@ -127,9 +162,37 @@ impl<K: Ord> LfBst<K> {
         self.config.restart_policy == RestartPolicy::Root
     }
 
-    #[inline]
+    /// Returns `true` if operation statistics should be recorded.
+    ///
+    /// Without the `stats` cargo feature this is a compile-time `false`: the
+    /// hot loops hoist it into a local, so every stats branch folds away and
+    /// the traversal/removal paths compile to straight-line code.
+    #[inline(always)]
     pub(crate) fn record_stats(&self) -> bool {
-        self.config.record_stats
+        cfg!(feature = "stats") && self.config.record_stats
+    }
+
+    /// Compares `node`'s key against a real search key, resolving the two
+    /// sentinel-carrying root dummies by pointer before touching the key.
+    ///
+    /// The roots never move, so the pointer checks shortcut the sentinel
+    /// cases; every other node compares through the `Key` arm of its
+    /// `KeyBound` — a branch the predictor resolves perfectly because, by
+    /// construction (`insert` allocates real keys only), non-root nodes are
+    /// never sentinels.  The sentinel arms are still kept semantically
+    /// identical to [`KeyBound::cmp_key`] rather than declared unreachable:
+    /// on a stale traversal under heavy churn a defensive comparison must
+    /// degrade to the reference semantics, not to undefined behaviour.
+    #[inline(always)]
+    pub(crate) fn cmp_node_key(&self, node: Shared<'_, Node<K>>, key: &K) -> CmpOrdering {
+        let raw = node.with_tag(0).as_raw();
+        if std::ptr::eq(raw, self.roots[0]) {
+            return CmpOrdering::Less; // -inf
+        }
+        if std::ptr::eq(raw, self.roots[1]) {
+            return CmpOrdering::Greater; // +inf
+        }
+        unsafe { &*raw }.key.cmp_key(key)
     }
 
     /// Returns the configuration this tree was built with.
@@ -152,9 +215,10 @@ impl<K: Ord> LfBst<K> {
     ///
     /// The count is maintained with a shared counter updated by successful
     /// inserts and removes; it is exact in quiescent states and approximate
-    /// while mutations are in flight.
+    /// while mutations are in flight.  The counter is a relaxed diagnostic:
+    /// nothing in the protocol's correctness argument reads it.
     pub fn len(&self) -> usize {
-        self.size.load(Ordering::Acquire)
+        self.size.load(Ordering::Relaxed)
     }
 
     /// Returns `true` if the set contains no keys (same caveat as [`len`](Self::len)).
@@ -167,7 +231,12 @@ impl<K: Ord> LfBst<K> {
     /// In [`HelpPolicy::ReadOptimized`] mode this operation never writes to
     /// shared memory and never restarts (the paper's obliviousness property).
     pub fn contains(&self, key: &K) -> bool {
-        let guard = &epoch::pin();
+        self.contains_with(key, &epoch::pin())
+    }
+
+    /// [`contains`](Self::contains) under a caller-held guard (see
+    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
+    pub fn contains_with(&self, key: &K, guard: &Guard) -> bool {
         let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
         loc.dir == 2
     }
@@ -179,16 +248,24 @@ impl<K: Ord> LfBst<K> {
     /// single CAS on that link.  On failure the operation helps any obstructing
     /// removal and retries from the vicinity of the failure.
     pub fn insert(&self, key: K) -> bool {
-        let guard = &epoch::pin();
+        self.insert_with(key, &epoch::pin())
+    }
+
+    /// [`insert`](Self::insert) under a caller-held guard (see
+    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
+    pub fn insert_with(&self, key: K, guard: &Guard) -> bool {
+        let record = self.record_stats();
         // Allocate and pre-thread the new node: its left link is a thread to
         // itself (lines 163-164); the right link and backlink are filled in per
-        // attempt below.
+        // attempt below.  The node is unpublished until the injection CAS, so
+        // its initialisation can stay relaxed: the CAS releases it.
         let new = Owned::new(Node::new(KeyBound::Key(key))).into_shared(guard);
         let new_ref = unsafe { new.deref() };
-        new_ref.child[0].store(new.with_tag(THREAD), ORD);
+        new_ref.child[0].store(new.with_tag(THREAD), INIT);
         let key_ref = match &new_ref.key {
             KeyBound::Key(k) => k,
-            // A freshly built node always carries a real key.
+            // A freshly built node always carries a real key.  The sentinel
+            // fast path (`cmp_node_key`) relies on this invariant.
             _ => unreachable!("insert allocates real keys only"),
         };
 
@@ -211,24 +288,24 @@ impl<K: Ord> LfBst<K> {
             if is_thread(link) && is_clean(link) {
                 // Copy the located threaded link into the new node's right link
                 // (line 171) and point its backlink at the prospective parent.
-                new_ref.child[1].store(link.with_tag(THREAD), ORD);
-                new_ref.backlink.store(curr.with_tag(0), ORD);
+                new_ref.child[1].store(link.with_tag(THREAD), INIT);
+                new_ref.backlink.store(curr.with_tag(0), INIT);
                 match curr_ref.child[loc.dir].compare_exchange(
                     link.with_tag(THREAD),
                     new.with_tag(0),
-                    ORD,
-                    ORD,
+                    CAS,
+                    CAS_ERR,
                     guard,
                 ) {
                     Ok(_) => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_cas(true);
                         }
-                        self.size.fetch_add(1, Ordering::AcqRel);
+                        self.size.fetch_add(1, Ordering::Relaxed);
                         return true;
                     }
                     Err(_) => {
-                        if self.record_stats() {
+                        if record {
                             self.stats.record_cas(false);
                             self.stats.record_restart();
                         }
@@ -238,10 +315,10 @@ impl<K: Ord> LfBst<K> {
 
             // Injection failed (or the observed link was already tagged).
             // Help whichever removal obstructed us, then restart.
-            let observed = curr_ref.child[loc.dir].load(ORD, guard);
+            let observed = curr_ref.child[loc.dir].load(LOAD, guard);
             if same_node(observed, link) {
                 if is_mark(observed) || is_flag(observed) {
-                    if self.record_stats() {
+                    if record {
                         self.stats.record_help();
                     }
                     if is_mark(observed) {
@@ -260,7 +337,7 @@ impl<K: Ord> LfBst<K> {
                     prev = self.root1();
                     curr = self.root0();
                 } else {
-                    let back = unsafe { curr.deref() }.backlink.load(ORD, guard).with_tag(0);
+                    let back = unsafe { curr.deref() }.backlink.load(LOAD, guard).with_tag(0);
                     prev = back;
                     curr = back;
                 }
@@ -411,13 +488,13 @@ impl<K: Ord> LfBst<K> {
     {
         let guard = &epoch::pin();
         // Rightmost node reachable from the real tree via unthreaded right links.
-        let top = unsafe { self.root0().deref() }.child[1].load(ORD, guard);
+        let top = unsafe { self.root0().deref() }.child[1].load(LOAD, guard);
         if is_thread(top) {
             return None;
         }
         let mut curr = top.with_tag(0);
         loop {
-            let right = unsafe { curr.deref() }.child[1].load(ORD, guard);
+            let right = unsafe { curr.deref() }.child[1].load(LOAD, guard);
             if is_thread(right) {
                 return unsafe { curr.deref() }.key.as_key().cloned();
             }
@@ -432,14 +509,14 @@ impl<K: Ord> LfBst<K> {
         guard: &'g Guard,
     ) -> Shared<'g, Node<K>> {
         let n = unsafe { node.deref() };
-        let right = n.child[1].load(ORD, guard);
+        let right = n.child[1].load(LOAD, guard);
         if is_thread(right) {
             return right.with_tag(0);
         }
         // Leftmost node of the right subtree.
         let mut curr = right.with_tag(0);
         loop {
-            let left = unsafe { curr.deref() }.child[0].load(ORD, guard);
+            let left = unsafe { curr.deref() }.child[0].load(LOAD, guard);
             if is_thread(left) {
                 return curr;
             }
@@ -454,7 +531,7 @@ impl<K: Ord> LfBst<K> {
         let guard = &epoch::pin();
         // Every real node hangs off the right link of the `-inf` dummy (all real
         // keys compare greater than `-inf`).
-        let top = unsafe { self.root0().deref() }.child[1].load(ORD, guard);
+        let top = unsafe { self.root0().deref() }.child[1].load(LOAD, guard);
         if is_thread(top) {
             return 0;
         }
@@ -464,7 +541,7 @@ impl<K: Ord> LfBst<K> {
             max = max.max(depth);
             let n = unsafe { node.deref() };
             for dir in 0..2 {
-                let c = n.child[dir].load(ORD, guard);
+                let c = n.child[dir].load(LOAD, guard);
                 if !is_thread(c) && !c.is_null() {
                     stack.push((c.with_tag(0), depth + 1));
                 }
@@ -484,7 +561,7 @@ impl<K: Ord> LfBst<K> {
 
     /// Decrements the size counter; called by the owning `remove`.
     pub(crate) fn note_removal(&self) {
-        self.size.fetch_sub(1, Ordering::AcqRel);
+        self.size.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Increments helpers counter (used by remove.rs / locate.rs).
@@ -507,13 +584,13 @@ impl<K> Drop for LfBst<K> {
         unsafe {
             // Every real node is reachable from the right link of the `-inf`
             // dummy through unthreaded links only.
-            let top = (*self.roots[0]).child[1].load(ORD, guard);
+            let top = (*self.roots[0]).child[1].load(LOAD, guard);
             if !is_thread(top) && !top.is_null() {
                 stack.push(top.with_tag(0).as_raw() as *mut Node<K>);
             }
             while let Some(p) = stack.pop() {
                 for dir in 0..2 {
-                    let c = (*p).child[dir].load(ORD, guard);
+                    let c = (*p).child[dir].load(LOAD, guard);
                     if !is_thread(c) && !c.is_null() {
                         stack.push(c.with_tag(0).as_raw() as *mut Node<K>);
                     }
@@ -628,6 +705,28 @@ mod tests {
         );
         assert!(t.remove(&"banana".to_string()));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sentinel_fast_path_semantics() {
+        // Pins the contract `NegInf < k < PosInf` for the pointer-identified
+        // sentinel comparison that replaces `KeyBound::cmp_key` on hot paths.
+        let t = LfBst::new();
+        t.insert(10u64);
+        let guard = &epoch::pin();
+        assert_eq!(t.cmp_node_key(t.root0(), &0), CmpOrdering::Less);
+        assert_eq!(t.cmp_node_key(t.root0(), &u64::MAX), CmpOrdering::Less);
+        assert_eq!(t.cmp_node_key(t.root1(), &0), CmpOrdering::Greater);
+        assert_eq!(t.cmp_node_key(t.root1(), &u64::MAX), CmpOrdering::Greater);
+        // Interior nodes compare through `K::cmp` directly.
+        let loc = t.locate_from(t.root1(), t.root0(), &10, false, guard);
+        assert_eq!(loc.dir, 2);
+        assert_eq!(t.cmp_node_key(loc.curr, &9), CmpOrdering::Greater);
+        assert_eq!(t.cmp_node_key(loc.curr, &10), CmpOrdering::Equal);
+        assert_eq!(t.cmp_node_key(loc.curr, &11), CmpOrdering::Less);
+        // Tag bits never leak into the comparison.
+        assert_eq!(t.cmp_node_key(loc.curr.with_tag(0b111), &10), CmpOrdering::Equal);
+        assert_eq!(t.cmp_node_key(t.root1().with_tag(THREAD), &10), CmpOrdering::Greater);
     }
 
     #[test]

@@ -19,7 +19,10 @@ use crossbeam_epoch::{self as epoch, Shared};
 
 use crate::link::{is_flag, is_mark, is_thread, same_node};
 use crate::node::Node;
-use crate::tree::{LfBst, ORD};
+// Validation is quiescent-only, but acquire loads are used anyway so the walk
+// also observes the final protocol steps of freshly joined worker threads.
+use crate::tree::ord::LOAD as ORD;
+use crate::tree::LfBst;
 use cset::KeyBound;
 
 /// A violated invariant discovered by [`validate`].

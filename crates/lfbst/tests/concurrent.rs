@@ -246,6 +246,100 @@ fn inserts_race_removes_of_predecessors() {
 }
 
 #[test]
+fn removal_race_rounds_relaxed_orderings() {
+    // PR 1's removal-race harness (`stress_validate.rs`), run un-ignored at
+    // elevated thread counts with a bounded round budget.  Many short rounds
+    // maximise flag/mark/swing interleavings across fresh trees — the pattern
+    // that would expose a missing happens-before edge in the per-site
+    // acquire/release orderings as a validation failure, a double removal, or
+    // a count mismatch.  Scale up with LFBST_STRESS_ROUNDS for a longer hunt.
+    let threads = parallelism() * 2;
+    let rounds: u64 =
+        std::env::var("LFBST_STRESS_ROUNDS").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    for seed in 0..rounds {
+        let tree = Arc::new(LfBst::new());
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                thread::spawn(move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut net = 0i64;
+                    for _ in 0..3_000 {
+                        let k = rng.gen_range(0..64u64);
+                        if rng.gen_bool(0.5) {
+                            if tree.insert(k) {
+                                net += 1;
+                            }
+                        } else if tree.remove(&k) {
+                            net -= 1;
+                        }
+                    }
+                    net
+                })
+            })
+            .collect();
+        let mut net_total = 0i64;
+        for h in handles {
+            net_total += h.join().unwrap();
+        }
+        let report =
+            validate(&*tree).unwrap_or_else(|e| panic!("seed {seed}: validation failed: {e}"));
+        assert_eq!(report.nodes as i64, net_total, "seed {seed}: node count vs op accounting");
+        assert_eq!(tree.len() as i64, net_total, "seed {seed}: len() vs op accounting");
+    }
+}
+
+#[test]
+fn mixed_workload_under_reusable_guards() {
+    // The guard-amortized entry points must preserve the per-key accounting
+    // invariant under the same contention as the plain entry points.
+    let tree = Arc::new(LfBst::new());
+    let key_range = 256u64;
+    let balance = Arc::new((0..key_range).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
+    let threads = parallelism().max(4);
+    {
+        let tree = Arc::clone(&tree);
+        let balance = Arc::clone(&balance);
+        run_threads(threads, move |t| {
+            let mut rng = StdRng::seed_from_u64(0xBEEF ^ t as u64);
+            let mut pinned = tree.pin();
+            for i in 0..30_000usize {
+                if i % 512 == 0 {
+                    pinned.refresh();
+                }
+                let k = rng.gen_range(0..key_range);
+                match rng.gen_range(0..100) {
+                    0..=39 => {
+                        if pinned.insert(k) {
+                            balance[k as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    40..=79 => {
+                        if pinned.remove(&k) {
+                            balance[k as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        pinned.contains(&k);
+                    }
+                }
+            }
+        });
+    }
+    let mut expected_len = 0usize;
+    for k in 0..key_range {
+        let b = balance[k as usize].load(Ordering::Relaxed);
+        assert!(b == 0 || b == 1, "key {k} has impossible balance {b}");
+        assert_eq!(tree.contains(&k), b == 1, "membership mismatch for key {k}");
+        expected_len += b as usize;
+    }
+    assert_eq!(tree.len(), expected_len);
+    let report = validate(&tree).unwrap();
+    assert_eq!(report.nodes, expected_len);
+}
+
+#[test]
 fn contains_remains_consistent_during_churn() {
     // Readers must always see a key that is never removed, regardless of how
     // much churn happens around it.

@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::{Bound, RangeBounds};
 use std::sync::Mutex;
 
-use cset::{ConcurrentSet, OrderedSet, StatsSnapshot};
+use cset::{ConcurrentSet, OrderedSet, PinnedOps, StatsSnapshot};
 
 use crate::router::{OrderedRouter, ShardRouter};
 
@@ -179,6 +179,37 @@ where
 
     fn stats(&self) -> StatsSnapshot {
         Sharded::stats(self)
+    }
+}
+
+impl<K, S, R> PinnedOps<K> for Sharded<S, R>
+where
+    S: PinnedOps<K>,
+    R: ShardRouter<K>,
+{
+    type OpGuard = S::OpGuard;
+
+    /// One guard covers every shard: the [`PinnedOps`] contract requires
+    /// guards to be domain-wide, so the guard of shard 0 protects operations
+    /// routed to any shard.
+    fn op_guard(&self) -> S::OpGuard {
+        self.shards[0].op_guard()
+    }
+
+    #[inline]
+    fn insert_with(&self, key: K, guard: &S::OpGuard) -> bool {
+        let shard = self.router.route(&key);
+        self.shards[shard].insert_with(key, guard)
+    }
+
+    #[inline]
+    fn remove_with(&self, key: &K, guard: &S::OpGuard) -> bool {
+        self.shards[self.router.route(key)].remove_with(key, guard)
+    }
+
+    #[inline]
+    fn contains_with(&self, key: &K, guard: &S::OpGuard) -> bool {
+        self.shards[self.router.route(key)].contains_with(key, guard)
     }
 }
 

@@ -74,6 +74,12 @@ fn run_policy(label: &str, config: Config, read_pct: u8) {
 }
 
 fn main() {
+    if !lfbst::stats_compiled() {
+        println!(
+            "(note: lfbst built without the `stats` feature — the per-op counters \
+             below will read zero; rebuild with `--features lfbst/stats`)"
+        );
+    }
     println!("== adaptive helping (paper §3.1): {THREADS} threads, key range {KEY_RANGE} ==");
     println!("write-heavy mix (0% reads):");
     run_policy("read-optimized helping", Config::new().help_policy(HelpPolicy::ReadOptimized), 0);
