@@ -1,0 +1,61 @@
+//! E13 — map mixed workload over `lfbst` as `LfBst<u64, Vec<u8>>`, swept over
+//! the value payload size (key range 2^16, get/upsert/remove 70/20/10).
+//!
+//! The set sweeps measure membership traffic only; this target measures what
+//! an index actually serves — key *and* payload — and how the per-write
+//! allocation plus the value-cell pointer swap scale with payload size:
+//!
+//! * `lfbst/<bytes>B`        — the lock-free tree carrying `<bytes>`-sized values.
+//! * `locked-map/<bytes>B`   — the mutex-BTreeMap oracle at the same payload,
+//!   the lock-based floor the tree has to clear under threads.
+//!
+//! Payloads are freshly allocated per write (`MapSpec::payload_for`), because
+//! that is the cost a real ingest path pays.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill_map, timed_map_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::LfBst;
+use locked_bst::CoarseLockMap;
+use workload::{MapSpec, OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+const VALUE_BYTES: &[usize] = &[8, 256];
+
+fn mixed() -> OperationMix {
+    OperationMix::new(70, 20, 10)
+}
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e13_map_mixed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
+    for &bytes in VALUE_BYTES {
+        let spec = MapSpec::new(WorkloadSpec::new(KEY_RANGE, mixed()), bytes);
+
+        let tree: Arc<LfBst<u64, Vec<u8>>> = Arc::new(LfBst::new());
+        prefill_map(&*tree, &spec);
+        group.bench_with_input(BenchmarkId::new("lfbst", format!("{bytes}B")), &bytes, |b, _| {
+            b.iter_custom(|iters| timed_map_ops(&tree, threads, iters.max(1), &spec, 7));
+        });
+
+        let oracle: Arc<CoarseLockMap<u64, Vec<u8>>> = Arc::new(CoarseLockMap::new());
+        prefill_map(&*oracle, &spec);
+        group.bench_with_input(
+            BenchmarkId::new("locked-map", format!("{bytes}B")),
+            &bytes,
+            |b, _| {
+                b.iter_custom(|iters| timed_map_ops(&oracle, threads, iters.max(1), &spec, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(e13, benches);
+criterion_main!(e13);

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use cset::ConcurrentSet;
-use workload::{KeySampler, OperationMix, WorkloadSpec};
+use cset::{ConcurrentMap, ConcurrentSet};
+use workload::{KeySampler, MapSpec, OperationMix, WorkloadSpec};
 
 /// Prefills `set` to the spec's target (single-threaded, untimed).
 pub fn prefill<S: ConcurrentSet<u64>>(set: &S, spec: &WorkloadSpec) {
@@ -89,6 +89,71 @@ where
     elapsed
 }
 
+/// Prefills `map` to the spec's target (single-threaded, untimed); delegates
+/// to [`workload::prefill_map`] so bench and harness populations stay
+/// identical.
+pub fn prefill_map<S: ConcurrentMap<u64, Vec<u8>>>(map: &S, spec: &MapSpec) {
+    workload::prefill_map(map, spec);
+}
+
+/// Executes `total_ops` map operations (get / upsert / remove per the spec's
+/// mix, fresh payloads on every write) over `threads` threads against `map`
+/// and returns the elapsed time — the map twin of [`timed_mixed_ops`].
+pub fn timed_map_ops<S>(
+    map: &Arc<S>,
+    threads: usize,
+    total_ops: u64,
+    spec: &MapSpec,
+    seed: u64,
+) -> Duration
+where
+    S: ConcurrentMap<u64, Vec<u8>> + 'static,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let per_thread = total_ops / threads as u64;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mix = spec.base().mix();
+    let sampler = KeySampler::new(workload::KeyDistribution::Uniform, spec.base().key_range());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = Arc::clone(map);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            let sampler = sampler.clone();
+            let spec = *spec;
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B9));
+                barrier.wait();
+                for _ in 0..per_thread {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        std::hint::black_box(map.get(&key));
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        std::hint::black_box(map.upsert(key, spec.payload_for(key)));
+                    } else {
+                        std::hint::black_box(map.remove(&key));
+                    }
+                }
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    elapsed
+}
+
 /// The number of worker threads benchmarks use by default: the available
 /// parallelism, capped so that over-subscription does not dominate the numbers.
 pub fn bench_threads() -> usize {
@@ -121,5 +186,16 @@ mod tests {
     fn bench_threads_reasonable() {
         let t = bench_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn timed_map_ops_runs_requested_work() {
+        use locked_bst::CoarseLockMap;
+        let map = Arc::new(CoarseLockMap::new());
+        let spec = MapSpec::new(WorkloadSpec::new(128, OperationMix::updates(50)), 16);
+        prefill_map(&*map, &spec);
+        assert!(cset::ConcurrentMap::len(&*map) > 0);
+        let d = timed_map_ops(&map, 2, 10_000, &spec, 1);
+        assert!(d.as_nanos() > 0);
     }
 }

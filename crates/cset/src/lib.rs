@@ -1,10 +1,10 @@
-//! Common abstractions shared by every concurrent set implementation in this
-//! workspace: the [`ConcurrentSet`] trait, the [`KeyBound`] sentinel wrapper and
-//! lightweight operation statistics.
+//! Common abstractions shared by every concurrent structure in this workspace:
+//! the [`ConcurrentSet`] / [`ConcurrentMap`] trait families, the [`KeyBound`]
+//! sentinel wrapper and lightweight operation statistics.
 pub mod key;
 pub mod stats;
 pub mod traits;
 
 pub use key::KeyBound;
 pub use stats::{OpKind, OpStats, StatsSnapshot};
-pub use traits::{ConcurrentSet, OrderedSet, PinnedOps};
+pub use traits::{ConcurrentMap, ConcurrentSet, MapAsSet, OrderedMap, OrderedSet, PinnedOps};

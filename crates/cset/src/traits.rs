@@ -1,5 +1,6 @@
-//! The [`ConcurrentSet`] and [`OrderedSet`] abstractions implemented by the
-//! sets in this workspace.
+//! The [`ConcurrentSet`] / [`OrderedSet`] and [`ConcurrentMap`] /
+//! [`OrderedMap`] abstractions implemented by the structures in this
+//! workspace, plus the [`MapAsSet`] bridge between the two families.
 
 use std::ops::Bound;
 
@@ -109,6 +110,181 @@ pub trait PinnedOps<K>: ConcurrentSet<K> {
     fn contains_with(&self, key: &K, guard: &Self::OpGuard) -> bool;
 }
 
+/// A linearizable concurrent ordered map from keys to values.
+///
+/// This is the dictionary form of the Set ADT: the same membership structure,
+/// with a value carried beside each key.  Like [`ConcurrentSet`], all methods
+/// take `&self` and implementations synchronize internally.
+///
+/// The value-returning methods hand back **owned** values (implementations
+/// typically clone the stored value), because in a lock-free structure a
+/// borrowed value could outlive the entry it was read from.
+///
+/// A map with `V = ()` is exactly a set; [`MapAsSet`] packages that
+/// correspondence as a [`ConcurrentSet`] implementation.
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentMap;
+///
+/// fn exercise<M: ConcurrentMap<u64, String> + Default>() {
+///     let map = M::default();
+///     assert!(map.insert(1, "one".into()));
+///     assert!(!map.insert(1, "uno".into())); // no overwrite
+///     assert_eq!(map.get(&1).as_deref(), Some("one"));
+///     assert_eq!(map.upsert(1, "uno".into()).as_deref(), Some("one"));
+///     assert_eq!(map.remove(&1).as_deref(), Some("uno"));
+///     assert_eq!(map.get(&1), None);
+/// }
+/// ```
+pub trait ConcurrentMap<K, V>: Send + Sync {
+    /// Inserts the entry `key -> value` if `key` is absent.
+    ///
+    /// Returns `true` if the key was not present and the entry has been added,
+    /// `false` if the key was already present (the map — including the stored
+    /// value — is unchanged, and `value` is dropped).
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Returns the value currently associated with `key`, if any.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Inserts or replaces the entry `key -> value`.
+    ///
+    /// Returns the previous value if the key was present (the value was
+    /// replaced in place), or `None` if a fresh entry was inserted.
+    fn upsert(&self, key: K, value: V) -> Option<V>;
+
+    /// Removes `key`, returning the evicted value if the key was present.
+    fn remove(&self, key: &K) -> Option<V>;
+
+    /// Returns `true` if `key` currently has an entry.
+    ///
+    /// Implementations with a cheaper membership probe than a value read
+    /// should override the default.
+    fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the number of entries (same quiescent caveat as
+    /// [`ConcurrentSet::len`]).
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the map holds no entries (same caveat as
+    /// [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short, stable identifier used when labelling benchmark rows.
+    fn name(&self) -> &'static str;
+
+    /// Operation statistics snapshot; all-zero by default, as for
+    /// [`ConcurrentSet::stats`].
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+}
+
+/// A [`ConcurrentMap`] that additionally supports ordered range scans over its
+/// entries.
+///
+/// The scan contract matches [`OrderedSet::keys_between`]: **weakly
+/// consistent** under concurrent mutation, exact in a quiescent state, keys
+/// strictly ascending.  Each value is the one observed for its key at the
+/// moment the scan visited it.
+pub trait OrderedMap<K, V>: ConcurrentMap<K, V> {
+    /// Collects the `(key, value)` entries between `lo` and `hi`, in ascending
+    /// key order.
+    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>;
+}
+
+/// Presents any [`ConcurrentMap`] with `()` values as a [`ConcurrentSet`].
+///
+/// This is the blanket bridge between the two trait families.  It is a
+/// wrapper rather than a direct `impl<M: ConcurrentMap<K, ()>> ConcurrentSet
+/// for M` because such a blanket impl would overlap, under coherence, with
+/// every type that implements `ConcurrentSet` directly (all the baseline
+/// structures in this workspace do); the zero-cost newtype sidesteps the
+/// conflict while keeping the bridge fully generic.
+///
+/// # Examples
+///
+/// ```
+/// use cset::{ConcurrentMap, ConcurrentSet, MapAsSet};
+/// use std::collections::BTreeMap;
+/// use std::sync::Mutex;
+///
+/// #[derive(Default)]
+/// struct MutexMap(Mutex<BTreeMap<u64, ()>>);
+/// impl ConcurrentMap<u64, ()> for MutexMap {
+///     fn insert(&self, k: u64, v: ()) -> bool {
+///         let mut m = self.0.lock().unwrap();
+///         if m.contains_key(&k) { false } else { m.insert(k, v); true }
+///     }
+///     fn get(&self, k: &u64) -> Option<()> { self.0.lock().unwrap().get(k).copied() }
+///     fn upsert(&self, k: u64, v: ()) -> Option<()> { self.0.lock().unwrap().insert(k, v) }
+///     fn remove(&self, k: &u64) -> Option<()> { self.0.lock().unwrap().remove(k) }
+///     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+///     fn name(&self) -> &'static str { "mutex-btreemap" }
+/// }
+///
+/// let set = MapAsSet(MutexMap::default());
+/// assert!(set.insert(7));
+/// assert!(set.contains(&7));
+/// assert!(set.remove(&7));
+/// ```
+#[derive(Debug, Default)]
+pub struct MapAsSet<M>(
+    /// The wrapped map.
+    pub M,
+);
+
+impl<M> MapAsSet<M> {
+    /// Returns the wrapped map.
+    pub fn into_inner(self) -> M {
+        self.0
+    }
+}
+
+impl<K, M> ConcurrentSet<K> for MapAsSet<M>
+where
+    M: ConcurrentMap<K, ()>,
+{
+    fn insert(&self, key: K) -> bool {
+        self.0.insert(key, ())
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.0.remove(key).is_some()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.0.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.0.stats()
+    }
+}
+
+impl<K, M> OrderedSet<K> for MapAsSet<M>
+where
+    M: OrderedMap<K, ()>,
+{
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        self.0.entries_between(lo, hi).into_iter().map(|(k, ())| k).collect()
+    }
+}
+
 /// A [`ConcurrentSet`] that additionally supports ordered range scans.
 ///
 /// The scan contract matches the snapshots of the underlying structures:
@@ -189,5 +365,132 @@ mod tests {
         let dyn_set: &dyn ConcurrentSet<u64> = &set;
         assert!(dyn_set.insert(10));
         assert!(dyn_set.contains(&10));
+    }
+
+    /// A reference map used to test the map trait's default methods and the
+    /// [`MapAsSet`] bridge.
+    #[derive(Default)]
+    struct MutexMap {
+        inner: Mutex<std::collections::BTreeMap<u64, u64>>,
+    }
+
+    impl ConcurrentMap<u64, u64> for MutexMap {
+        fn insert(&self, key: u64, value: u64) -> bool {
+            match self.inner.lock().unwrap().entry(key) {
+                std::collections::btree_map::Entry::Occupied(_) => false,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                    true
+                }
+            }
+        }
+        fn get(&self, key: &u64) -> Option<u64> {
+            self.inner.lock().unwrap().get(key).copied()
+        }
+        fn upsert(&self, key: u64, value: u64) -> Option<u64> {
+            self.inner.lock().unwrap().insert(key, value)
+        }
+        fn remove(&self, key: &u64) -> Option<u64> {
+            self.inner.lock().unwrap().remove(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "mutex-btreemap"
+        }
+    }
+
+    impl OrderedMap<u64, u64> for MutexMap {
+        fn entries_between(&self, lo: Bound<&u64>, hi: Bound<&u64>) -> Vec<(u64, u64)> {
+            self.inner
+                .lock()
+                .unwrap()
+                .range((lo.cloned(), hi.cloned()))
+                .map(|(&k, &v)| (k, v))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn map_reference_implementation_obeys_contract() {
+        let map = MutexMap::default();
+        assert!(map.is_empty());
+        assert!(map.insert(3, 30));
+        assert!(!map.insert(3, 31), "insert must not overwrite");
+        assert_eq!(map.get(&3), Some(30));
+        assert!(map.contains_key(&3));
+        assert!(!map.contains_key(&4));
+        assert_eq!(map.upsert(3, 33), Some(30));
+        assert_eq!(map.upsert(4, 40), None);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.entries_between(Bound::Unbounded, Bound::Unbounded), vec![(3, 33), (4, 40)]);
+        assert_eq!(map.remove(&3), Some(33));
+        assert_eq!(map.remove(&3), None);
+        assert_eq!(map.stats(), StatsSnapshot::default());
+        assert_eq!(map.name(), "mutex-btreemap");
+    }
+
+    /// The same reference map with unit values, for the bridge test.
+    #[derive(Default)]
+    struct MutexUnitMap {
+        inner: Mutex<std::collections::BTreeMap<u64, ()>>,
+    }
+
+    impl ConcurrentMap<u64, ()> for MutexUnitMap {
+        fn insert(&self, key: u64, value: ()) -> bool {
+            match self.inner.lock().unwrap().entry(key) {
+                std::collections::btree_map::Entry::Occupied(_) => false,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                    true
+                }
+            }
+        }
+        fn get(&self, key: &u64) -> Option<()> {
+            self.inner.lock().unwrap().get(key).copied()
+        }
+        fn upsert(&self, key: u64, value: ()) -> Option<()> {
+            self.inner.lock().unwrap().insert(key, value)
+        }
+        fn remove(&self, key: &u64) -> Option<()> {
+            self.inner.lock().unwrap().remove(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "mutex-unit-map"
+        }
+    }
+
+    impl OrderedMap<u64, ()> for MutexUnitMap {
+        fn entries_between(&self, lo: Bound<&u64>, hi: Bound<&u64>) -> Vec<(u64, ())> {
+            self.inner
+                .lock()
+                .unwrap()
+                .range((lo.cloned(), hi.cloned()))
+                .map(|(&k, &v)| (k, v))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn map_as_set_bridges_the_full_set_contract() {
+        let set = MapAsSet(MutexUnitMap::default());
+        assert!(set.is_empty());
+        assert!(set.insert(3));
+        assert!(!set.insert(3));
+        assert!(set.contains(&3));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(&3));
+        assert!(!set.remove(&3));
+        assert_eq!(set.name(), "mutex-unit-map");
+        // The ordered face survives the bridge too.
+        for k in [5u64, 1, 9] {
+            set.insert(k);
+        }
+        assert_eq!(set.keys_between(Bound::Unbounded, Bound::Excluded(&9)), vec![1, 5]);
+        assert_eq!(set.into_inner().len(), 3);
     }
 }

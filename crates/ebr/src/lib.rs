@@ -370,6 +370,21 @@ impl<T> Atomic<T> {
         let prev = self.data.fetch_or(tag & low_bits::<T>(), ord);
         Shared { data: prev, _marker: PhantomData }
     }
+
+    /// Unconditionally exchanges the stored word for `new`, returning the
+    /// previous value.
+    ///
+    /// The caller takes over responsibility for the returned pointer (typically
+    /// retiring it with [`Guard::defer_destroy`] once it is unreachable).
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        let prev = self.data.swap(new.into_data(), ord);
+        Shared { data: prev, _marker: PhantomData }
+    }
 }
 
 impl<T> Default for Atomic<T> {
@@ -539,6 +554,13 @@ impl<T> Owned<T> {
         mem::forget(self);
         Shared { data, _marker: PhantomData }
     }
+
+    /// Deallocates the box and returns the value it held.
+    pub fn into_inner(self) -> T {
+        let boxed = unsafe { Box::from_raw(self.ptr) };
+        mem::forget(self);
+        *boxed
+    }
 }
 
 impl<T> Deref for Owned<T> {
@@ -621,6 +643,20 @@ mod tests {
         assert_eq!(prev.tag(), 0);
         assert_eq!(a.load(Ordering::SeqCst, &guard).tag(), 0b10);
         unsafe { drop(a.load(Ordering::SeqCst, &guard).with_tag(0).into_owned()) };
+    }
+
+    #[test]
+    fn swap_exchanges_and_returns_previous() {
+        let guard = pin();
+        let a = Atomic::new(1u64);
+        let old = a.load(Ordering::SeqCst, &guard);
+        let prev = a.swap(Owned::new(2u64), Ordering::SeqCst, &guard);
+        assert_eq!(prev, old);
+        assert_eq!(unsafe { *a.load(Ordering::SeqCst, &guard).deref() }, 2);
+        unsafe {
+            drop(prev.into_owned());
+            drop(a.load(Ordering::SeqCst, &guard).into_owned());
+        }
     }
 
     #[test]

@@ -3,37 +3,40 @@
 //! Reproduces the planned evaluation of *Efficient Lock-free Binary Search
 //! Trees* (the paper defers experiments to future work; the suite below is the
 //! standard concurrent-set methodology its comparators use, see `DESIGN.md`
-//! and `EXPERIMENTS.md` for the experiment index E1–E12).
+//! and `EXPERIMENTS.md` for the experiment index E1–E13).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e12|all|e1,e12,...] [--quick] [--duration-ms N]
-//!             [--max-threads N] [--csv] [--json <path>]
+//! experiments [e1|e2|...|e13|all|e1,e13,...] [--quick] [--duration-ms N]
+//!             [--max-threads N] [--value-bytes N] [--csv] [--json <path>]
 //! ```
 //!
 //! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
-//! the swept parameter and whose columns are the competing set implementations,
+//! the swept parameter and whose columns are the competing implementations,
 //! reporting throughput in million operations per second unless stated
 //! otherwise.  With `--json <path>` the throughput experiments additionally
-//! write their machine-readable records (implementation, threads, key range,
-//! mix, ops/s) to a JSON file — one document per run, overwriting the path —
-//! so successive runs can be committed as trajectory points (`BENCH_*.json`)
-//! and compared across PRs.
+//! write their machine-readable records (experiment id, implementation,
+//! threads, key range, mix, ADT kind, value payload bytes, ops/s) to a JSON
+//! file — one document per run, overwriting the path — so successive runs can
+//! be committed as trajectory points (`BENCH_*.json`) and compared across PRs;
+//! the `kind` / `value_bytes` fields keep set rows and map rows (E13)
+//! machine-comparable in one schema.
 
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cset::ConcurrentSet;
+use cset::{ConcurrentMap, ConcurrentSet};
 use ellen_bst::EllenBst;
 use lfbst::{Config, HelpPolicy, LfBst, RestartPolicy};
 use lflist::LockFreeList;
-use locked_bst::{CoarseLockBst, RwLockBst};
+use locked_bst::{CoarseLockBst, CoarseLockMap, RwLockBst};
 use natarajan_bst::NatarajanBst;
-use shard::{HashRouter, RangeRouter, Sharded};
+use shard::{HashRouter, RangeRouter, Sharded, ShardedMap};
 use workload::{
-    format_csv, format_markdown_table, run_workload, Measurement, OperationMix, WorkloadSpec,
+    format_csv, format_markdown_table, run_map_workload, run_workload, MapSpec, Measurement,
+    OperationMix, WorkloadSpec,
 };
 
 /// Which implementations an experiment measures.
@@ -132,6 +135,10 @@ fn run_kind(kind: SetKind, spec: &WorkloadSpec, threads: usize, duration: Durati
 }
 
 /// One machine-readable throughput data point, emitted by `--json`.
+///
+/// Set rows carry `kind: "set"` and `value_bytes: 0`; map rows (E13) carry
+/// `kind: "map"` and the payload size they measured, so one schema covers
+/// both ADT faces and trajectory files stay comparable across them.
 #[derive(Clone, Debug, PartialEq)]
 struct JsonRecord {
     experiment: String,
@@ -139,6 +146,8 @@ struct JsonRecord {
     threads: usize,
     key_range: u64,
     mix: String,
+    kind: &'static str,
+    value_bytes: usize,
     mops: f64,
 }
 
@@ -163,18 +172,20 @@ fn json_escape(s: &str) -> String {
 fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"lfbst-bench-v1\",\n");
+    out.push_str("  \"schema\": \"lfbst-bench-v2\",\n");
     out.push_str(&format!("  \"duration_ms\": {},\n", duration.as_millis()));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"mops\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"kind\": \"{}\", \"value_bytes\": {}, \"mops\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
             json_escape(&r.experiment),
             json_escape(&r.impl_name),
             r.threads,
             r.key_range,
             json_escape(&r.mix),
+            r.kind,
+            r.value_bytes,
             r.mops,
             r.mops * 1.0e6,
             if i + 1 == records.len() { "" } else { "," }
@@ -193,6 +204,8 @@ struct Options {
     csv: bool,
     quick: bool,
     json: Option<String>,
+    /// Overrides E13's value payload sweep with a single size.
+    value_bytes: Option<usize>,
     records: RefCell<Vec<JsonRecord>>,
 }
 
@@ -204,6 +217,7 @@ impl Options {
         let mut csv = false;
         let mut quick = false;
         let mut json = None;
+        let mut value_bytes = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -218,13 +232,24 @@ impl Options {
                     i += 1;
                     max_threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(max_threads);
                 }
+                "--value-bytes" => {
+                    i += 1;
+                    value_bytes = args.get(i).and_then(|s| s.parse().ok());
+                }
+                // Explicit form of the positional selector: `--experiments e1,e13`.
+                "--experiments" => {
+                    i += 1;
+                    if let Some(e) = args.get(i) {
+                        experiment = e.clone();
+                    }
+                }
                 "--json" => {
                     i += 1;
                     json = args.get(i).cloned();
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e12|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--csv] [--json <path>]"
+                        "usage: experiments [e1..e13|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -242,6 +267,7 @@ impl Options {
             csv,
             quick,
             json,
+            value_bytes,
             records: RefCell::new(Vec::new()),
         }
     }
@@ -252,7 +278,7 @@ impl Options {
         self.experiment == "all" || self.experiment.split(',').any(|e| e.trim() == name)
     }
 
-    /// Collects one machine-readable data point for `--json`.
+    /// Collects one machine-readable **set** data point for `--json`.
     fn record(
         &self,
         experiment: &str,
@@ -268,6 +294,32 @@ impl Options {
             threads,
             key_range,
             mix: mix.to_string(),
+            kind: "set",
+            value_bytes: 0,
+            mops,
+        });
+    }
+
+    /// Collects one machine-readable **map** data point for `--json`.
+    #[allow(clippy::too_many_arguments)]
+    fn record_map(
+        &self,
+        experiment: &str,
+        impl_name: &str,
+        threads: usize,
+        key_range: u64,
+        mix: &str,
+        value_bytes: usize,
+        mops: f64,
+    ) {
+        self.records.borrow_mut().push(JsonRecord {
+            experiment: experiment.to_string(),
+            impl_name: impl_name.to_string(),
+            threads,
+            key_range,
+            mix: mix.to_string(),
+            kind: "map",
+            value_bytes,
             mops,
         });
     }
@@ -805,6 +857,70 @@ fn e12(opts: &Options) {
     );
 }
 
+/// The value payload sizes E13 sweeps when `--value-bytes` is not given.
+const E13_VALUE_BYTES: &[usize] = &[8, 64, 256];
+
+fn e13(opts: &Options) {
+    // Map mixed workload: the same tree carrying real payloads.  Rows are
+    // value payload sizes; columns are the map-shaped implementations —
+    // `lfbst` as LfBst<u64, Vec<u8>>, the sharded composition of the same,
+    // and the mutex-BTreeMap oracle as the lock-based comparator.  The mix is
+    // E2's 70/20/10 reinterpreted for the map ADT (get / upsert / remove), so
+    // e2 set rows and e13 map rows of a trajectory file measure the same
+    // traffic shape with and without payloads.
+    let threads = opts.max_threads;
+    let key_range = 1u64 << 16;
+    let mix_label = "70/20/10";
+    let mix = OperationMix::new(70, 20, 10);
+    let sizes: Vec<usize> = match opts.value_bytes {
+        Some(n) => vec![n],
+        None if opts.quick => vec![8, 256],
+        None => E13_VALUE_BYTES.to_vec(),
+    };
+    let mut rows = Vec::new();
+    for &value_bytes in &sizes {
+        let spec = MapSpec::new(WorkloadSpec::new(key_range, mix), value_bytes);
+        let mut cells = Vec::new();
+
+        let m =
+            run_map_workload(Arc::new(LfBst::<u64, Vec<u8>>::new()), &spec, threads, opts.duration);
+        opts.record_map("e13", "lfbst", threads, key_range, mix_label, value_bytes, m.mops());
+        cells.push(("lfbst".to_string(), m.mops()));
+
+        let sharded = ShardedMap::new(HashRouter::new(16), |_| LfBst::<u64, Vec<u8>>::new());
+        let label = sharded.name();
+        let m = run_map_workload(Arc::new(sharded), &spec, threads, opts.duration);
+        opts.record_map("e13", label, threads, key_range, mix_label, value_bytes, m.mops());
+        cells.push((label.to_string(), m.mops()));
+
+        let m = run_map_workload(
+            Arc::new(CoarseLockMap::<u64, Vec<u8>>::new()),
+            &spec,
+            threads,
+            opts.duration,
+        );
+        opts.record_map(
+            "e13",
+            "coarse-mutex-btreemap",
+            threads,
+            key_range,
+            mix_label,
+            value_bytes,
+            m.mops(),
+        );
+        cells.push(("coarse-mutex-btreemap".to_string(), m.mops()));
+
+        rows.push((format!("{value_bytes} B"), cells));
+    }
+    opts.emit(
+        &format!(
+            "E13 — map mixed workload (get/upsert/remove {mix_label}, range 2^16, {threads} threads, value payload swept)"
+        ),
+        "value bytes",
+        &rows,
+    );
+}
+
 fn main() {
     let opts = Options::parse();
     println!(
@@ -814,7 +930,7 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
     type Experiment = (&'static str, fn(&Options));
-    let experiments: [Experiment; 12] = [
+    let experiments: [Experiment; 13] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -827,6 +943,7 @@ fn main() {
         ("e10", e10),
         ("e11", e11),
         ("e12", e12),
+        ("e13", e13),
     ];
     for (name, run) in experiments {
         if opts.selected(name) {
@@ -857,21 +974,29 @@ mod tests {
                 threads: 4,
                 key_range: 65536,
                 mix: "90/9/1".into(),
+                kind: "set",
+                value_bytes: 0,
                 mops: 12.5,
             },
             JsonRecord {
-                experiment: "e12".into(),
-                impl_name: "lfbst-contains-only".into(),
+                experiment: "e13".into(),
+                impl_name: "lfbst".into(),
                 threads: 1,
                 key_range: 65536,
-                mix: "100/0/0".into(),
+                mix: "70/20/10".into(),
+                kind: "map",
+                value_bytes: 64,
                 mops: 8.0,
             },
         ];
         let doc = json_document(&records, Duration::from_millis(300), 8);
-        assert!(doc.contains("\"schema\": \"lfbst-bench-v1\""));
+        assert!(doc.contains("\"schema\": \"lfbst-bench-v2\""));
         assert!(doc.contains("\"duration_ms\": 300"));
         assert!(doc.contains("\"ops_per_sec\": 12500000.0"));
+        // Every record is self-describing about its ADT face and payload.
+        assert!(doc.contains("\"kind\": \"set\", \"value_bytes\": 0"));
+        assert!(doc.contains("\"kind\": \"map\", \"value_bytes\": 64"));
+        assert!(doc.contains("\"experiment\": \"e13\""));
         // Exactly one comma separates the two records; the last has none.
         assert_eq!(doc.matches("},\n").count(), 1);
         // Balanced braces and brackets.
@@ -880,18 +1005,41 @@ mod tests {
     }
 
     #[test]
-    fn selection_accepts_lists() {
+    fn set_and_map_records_share_one_schema() {
         let opts = Options {
-            experiment: "e1,e12".to_string(),
+            experiment: "all".to_string(),
             duration: Duration::from_millis(1),
             max_threads: 1,
             csv: false,
             quick: true,
             json: None,
+            value_bytes: None,
+            records: RefCell::new(Vec::new()),
+        };
+        opts.record("e1", "lfbst", 2, 1 << 16, "90/9/1", 1.0);
+        opts.record_map("e13", "lfbst", 2, 1 << 16, "70/20/10", 256, 2.0);
+        let records = opts.records.borrow();
+        assert_eq!(records[0].kind, "set");
+        assert_eq!(records[0].value_bytes, 0);
+        assert_eq!(records[1].kind, "map");
+        assert_eq!(records[1].value_bytes, 256);
+        assert_eq!(records[1].experiment, "e13");
+    }
+
+    #[test]
+    fn selection_accepts_lists() {
+        let opts = Options {
+            experiment: "e1,e13".to_string(),
+            duration: Duration::from_millis(1),
+            max_threads: 1,
+            csv: false,
+            quick: true,
+            json: None,
+            value_bytes: None,
             records: RefCell::new(Vec::new()),
         };
         assert!(opts.selected("e1"));
-        assert!(opts.selected("e12"));
+        assert!(opts.selected("e13"));
         assert!(!opts.selected("e2"));
     }
 }

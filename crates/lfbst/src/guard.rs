@@ -11,17 +11,18 @@
 //! is pinned at the current epoch cannot be freed until that thread unpins or
 //! observes a newer epoch.  Long-lived handles should call
 //! [`Pinned::refresh`] between batches (the batch entry points do this
-//! automatically every [`REPIN_EVERY`] operations).
+//! automatically every `REPIN_EVERY` operations).
 
 use crossbeam_epoch::{self as epoch, Guard};
 
 use crate::tree::LfBst;
+use crate::value::MapValue;
 
 /// Operations performed on one guard before the batch entry points refresh it,
 /// bounding how long a batch can delay epoch advancement.
 pub(crate) const REPIN_EVERY: u64 = 1024;
 
-/// A handle that runs set operations under one long-lived epoch pin.
+/// A handle that runs set (and map) operations under one long-lived epoch pin.
 ///
 /// Created by [`LfBst::pin`]; borrows the tree, so the tree cannot be dropped
 /// while the handle is alive.  The handle is intentionally **not** `Send`: the
@@ -42,52 +43,39 @@ pub(crate) const REPIN_EVERY: u64 = 1024;
 /// drop(pinned); // unpins the epoch
 /// assert_eq!(set.len(), 99);
 /// ```
-pub struct Pinned<'t, K> {
-    tree: &'t LfBst<K>,
+///
+/// The map face gets the same amortization:
+///
+/// ```
+/// use lfbst::LfBst;
+///
+/// let map: LfBst<u64, u64> = LfBst::new();
+/// let pinned = map.pin();
+/// for k in 0..100u64 {
+///     pinned.upsert(k, k * 2);
+/// }
+/// assert_eq!(pinned.get(&21), Some(42));
+/// assert_eq!(pinned.remove_entry(&21), Some(42));
+/// ```
+pub struct Pinned<'t, K, V: MapValue = ()> {
+    tree: &'t LfBst<K, V>,
     guard: Guard,
 }
 
-impl<K> std::fmt::Debug for Pinned<'_, K> {
+impl<K, V: MapValue> std::fmt::Debug for Pinned<'_, K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pinned").field("tree", &"LfBst").finish_non_exhaustive()
     }
 }
 
-impl<K: Ord> LfBst<K> {
+impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Pins the current epoch once and returns a handle whose operations skip
     /// the per-operation pin.
     ///
     /// Dropping the handle unpins.  See the [module docs](crate::guard) for
     /// the reclamation caveat on long-lived handles.
-    pub fn pin(&self) -> Pinned<'_, K> {
+    pub fn pin(&self) -> Pinned<'_, K, V> {
         Pinned { tree: self, guard: epoch::pin() }
-    }
-
-    /// Inserts every key from `keys` under a single (periodically refreshed)
-    /// epoch pin; returns how many were newly inserted.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use lfbst::LfBst;
-    /// let set = LfBst::new();
-    /// assert_eq!(set.insert_all(0..10u64), 10);
-    /// assert_eq!(set.insert_all(5..15u64), 5);
-    /// ```
-    pub fn insert_all(&self, keys: impl IntoIterator<Item = K>) -> usize {
-        let mut guard = epoch::pin();
-        let mut inserted = 0usize;
-        let mut ops = 0u64;
-        for key in keys {
-            if self.insert_with(key, &guard) {
-                inserted += 1;
-            }
-            ops += 1;
-            if ops % REPIN_EVERY == 0 {
-                guard.repin();
-            }
-        }
-        inserted
     }
 
     /// Removes every key yielded by `keys` under a single (periodically
@@ -131,6 +119,66 @@ impl<K: Ord> LfBst<K> {
         }
         present
     }
+
+    /// Upserts every `(key, value)` entry under a single (periodically
+    /// refreshed) epoch pin; returns how many were fresh insertions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// let map: LfBst<u64, u64> = LfBst::new();
+    /// assert_eq!(map.upsert_all((0..10u64).map(|k| (k, k))), 10);
+    /// assert_eq!(map.upsert_all((5..15u64).map(|k| (k, k + 1))), 5);
+    /// assert_eq!(map.get(&7), Some(8));
+    /// ```
+    pub fn upsert_all(&self, entries: impl IntoIterator<Item = (K, V)>) -> usize
+    where
+        V: Clone,
+    {
+        let mut guard = epoch::pin();
+        let mut fresh = 0usize;
+        let mut ops = 0u64;
+        for (key, value) in entries {
+            if self.upsert_with(key, value, &guard).is_none() {
+                fresh += 1;
+            }
+            ops += 1;
+            if ops % REPIN_EVERY == 0 {
+                guard.repin();
+            }
+        }
+        fresh
+    }
+}
+
+impl<K: Ord> LfBst<K> {
+    /// Inserts every key from `keys` under a single (periodically refreshed)
+    /// epoch pin; returns how many were newly inserted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// let set = LfBst::new();
+    /// assert_eq!(set.insert_all(0..10u64), 10);
+    /// assert_eq!(set.insert_all(5..15u64), 5);
+    /// ```
+    pub fn insert_all(&self, keys: impl IntoIterator<Item = K>) -> usize {
+        let mut guard = epoch::pin();
+        let mut inserted = 0usize;
+        let mut ops = 0u64;
+        for key in keys {
+            if self.insert_with(key, &guard) {
+                inserted += 1;
+            }
+            ops += 1;
+            if ops % REPIN_EVERY == 0 {
+                guard.repin();
+            }
+        }
+        inserted
+    }
 }
 
 impl<K: Ord> Pinned<'_, K> {
@@ -138,7 +186,9 @@ impl<K: Ord> Pinned<'_, K> {
     pub fn insert(&self, key: K) -> bool {
         self.tree.insert_with(key, &self.guard)
     }
+}
 
+impl<K: Ord, V: MapValue> Pinned<'_, K, V> {
     /// [`LfBst::remove`] without the per-operation pin.
     pub fn remove(&self, key: &K) -> bool {
         self.tree.remove_with(key, &self.guard)
@@ -149,8 +199,37 @@ impl<K: Ord> Pinned<'_, K> {
         self.tree.contains_with(key, &self.guard)
     }
 
+    /// [`LfBst::insert_entry`] without the per-operation pin.
+    pub fn insert_entry(&self, key: K, value: V) -> bool {
+        self.tree.insert_entry_with(key, value, &self.guard)
+    }
+
+    /// [`LfBst::get`] without the per-operation pin.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.tree.get_with(key, &self.guard)
+    }
+
+    /// [`LfBst::upsert`] without the per-operation pin.
+    pub fn upsert(&self, key: K, value: V) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.tree.upsert_with(key, value, &self.guard)
+    }
+
+    /// [`LfBst::remove_entry`] without the per-operation pin.
+    pub fn remove_entry(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.tree.remove_entry_with(key, &self.guard)
+    }
+
     /// The tree this handle operates on.
-    pub fn tree(&self) -> &LfBst<K> {
+    pub fn tree(&self) -> &LfBst<K, V> {
         self.tree
     }
 

@@ -11,6 +11,25 @@
 //! `insert` (the paper's `Add`), `remove` (`Remove`) and `contains` (`Contains`),
 //! using only single-word atomic reads, writes and compare-and-swap.
 //!
+//! It is also a linearizable, lock-free **ordered Map**: `LfBst<K, V>` carries
+//! a value beside each key (`LfBst<K>` is exactly `LfBst<K, ()>`, so the Set
+//! face costs nothing) with [`insert_entry`](LfBst::insert_entry),
+//! [`get`](LfBst::get), [`upsert`](LfBst::upsert) (atomic in-place value
+//! replacement), [`remove_entry`](LfBst::remove_entry) (returns the evicted
+//! value) and [`entries_in_range`](LfBst::entries_in_range).  See [`MapValue`]
+//! for how value storage is chosen per type, and `DESIGN.md` ("Values on an
+//! internal BST") for the linearization argument.
+//!
+//! ```
+//! use lfbst::LfBst;
+//!
+//! let index: LfBst<u64, String> = LfBst::new();
+//! index.insert_entry(7, "seven".into());
+//! assert_eq!(index.upsert(7, "VII".into()).as_deref(), Some("seven"));
+//! assert_eq!(index.get(&7).as_deref(), Some("VII"));
+//! assert_eq!(index.remove_entry(&7).as_deref(), Some("VII"));
+//! ```
+//!
 //! The tree is an *internal* BST stored in **threaded** form (Perlis & Thornton):
 //! a node's right child pointer, when there is no right child, is a *thread* to the
 //! node's in-order successor, and a missing left child pointer is a thread to the
@@ -90,16 +109,21 @@ mod node;
 mod remove;
 mod tree;
 pub mod validate;
+pub mod value;
 
 pub use config::{Config, HelpPolicy, RestartPolicy};
 pub use guard::Pinned;
 pub use tree::LfBst;
+pub use value::{BoxedCell, MapValue, UnitCell, ValueCell};
 
 /// The epoch guard type accepted by the `*_with` entry points
 /// ([`LfBst::insert_with`] and friends); obtain one from [`LfBst::pin`] /
 /// [`Pinned::guard`] or from `crossbeam_epoch::pin` directly.
 pub use crossbeam_epoch::Guard;
-pub use cset::{ConcurrentSet, KeyBound, OpStats, PinnedOps, StatsSnapshot};
+pub use cset::{
+    ConcurrentMap, ConcurrentSet, KeyBound, MapAsSet, OpStats, OrderedMap, OrderedSet, PinnedOps,
+    StatsSnapshot,
+};
 
 /// Returns `true` if this build of the crate records operation statistics
 /// (the `stats` cargo feature).

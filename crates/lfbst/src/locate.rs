@@ -18,22 +18,23 @@ use crate::link::{is_mark, is_thread, same_node};
 use crate::node::Node;
 use crate::tree::ord::LOAD;
 use crate::tree::LfBst;
+use crate::value::MapValue;
 
 /// Where a traversal stopped.
-pub(crate) struct Location<'g, K> {
+pub(crate) struct Location<'g, K, V: MapValue = ()> {
     /// The node visited immediately before `curr` (used for vicinity restarts).
-    pub(crate) prev: Shared<'g, Node<K>>,
+    pub(crate) prev: Shared<'g, Node<K, V>>,
     /// The node at which the traversal stopped.
-    pub(crate) curr: Shared<'g, Node<K>>,
+    pub(crate) curr: Shared<'g, Node<K, V>>,
     /// `0` / `1`: the searched interval is associated with the threaded link
     /// `curr.child[dir]`; `2`: `curr` holds the searched key.
     pub(crate) dir: usize,
     /// The value of `curr.child[dir]` observed at the stopping point
     /// (meaningful when `dir != 2`).
-    pub(crate) link: Shared<'g, Node<K>>,
+    pub(crate) link: Shared<'g, Node<K, V>>,
 }
 
-impl<K: Ord> LfBst<K> {
+impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// The paper's `Locate`: searches for `key` starting from `(prev, curr)`.
     ///
     /// Returns `dir == 2` when a node holding `key` is found; otherwise the
@@ -41,12 +42,12 @@ impl<K: Ord> LfBst<K> {
     /// `curr.child[dir]` of the returned location.
     pub(crate) fn locate_from<'g>(
         &self,
-        mut prev: Shared<'g, Node<K>>,
-        mut curr: Shared<'g, Node<K>>,
+        mut prev: Shared<'g, Node<K, V>>,
+        mut curr: Shared<'g, Node<K, V>>,
         key: &K,
         eager: bool,
         guard: &'g Guard,
-    ) -> Location<'g, K> {
+    ) -> Location<'g, K, V> {
         // Hoisted so the loop body carries no config loads; with the `stats`
         // feature off this is a compile-time `false` and every stats branch
         // below folds away.
@@ -120,12 +121,12 @@ impl<K: Ord> LfBst<K> {
     /// the returned `link`.
     pub(crate) fn locate_order_from<'g>(
         &self,
-        mut prev: Shared<'g, Node<K>>,
-        mut curr: Shared<'g, Node<K>>,
+        mut prev: Shared<'g, Node<K, V>>,
+        mut curr: Shared<'g, Node<K, V>>,
         key: &K,
         eager: bool,
         guard: &'g Guard,
-    ) -> Location<'g, K> {
+    ) -> Location<'g, K, V> {
         let record = self.record_stats();
         let mut links: u64 = 0;
         loop {
@@ -185,7 +186,7 @@ impl<K: Ord> LfBst<K> {
     pub(crate) fn find_exact<'g>(
         &self,
         key: &K,
-        victim: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> bool {
         let loc = self.locate_from(self.root1(), self.root0(), key, false, guard);

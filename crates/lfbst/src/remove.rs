@@ -32,6 +32,7 @@ use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, FLAG, MARK, 
 use crate::node::Node;
 use crate::tree::ord::{CAS, CAS_ERR, LOAD, STORE};
 use crate::tree::LfBst;
+use crate::value::MapValue;
 
 /// Result of driving a removal forward from its flagged order-link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,7 +55,7 @@ enum Cat3Outcome {
     Reexamine,
 }
 
-impl<K: Ord> LfBst<K> {
+impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Removes `key`; returns `true` if it was present and this call removed it.
     ///
     /// This is the paper's `Remove` (lines 31–40): locate the order-link of the
@@ -67,6 +68,17 @@ impl<K: Ord> LfBst<K> {
     /// [`remove`](Self::remove) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
     pub fn remove_with(&self, key: &K, guard: &Guard) -> bool {
+        self.remove_node_with(key, guard).is_some()
+    }
+
+    /// The removal core: on success returns the victim node, which stays
+    /// dereferenceable under `guard` even though it has been retired (used by
+    /// `remove_entry` to read the evicted value).
+    pub(crate) fn remove_node_with<'g>(
+        &self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, Node<K, V>>> {
         let record = self.record_stats();
         let mut prev = self.root1();
         let mut curr = self.root0();
@@ -76,7 +88,7 @@ impl<K: Ord> LfBst<K> {
             let victim = link.with_tag(0);
             if self.cmp_node_key(victim, key) != std::cmp::Ordering::Equal {
                 // The interval containing `key` is empty: the key is absent.
-                return false;
+                return None;
             }
             let order = loc.curr;
             let order_ref = unsafe { order.deref() };
@@ -97,7 +109,7 @@ impl<K: Ord> LfBst<K> {
                         match self.clean_flag_threaded(order, loc.dir, victim, guard) {
                             FinishOutcome::Done => {
                                 self.note_removal();
-                                return true;
+                                return Some(victim);
                             }
                             FinishOutcome::Invalidated => {
                                 // Our flag was consumed by a shift of the victim;
@@ -135,7 +147,7 @@ impl<K: Ord> LfBst<K> {
                 // owner's).
                 self.note_help();
                 let _ = self.clean_flag_threaded(order, loc.dir, victim, guard);
-                return false;
+                return None;
             }
             if same_node(observed, victim) && is_mark(observed) {
                 // The order node itself is logically removed (dir == 1) or the
@@ -173,9 +185,9 @@ impl<K: Ord> LfBst<K> {
     /// Paper: `CleanFlag` with a threaded link (lines 72–88).
     pub(crate) fn clean_flag_threaded<'g>(
         &self,
-        order: Shared<'g, Node<K>>,
+        order: Shared<'g, Node<K, V>>,
         dir: usize,
-        victim: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> FinishOutcome {
         let victim_ref = unsafe { victim.deref() };
@@ -277,7 +289,7 @@ impl<K: Ord> LfBst<K> {
     ///
     /// Paper: `CleanMark` with `markDir == 1` (lines 122–140) plus the final
     /// pointer swings of `CleanFlag`/`CleanMark`.
-    pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K>>, guard: &'g Guard) {
+    pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         let victim_ref = unsafe { victim.deref() };
         loop {
             let left = victim_ref.child[0].load(LOAD, guard);
@@ -316,9 +328,9 @@ impl<K: Ord> LfBst<K> {
     /// victim would search forever for an order link that no longer exists.)
     fn order_node_of<'g>(
         &self,
-        victim: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
-    ) -> Shared<'g, Node<K>> {
+    ) -> Shared<'g, Node<K, V>> {
         let victim_ref = unsafe { victim.deref() };
         let hint = victim_ref.prelink.load(LOAD, guard).with_tag(0);
         if !hint.is_null() && self.is_order_node_of(hint, victim, guard) {
@@ -368,8 +380,8 @@ impl<K: Ord> LfBst<K> {
     /// node whose threaded right link points at `victim`.
     fn is_order_node_of<'g>(
         &self,
-        cand: Shared<'g, Node<K>>,
-        victim: Shared<'g, Node<K>>,
+        cand: Shared<'g, Node<K, V>>,
+        victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> bool {
         if same_node(cand, victim) {
@@ -386,8 +398,8 @@ impl<K: Ord> LfBst<K> {
     /// Returns `true` when the removal is complete, `false` to re-dispatch.
     fn remove_cat12<'g>(
         &self,
-        victim: Shared<'g, Node<K>>,
-        order: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
+        order: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> bool {
         let victim_ref = unsafe { victim.deref() };
@@ -502,8 +514,8 @@ impl<K: Ord> LfBst<K> {
     /// 147–160.
     fn remove_cat3<'g>(
         &self,
-        victim: Shared<'g, Node<K>>,
-        order: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
+        order: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> Cat3Outcome {
         let victim_ref = unsafe { victim.deref() };
@@ -737,9 +749,9 @@ impl<K: Ord> LfBst<K> {
     /// Returns `None` when the victim has already been physically removed.
     fn flag_parent<'g>(
         &self,
-        victim: Shared<'g, Node<K>>,
+        victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
-    ) -> Option<(Shared<'g, Node<K>>, usize)> {
+    ) -> Option<(Shared<'g, Node<K, V>>, usize)> {
         loop {
             let Some((parent, pdir)) = self.find_parent_of(victim, guard) else {
                 // The descent did not find the victim; confirm with a key
@@ -795,9 +807,9 @@ impl<K: Ord> LfBst<K> {
     /// follows only unthreaded links.
     fn find_parent_of<'g>(
         &self,
-        node: Shared<'g, Node<K>>,
+        node: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
-    ) -> Option<(Shared<'g, Node<K>>, usize)> {
+    ) -> Option<(Shared<'g, Node<K, V>>, usize)> {
         let node_ref = unsafe { node.deref() };
         // Fast path: the backlink hint.
         let hint = node_ref.backlink.load(LOAD, guard).with_tag(0);
@@ -838,7 +850,7 @@ impl<K: Ord> LfBst<K> {
     /// Helps the removal of `child`, which was discovered through a flagged
     /// parent link pointing at it.  By the canonical step order the child's
     /// right link is already marked, so completing it is a `clean_mark_right`.
-    fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K>>, guard: &'g Guard) {
+    fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         let r = unsafe { child.deref() }.child[1].load(LOAD, guard);
         if is_mark(r) {
             self.clean_mark_right(child, guard);
@@ -847,7 +859,7 @@ impl<K: Ord> LfBst<K> {
 
     /// Best-effort helper dispatch for a node that obstructed us: examines the
     /// node's links and finishes whatever pending removal they reveal.
-    pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K>>, guard: &'g Guard) {
+    pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         let node_ref = unsafe { node.deref() };
         let r = node_ref.child[1].load(LOAD, guard);
         if is_mark(r) {
@@ -882,7 +894,7 @@ impl<K: Ord> LfBst<K> {
     ///
     /// Called exactly once per removed node: only the thread whose CAS unlinked
     /// the last incoming parent link reaches this call.
-    fn retire<'g>(&self, victim: Shared<'g, Node<K>>, guard: &'g Guard) {
+    fn retire<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         if self.record_stats() {
             self.stats.record_retire();
         }

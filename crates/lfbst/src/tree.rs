@@ -1,17 +1,21 @@
-//! The public [`LfBst`] type: construction, `insert`, `contains`, size queries,
-//! snapshots and teardown.  The removal protocol lives in `remove.rs`, the
-//! traversal in `locate.rs`.
+//! The public [`LfBst`] type: construction, `insert`, `contains`, the map
+//! entry points (`insert_entry` / `get` / `upsert` / `remove_entry`), size
+//! queries, snapshots and teardown.  The removal protocol lives in
+//! `remove.rs`, the traversal in `locate.rs`, the value cells in `value.rs`.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
-use cset::{ConcurrentSet, KeyBound, OpStats, OrderedSet, StatsSnapshot};
+use cset::{
+    ConcurrentMap, ConcurrentSet, KeyBound, OpStats, OrderedMap, OrderedSet, StatsSnapshot,
+};
 
 use crate::config::{Config, HelpPolicy, RestartPolicy};
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, THREAD};
 use crate::node::Node;
+use crate::value::{MapValue, ValueCell};
 
 /// Per-site memory orderings, derived from the protocol's happens-before
 /// argument (see `DESIGN.md`, "Memory ordering").
@@ -55,12 +59,25 @@ pub(crate) mod ord {
 
 use ord::{CAS, CAS_ERR, INIT, LOAD};
 
-/// A lock-free internal (threaded) binary search tree implementing a Set.
+/// A lock-free internal (threaded) binary search tree implementing an ordered
+/// Set (`LfBst<K>`) or, with a value type, an ordered Map (`LfBst<K, V>`).
+///
+/// The second type parameter defaults to `()`: `LfBst<K>` **is**
+/// `LfBst<K, ()>`, the paper's Set with its five-word node intact, and the
+/// whole set-flavoured API (`insert` / `remove` / `contains`, the
+/// [`Pinned`](crate::Pinned) handles, the batch helpers) lives on that alias.  Instantiating a real
+/// value type turns the same protocol into a map: the value rides in a cell
+/// beside the key (see [`MapValue`]) and `insert_entry` / [`get`](Self::get) /
+/// [`upsert`](Self::upsert) / [`remove_entry`](Self::remove_entry) carry it
+/// end to end.
 ///
 /// See the [crate-level documentation](crate) for the algorithm overview and
-/// `DESIGN.md` for the full protocol description.
+/// `DESIGN.md` for the full protocol description (including "Values on an
+/// internal BST" for the map extension).
 ///
 /// # Examples
+///
+/// The set face:
 ///
 /// ```
 /// use lfbst::LfBst;
@@ -74,25 +91,38 @@ use ord::{CAS, CAS_ERR, INIT, LOAD};
 /// assert!(!set.contains(&10));
 /// assert_eq!(set.len(), 1);
 /// ```
-pub struct LfBst<K> {
+///
+/// The map face:
+///
+/// ```
+/// use lfbst::LfBst;
+///
+/// let map: LfBst<u64, String> = LfBst::new();
+/// assert!(map.insert_entry(1, "one".into()));
+/// assert_eq!(map.get(&1).as_deref(), Some("one"));
+/// assert_eq!(map.upsert(1, "uno".into()).as_deref(), Some("one"));
+/// assert_eq!(map.remove_entry(&1).as_deref(), Some("uno"));
+/// assert_eq!(map.get(&1), None);
+/// ```
+pub struct LfBst<K, V: MapValue = ()> {
     /// `root[0]` holds `-inf` and is the left child (and predecessor) of
     /// `root[1]`, which holds `+inf`.  Neither is ever removed.
-    pub(crate) roots: [*mut Node<K>; 2],
+    pub(crate) roots: [*mut Node<K, V>; 2],
     pub(crate) config: Config,
     pub(crate) stats: OpStats,
     size: AtomicUsize,
 }
 
-unsafe impl<K: Send + Sync> Send for LfBst<K> {}
-unsafe impl<K: Send + Sync> Sync for LfBst<K> {}
+unsafe impl<K: Send + Sync, V: MapValue> Send for LfBst<K, V> {}
+unsafe impl<K: Send + Sync, V: MapValue> Sync for LfBst<K, V> {}
 
-impl<K: Ord> Default for LfBst<K> {
+impl<K: Ord, V: MapValue> Default for LfBst<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K> fmt::Debug for LfBst<K> {
+impl<K, V: MapValue> fmt::Debug for LfBst<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LfBst")
             .field("len", &self.size.load(Ordering::Relaxed))
@@ -101,7 +131,23 @@ impl<K> fmt::Debug for LfBst<K> {
     }
 }
 
-impl<K: Ord> LfBst<K> {
+/// How [`LfBst::insert_core`] ended.
+pub(crate) enum InsertOutcome<'g, K, V: MapValue> {
+    /// The new node was published; the key was absent.
+    Inserted,
+    /// The key was already present; the unpublished node was dismantled and
+    /// its key and value handed back.
+    Present {
+        /// The node currently holding the key.
+        existing: Shared<'g, Node<K, V>>,
+        /// The key, returned for retry loops.
+        key: K,
+        /// The value, returned for retry loops.
+        value: V,
+    },
+}
+
+impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Creates an empty tree with the default [`Config`].
     pub fn new() -> Self {
         Self::with_config(Config::default())
@@ -123,11 +169,11 @@ impl<K: Ord> LfBst<K> {
         //   root[1] = +inf : left child root[0] (unthreaded), right thread to
         //                    itself (the paper uses null; a self thread avoids
         //                    null checks and is never followed).
-        let r0 = Box::into_raw(Box::new(Node::new(KeyBound::NegInf)));
-        let r1 = Box::into_raw(Box::new(Node::new(KeyBound::PosInf)));
+        let r0 = Box::into_raw(Box::new(Node::<K, V>::new(KeyBound::NegInf)));
+        let r1 = Box::into_raw(Box::new(Node::<K, V>::new(KeyBound::PosInf)));
         let guard = unsafe { epoch::unprotected() };
-        let s0: Shared<'_, Node<K>> = Shared::from(r0 as *const Node<K>);
-        let s1: Shared<'_, Node<K>> = Shared::from(r1 as *const Node<K>);
+        let s0: Shared<'_, Node<K, V>> = Shared::from(r0 as *const Node<K, V>);
+        let s1: Shared<'_, Node<K, V>> = Shared::from(r1 as *const Node<K, V>);
         unsafe {
             (*r0).child[0].store(s0.with_tag(THREAD), INIT);
             (*r0).child[1].store(s1.with_tag(THREAD), INIT);
@@ -142,14 +188,14 @@ impl<K: Ord> LfBst<K> {
 
     /// The `-inf` dummy node.
     #[inline]
-    pub(crate) fn root0<'g>(&self) -> Shared<'g, Node<K>> {
-        Shared::from(self.roots[0] as *const Node<K>)
+    pub(crate) fn root0<'g>(&self) -> Shared<'g, Node<K, V>> {
+        Shared::from(self.roots[0] as *const Node<K, V>)
     }
 
     /// The `+inf` dummy node.
     #[inline]
-    pub(crate) fn root1<'g>(&self) -> Shared<'g, Node<K>> {
-        Shared::from(self.roots[1] as *const Node<K>)
+    pub(crate) fn root1<'g>(&self) -> Shared<'g, Node<K, V>> {
+        Shared::from(self.roots[1] as *const Node<K, V>)
     }
 
     #[inline]
@@ -184,7 +230,7 @@ impl<K: Ord> LfBst<K> {
     /// on a stale traversal under heavy churn a defensive comparison must
     /// degrade to the reference semantics, not to undefined behaviour.
     #[inline(always)]
-    pub(crate) fn cmp_node_key(&self, node: Shared<'_, Node<K>>, key: &K) -> CmpOrdering {
+    pub(crate) fn cmp_node_key(&self, node: Shared<'_, Node<K, V>>, key: &K) -> CmpOrdering {
         let raw = node.with_tag(0).as_raw();
         if std::ptr::eq(raw, self.roots[0]) {
             return CmpOrdering::Less; // -inf
@@ -241,26 +287,30 @@ impl<K: Ord> LfBst<K> {
         loc.dir == 2
     }
 
-    /// Inserts `key`; returns `true` if it was not already present.
-    ///
-    /// This is the paper's `Add` (listing lines 161–183): locate the threaded
-    /// link whose key interval contains `key`, then publish the new node with a
-    /// single CAS on that link.  On failure the operation helps any obstructing
+    /// The paper's `Add` (listing lines 161–183), generalised to carry a
+    /// value: locate the threaded link whose key interval contains `key`, then
+    /// publish the new node — value cell already initialised — with a single
+    /// CAS on that link.  On failure the operation helps any obstructing
     /// removal and retries from the vicinity of the failure.
-    pub fn insert(&self, key: K) -> bool {
-        self.insert_with(key, &epoch::pin())
-    }
-
-    /// [`insert`](Self::insert) under a caller-held guard (see
-    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
-    pub fn insert_with(&self, key: K, guard: &Guard) -> bool {
+    ///
+    /// On a present key the unpublished node is dismantled and its key and
+    /// value handed back through [`InsertOutcome::Present`], so callers
+    /// (`upsert`) can retry without cloning.
+    pub(crate) fn insert_core<'g>(
+        &self,
+        key: K,
+        value: V,
+        guard: &'g Guard,
+    ) -> InsertOutcome<'g, K, V> {
         let record = self.record_stats();
         // Allocate and pre-thread the new node: its left link is a thread to
         // itself (lines 163-164); the right link and backlink are filled in per
         // attempt below.  The node is unpublished until the injection CAS, so
-        // its initialisation can stay relaxed: the CAS releases it.
-        let new = Owned::new(Node::new(KeyBound::Key(key))).into_shared(guard);
+        // its initialisation (value cell included) can stay relaxed: the CAS
+        // releases it.
+        let new = Owned::new(Node::<K, V>::new(KeyBound::Key(key))).into_shared(guard);
         let new_ref = unsafe { new.deref() };
+        new_ref.value.init(value);
         new_ref.child[0].store(new.with_tag(THREAD), INIT);
         let key_ref = match &new_ref.key {
             KeyBound::Key(k) => k,
@@ -274,11 +324,16 @@ impl<K: Ord> LfBst<K> {
         loop {
             let loc = self.locate_from(prev, curr, key_ref, self.eager_help(), guard);
             if loc.dir == 2 {
-                // Key already present: discard the unpublished node.
-                unsafe {
-                    drop(new.into_owned());
-                }
-                return false;
+                // Key already present: dismantle the unpublished node and hand
+                // its contents back to the caller.
+                let value =
+                    new_ref.value.take_unpublished().expect("unpublished node keeps its value");
+                let node = unsafe { new.into_owned() }.into_inner();
+                let key = match node.key {
+                    KeyBound::Key(k) => k,
+                    _ => unreachable!("insert allocates real keys only"),
+                };
+                return InsertOutcome::Present { existing: loc.curr, key, value };
             }
             prev = loc.prev;
             curr = loc.curr;
@@ -302,7 +357,7 @@ impl<K: Ord> LfBst<K> {
                             self.stats.record_cas(true);
                         }
                         self.size.fetch_add(1, Ordering::Relaxed);
-                        return true;
+                        return InsertOutcome::Inserted;
                     }
                     Err(_) => {
                         if record {
@@ -347,6 +402,153 @@ impl<K: Ord> LfBst<K> {
         }
     }
 
+    /// Inserts the entry `key -> value` if `key` is absent; returns `true` on
+    /// success, `false` (dropping `value`) if the key was already present.
+    ///
+    /// This is the map-flavoured `Add`; the stored value of a present key is
+    /// **not** touched — use [`upsert`](Self::upsert) to replace it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// let map: LfBst<u64, u64> = LfBst::new();
+    /// assert!(map.insert_entry(1, 10));
+    /// assert!(!map.insert_entry(1, 11));
+    /// assert_eq!(map.get(&1), Some(10));
+    /// ```
+    pub fn insert_entry(&self, key: K, value: V) -> bool {
+        self.insert_entry_with(key, value, &epoch::pin())
+    }
+
+    /// [`insert_entry`](Self::insert_entry) under a caller-held guard (see
+    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
+    pub fn insert_entry_with(&self, key: K, value: V, guard: &Guard) -> bool {
+        matches!(self.insert_core(key, value, guard), InsertOutcome::Inserted)
+    }
+
+    /// Returns the value currently associated with `key`, if any.
+    ///
+    /// Reads are oblivious exactly like [`contains`](Self::contains): the
+    /// traversal never writes to shared memory and never restarts (in the
+    /// default [`HelpPolicy::ReadOptimized`] mode), and the value is read from
+    /// the node's cell under the epoch guard, so it is safe against concurrent
+    /// [`upsert`](Self::upsert) replacements and removals.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, &epoch::pin())
+    }
+
+    /// [`get`](Self::get) under a caller-held guard (see [`pin`](Self::pin)).
+    pub fn get_with(&self, key: &K, guard: &Guard) -> Option<V>
+    where
+        V: Clone,
+    {
+        let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
+        if loc.dir != 2 {
+            return None;
+        }
+        let node_ref = unsafe { loc.curr.deref() };
+        Some(node_ref.value.read(guard).expect("keyed node has a value").clone())
+    }
+
+    /// Inserts or replaces the entry `key -> value`; returns the previous
+    /// value if the key was present, `None` if a fresh entry was inserted.
+    ///
+    /// A present key is updated **in place**: the value cell's pointer is
+    /// swapped atomically, without re-running the insert protocol, so an
+    /// upsert-heavy workload pays one traversal plus one swap per operation
+    /// (see `DESIGN.md`, "Values on an internal BST", for the linearization
+    /// argument and the remove-race caveat).
+    pub fn upsert(&self, key: K, value: V) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.upsert_with(key, value, &epoch::pin())
+    }
+
+    /// [`upsert`](Self::upsert) under a caller-held guard (see
+    /// [`pin`](Self::pin)).
+    pub fn upsert_with(&self, key: K, value: V, guard: &Guard) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut key = key;
+        let mut value = value;
+        loop {
+            let loc = self.locate_from(self.root1(), self.root0(), &key, self.eager_help(), guard);
+            if loc.dir == 2 {
+                let node_ref = unsafe { loc.curr.deref() };
+                let right = node_ref.child[1].load(LOAD, guard);
+                if is_mark(right) {
+                    // The node is logically removed: an update must not
+                    // resurrect it.  Drive the removal to completion, then
+                    // retry — the next locate will miss the key and take the
+                    // insert path.
+                    self.note_help();
+                    self.clean_mark_right(loc.curr, guard);
+                    continue;
+                }
+                // Linearization point of the update: the pointer swap inside
+                // the cell (a flag on the right link does not block it — a
+                // flagged node is still logically present).
+                return Some(node_ref.value.replace(value, guard));
+            }
+            match self.insert_core(key, value, guard) {
+                InsertOutcome::Inserted => return None,
+                InsertOutcome::Present { existing, key: k, value: v } => {
+                    // Lost the injection race to a concurrent insert of the
+                    // same key: update the winner in place if it is still
+                    // live, otherwise help its removal and retry.
+                    let node_ref = unsafe { existing.deref() };
+                    let right = node_ref.child[1].load(LOAD, guard);
+                    if !is_mark(right) {
+                        return Some(node_ref.value.replace(v, guard));
+                    }
+                    self.note_help();
+                    self.clean_mark_right(existing, guard);
+                    key = k;
+                    value = v;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning the evicted value if the key was present.
+    ///
+    /// The returned value is the one observed in the node's cell once this
+    /// call's removal has been driven to completion.
+    pub fn remove_entry(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.remove_entry_with(key, &epoch::pin())
+    }
+
+    /// [`remove_entry`](Self::remove_entry) under a caller-held guard (see
+    /// [`pin`](Self::pin)).
+    pub fn remove_entry_with(&self, key: &K, guard: &Guard) -> Option<V>
+    where
+        V: Clone,
+    {
+        let victim = self.remove_node_with(key, guard)?;
+        // The victim was located under `guard`, so the node (and the value box
+        // its cell points at) outlives this read even though it has already
+        // been retired to the epoch collector.
+        let node_ref = unsafe { victim.deref() };
+        Some(node_ref.value.read(guard).expect("keyed node has a value").clone())
+    }
+
+    /// Returns `true` if `key` currently has an entry.
+    ///
+    /// Identical to [`contains`](Self::contains); provided so map call sites
+    /// read naturally.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.contains(key)
+    }
+
     /// Collects the keys currently in the set, in ascending order.
     ///
     /// The snapshot walks the threaded representation (an in-order walk is a
@@ -356,21 +558,18 @@ impl<K: Ord> LfBst<K> {
     where
         K: Clone,
     {
-        let guard = &epoch::pin();
-        let mut out = Vec::new();
-        let mut curr = self.root0();
-        loop {
-            let next = self.in_order_successor(curr, guard);
-            if same_node(next, self.root1()) || next.is_null() {
-                break;
-            }
-            let node = unsafe { next.deref() };
-            if let KeyBound::Key(k) = &node.key {
-                out.push(k.clone());
-            }
-            curr = next;
-        }
-        out
+        self.keys_in_range(..)
+    }
+
+    /// Collects the `(key, value)` entries currently in the map, in ascending
+    /// key order (same weak-consistency contract as
+    /// [`iter_keys`](Self::iter_keys)).
+    pub fn iter_entries(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.entries_in_range(..)
     }
 
     /// Collects the keys in `range`, in ascending order.
@@ -399,6 +598,55 @@ impl<K: Ord> LfBst<K> {
         K: Clone,
         R: std::ops::RangeBounds<K>,
     {
+        let mut out = Vec::new();
+        self.for_each_in_range(range, |node, _| {
+            if let KeyBound::Key(k) = &node.key {
+                out.push(k.clone());
+            }
+        });
+        out
+    }
+
+    /// Collects the `(key, value)` entries in `range`, in ascending key order.
+    ///
+    /// Each value is read from its node's cell at the moment the scan visits
+    /// it; like [`keys_in_range`](Self::keys_in_range) the scan is **weakly
+    /// consistent** under concurrency and exact in a quiescent state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    ///
+    /// let map: LfBst<u64, u64> = LfBst::new();
+    /// for k in [10u64, 20, 30] {
+    ///     map.insert_entry(k, k * 10);
+    /// }
+    /// assert_eq!(map.entries_in_range(15..=30), vec![(20, 200), (30, 300)]);
+    /// ```
+    pub fn entries_in_range<R>(&self, range: R) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+        R: std::ops::RangeBounds<K>,
+    {
+        let mut out = Vec::new();
+        self.for_each_in_range(range, |node, guard| {
+            if let KeyBound::Key(k) = &node.key {
+                let v = node.value.read(guard).expect("keyed node has a value").clone();
+                out.push((k.clone(), v));
+            }
+        });
+        out
+    }
+
+    /// The shared range-scan walk: locates the first node at or above the
+    /// lower bound, then follows successor threads, invoking `f` on every node
+    /// whose key is within the range.
+    fn for_each_in_range<R>(&self, range: R, mut f: impl FnMut(&Node<K, V>, &Guard))
+    where
+        R: std::ops::RangeBounds<K>,
+    {
         use std::ops::Bound;
         let guard = &epoch::pin();
         // Find the first node whose key is >= (or > for an excluded bound) the
@@ -424,7 +672,6 @@ impl<K: Ord> LfBst<K> {
                 }
             }
         };
-        let mut out = Vec::new();
         loop {
             if same_node(curr, self.root1()) || curr.is_null() {
                 break;
@@ -440,14 +687,13 @@ impl<K: Ord> LfBst<K> {
                     if past_end {
                         break;
                     }
-                    out.push(k.clone());
+                    f(node, guard);
                 }
                 KeyBound::NegInf => {}
                 KeyBound::PosInf => break,
             }
             curr = self.in_order_successor(curr, guard);
         }
-        out
     }
 
     /// Returns the smallest key in the set, if any (weakly consistent).
@@ -505,9 +751,9 @@ impl<K: Ord> LfBst<K> {
     /// Follows the threaded representation to the in-order successor of `node`.
     fn in_order_successor<'g>(
         &self,
-        node: Shared<'g, Node<K>>,
+        node: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
-    ) -> Shared<'g, Node<K>> {
+    ) -> Shared<'g, Node<K, V>> {
         let n = unsafe { node.deref() };
         let right = n.child[1].load(LOAD, guard);
         if is_thread(right) {
@@ -550,13 +796,14 @@ impl<K: Ord> LfBst<K> {
         max
     }
 
-    /// Size in bytes of one tree node for this key type.
+    /// Size in bytes of one tree node for this key and value type.
     ///
     /// The paper notes the design uses five memory words per node (key, two
-    /// child links, backlink, prelink); this reports the concrete Rust layout,
-    /// used by the memory-footprint experiment (E9).
+    /// child links, backlink, prelink); the map face adds exactly one word for
+    /// the value-cell pointer (zero for the set alias).  This reports the
+    /// concrete Rust layout, used by the memory-footprint experiment (E9).
     pub fn node_size_bytes() -> usize {
-        std::mem::size_of::<Node<K>>()
+        std::mem::size_of::<Node<K, V>>()
     }
 
     /// Decrements the size counter; called by the owning `remove`.
@@ -572,7 +819,27 @@ impl<K: Ord> LfBst<K> {
     }
 }
 
-impl<K> Drop for LfBst<K> {
+/// The set-flavoured entry points, available on the `LfBst<K>` alias
+/// (`V = ()`): a key can be inserted without supplying a value.
+impl<K: Ord> LfBst<K> {
+    /// Inserts `key`; returns `true` if it was not already present.
+    ///
+    /// This is the paper's `Add` (listing lines 161–183): locate the threaded
+    /// link whose key interval contains `key`, then publish the new node with a
+    /// single CAS on that link.  On failure the operation helps any obstructing
+    /// removal and retries from the vicinity of the failure.
+    pub fn insert(&self, key: K) -> bool {
+        self.insert_with(key, &epoch::pin())
+    }
+
+    /// [`insert`](Self::insert) under a caller-held guard (see
+    /// [`pin`](Self::pin)): skips the per-operation epoch pin.
+    pub fn insert_with(&self, key: K, guard: &Guard) -> bool {
+        matches!(self.insert_core(key, (), guard), InsertOutcome::Inserted)
+    }
+}
+
+impl<K, V: MapValue> Drop for LfBst<K, V> {
     fn drop(&mut self) {
         // Exclusive access: free every node reachable through unthreaded child
         // links (each live node has exactly one unthreaded incoming link, so the
@@ -580,19 +847,19 @@ impl<K> Drop for LfBst<K> {
         // retired to the epoch collector are unreachable here and are freed by
         // crossbeam instead.
         let guard = unsafe { epoch::unprotected() };
-        let mut stack: Vec<*mut Node<K>> = Vec::new();
+        let mut stack: Vec<*mut Node<K, V>> = Vec::new();
         unsafe {
             // Every real node is reachable from the right link of the `-inf`
             // dummy through unthreaded links only.
             let top = (*self.roots[0]).child[1].load(LOAD, guard);
             if !is_thread(top) && !top.is_null() {
-                stack.push(top.with_tag(0).as_raw() as *mut Node<K>);
+                stack.push(top.with_tag(0).as_raw() as *mut Node<K, V>);
             }
             while let Some(p) = stack.pop() {
                 for dir in 0..2 {
                     let c = (*p).child[dir].load(LOAD, guard);
                     if !is_thread(c) && !c.is_null() {
-                        stack.push(c.with_tag(0).as_raw() as *mut Node<K>);
+                        stack.push(c.with_tag(0).as_raw() as *mut Node<K, V>);
                     }
                 }
                 drop(Box::from_raw(p));
@@ -638,6 +905,54 @@ where
 {
     fn keys_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<K> {
         self.keys_in_range((lo.cloned(), hi.cloned()))
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for LfBst<K, V>
+where
+    K: Ord + Send + Sync,
+    V: MapValue + Clone,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        LfBst::insert_entry(self, key, value)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        LfBst::get(self, key)
+    }
+
+    fn upsert(&self, key: K, value: V) -> Option<V> {
+        LfBst::upsert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        LfBst::remove_entry(self, key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        LfBst::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        LfBst::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "lfbst"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        LfBst::stats(self)
+    }
+}
+
+impl<K, V> OrderedMap<K, V> for LfBst<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: MapValue + Clone,
+{
+    fn entries_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        self.entries_in_range((lo.cloned(), hi.cloned()))
     }
 }
 
@@ -734,5 +1049,118 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<LfBst<u64>>();
         assert_send_sync::<LfBst<String>>();
+        assert_send_sync::<LfBst<u64, u64>>();
+        assert_send_sync::<LfBst<u64, String>>();
+    }
+
+    #[test]
+    fn map_single_entry_lifecycle() {
+        let map: LfBst<u64, String> = LfBst::new();
+        assert_eq!(map.get(&42), None);
+        assert!(map.insert_entry(42, "answer".into()));
+        assert!(!map.insert_entry(42, "not stored".into()));
+        assert_eq!(map.get(&42).as_deref(), Some("answer"), "insert must not overwrite");
+        assert!(map.contains_key(&42));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.remove_entry(&42).as_deref(), Some("answer"));
+        assert_eq!(map.remove_entry(&42), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn upsert_inserts_then_replaces_in_place() {
+        let map: LfBst<u64, u64> = LfBst::new();
+        assert_eq!(map.upsert(7, 70), None);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.upsert(7, 71), Some(70));
+        assert_eq!(map.upsert(7, 72), Some(71));
+        assert_eq!(map.len(), 1, "in-place update must not change membership");
+        assert_eq!(map.get(&7), Some(72));
+        assert_eq!(map.remove_entry(&7), Some(72));
+    }
+
+    #[test]
+    fn map_scans_carry_values() {
+        let map: LfBst<u64, u64> = LfBst::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            map.insert_entry(k, k * 100);
+        }
+        assert_eq!(map.iter_entries(), vec![(1, 100), (3, 300), (5, 500), (7, 700), (9, 900)]);
+        assert_eq!(map.entries_in_range(3..=7), vec![(3, 300), (5, 500), (7, 700)]);
+        assert_eq!(map.entries_in_range(..3), vec![(1, 100)]);
+        assert_eq!(map.entries_in_range(8..), vec![(9, 900)]);
+        // The key-only face of the same tree agrees.
+        assert_eq!(map.keys_in_range(3..=7), vec![3, 5, 7]);
+        assert_eq!(map.iter_keys(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn map_tree_validates_and_set_alias_coexists() {
+        // The same protocol drives both faces: a map tree passes the full
+        // structural validation, and `LfBst<K>` remains exactly `LfBst<K, ()>`.
+        let map: LfBst<u64, u64> = LfBst::new();
+        for k in 0..256u64 {
+            map.insert_entry(k, k);
+        }
+        for k in (0..256u64).step_by(3) {
+            assert_eq!(map.remove_entry(&k), Some(k));
+        }
+        crate::validate::validate(&map).expect("map tree must validate");
+        let alias: LfBst<u64, ()> = LfBst::new();
+        assert!(alias.insert(1)); // the set-only entry point on the explicit alias
+        assert_eq!(alias.get(&1), Some(()));
+    }
+
+    #[test]
+    fn map_remove_returns_latest_value() {
+        let map: LfBst<u64, String> = LfBst::new();
+        map.insert_entry(1, "a".into());
+        map.upsert(1, "b".into());
+        assert_eq!(map.remove_entry(&1).as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn concurrent_map_mixed_load_accounting() {
+        use std::sync::Arc;
+        // Values encode the writing thread; membership accounting mirrors the
+        // set-level conformance battery.
+        let map: Arc<LfBst<u64, u64>> = Arc::new(LfBst::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let k = (t * 31 + i) % 512;
+                        match i % 4 {
+                            0 => {
+                                map.insert_entry(k, t * 1_000_000 + i);
+                            }
+                            1 => {
+                                map.upsert(k, t * 1_000_000 + i);
+                            }
+                            2 => {
+                                if let Some(v) = map.get(&k) {
+                                    assert!(
+                                        v % 1_000_000 < 5_000,
+                                        "torn or foreign value {v} for key {k}"
+                                    );
+                                }
+                            }
+                            _ => {
+                                map.remove_entry(&k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::validate::validate(&*map).expect("map tree must validate after churn");
+        for (k, v) in map.iter_entries() {
+            assert!(k < 512);
+            assert!(v % 1_000_000 < 5_000);
+        }
     }
 }

@@ -23,6 +23,7 @@ use crate::node::Node;
 // also observes the final protocol steps of freshly joined worker threads.
 use crate::tree::ord::LOAD as ORD;
 use crate::tree::LfBst;
+use crate::value::MapValue;
 use cset::KeyBound;
 
 /// A violated invariant discovered by [`validate`].
@@ -110,8 +111,8 @@ pub struct ValidationReport {
 /// let report = validate(&t).expect("structure is consistent");
 /// assert_eq!(report.nodes, 6);
 /// ```
-pub fn validate<K: Ord + Clone + std::fmt::Debug>(
-    tree: &LfBst<K>,
+pub fn validate<K: Ord + Clone + std::fmt::Debug, V: MapValue>(
+    tree: &LfBst<K, V>,
 ) -> Result<ValidationReport, ValidationError> {
     let guard = &epoch::pin();
     let root0 = tree.root0();
@@ -119,7 +120,7 @@ pub fn validate<K: Ord + Clone + std::fmt::Debug>(
 
     // Pass 1: structural DFS over unthreaded links, collecting parent counts.
     let mut parent_count: HashMap<usize, usize> = HashMap::new();
-    let mut reachable: Vec<Shared<'_, Node<K>>> = Vec::new();
+    let mut reachable: Vec<Shared<'_, Node<K, V>>> = Vec::new();
     let top = unsafe { root0.deref() }.child[1].load(ORD, guard);
     if !is_thread(top) {
         let mut stack = vec![top.with_tag(0)];

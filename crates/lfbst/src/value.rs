@@ -1,0 +1,317 @@
+//! Value storage for the map face of [`LfBst`](crate::LfBst).
+//!
+//! The tree stores one value cell beside each key.  Two competing constraints
+//! shape the design:
+//!
+//! * the **set alias** `LfBst<K>` (= `LfBst<K, ()>`) must keep the paper's
+//!   node footprint — the `()` cell has to occupy **zero bytes**, so the
+//!   5-words-per-node claim pinned by `node.rs` stays true;
+//! * the **map** needs `upsert` to replace a value **in place**, atomically,
+//!   without re-running the insert protocol, and `get` must be able to read
+//!   concurrently with such replacements.
+//!
+//! Rust offers no stable way to make a single generic field zero-sized for
+//! `()` and pointer-sized otherwise, so the cell type is chosen per value type
+//! through the [`MapValue`] trait: `()` maps to the zero-sized [`UnitCell`],
+//! everything else to [`BoxedCell`] — one atomic word holding a pointer to the
+//! boxed value, replaced by pointer swap and reclaimed through the same epoch
+//! scheme as the nodes.  The crate implements [`MapValue`] for `()`, the
+//! primitive scalars, `String`, `&'static str` and the `Box` / `Arc` / `Vec` /
+//! `Option` containers; a custom payload type opts in with one line:
+//!
+//! ```
+//! #[derive(Clone)]
+//! struct Record { id: u64, payload: [u8; 16] }
+//! impl lfbst::MapValue for Record {
+//!     type Cell = lfbst::BoxedCell<Record>;
+//! }
+//!
+//! let index: lfbst::LfBst<u64, Record> = lfbst::LfBst::new();
+//! index.upsert(7, Record { id: 7, payload: [0; 16] });
+//! assert_eq!(index.get(&7).map(|r| r.id), Some(7));
+//! ```
+//!
+//! ## Synchronization
+//!
+//! The initial value is written into the cell **before** the node is
+//! published; the insert's injection CAS (`Release`) makes it visible to any
+//! traversal that acquires the link.  A later in-place replacement has no link
+//! edge to piggyback on, so the cell itself synchronizes: [`ValueCell::replace`]
+//! swaps the pointer with `AcqRel` and [`ValueCell::read`] loads it with
+//! `Acquire`, pairing the boxed value's initialisation with its readers.  The
+//! swapped-out box is retired through the caller's epoch guard, so readers that
+//! loaded the old pointer keep a valid referent until they unpin.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{Atomic, Guard, Owned};
+
+/// A type usable as the value of an [`LfBst`](crate::LfBst) map.
+///
+/// The associated [`Cell`](Self::Cell) selects the in-node storage: zero bytes
+/// for `()` (the set alias), one atomic word for everything else.  See the
+/// [module docs](self) for the one-line impl custom types need.
+pub trait MapValue: Send + Sync + Sized {
+    /// The in-node storage for values of this type.
+    type Cell: ValueCell<Self>;
+}
+
+/// In-node storage for a value: written once before its node is published,
+/// then read and atomically replaced in place for the node's lifetime.
+///
+/// Implemented by [`UnitCell`] and [`BoxedCell`]; the trait is public so that
+/// `Node` layouts can be named in bounds, but there is no reason to implement
+/// it outside this crate.
+pub trait ValueCell<V>: Default + Send + Sync {
+    /// Stores the initial value.
+    ///
+    /// Must only be called on a cell that no other thread can reach yet (the
+    /// node is unpublished); the publishing CAS releases the write.
+    fn init(&self, value: V);
+
+    /// Returns a reference to the current value, valid while `guard` is held.
+    ///
+    /// Returns `None` only for a cell that was never initialised (the two
+    /// sentinel root nodes); a cell reached through a real key always holds a
+    /// value.
+    fn read<'g>(&self, guard: &'g Guard) -> Option<&'g V>;
+
+    /// Atomically replaces the value, returning a clone of the previous one.
+    ///
+    /// The previous value stays readable by concurrently pinned threads and is
+    /// reclaimed through `guard`'s epoch domain.
+    fn replace(&self, value: V, guard: &Guard) -> V
+    where
+        V: Clone;
+
+    /// Takes the value back out of a cell whose node was **never published**
+    /// (an insert that lost to an existing key), leaving the cell empty.
+    fn take_unpublished(&self) -> Option<V>;
+}
+
+/// The zero-sized cell used by the set alias (`V = ()`).
+///
+/// Every operation is a no-op: a unit value carries no information, so the
+/// set-flavoured node layout is byte-for-byte the paper's five-word record.
+#[derive(Debug, Default)]
+pub struct UnitCell;
+
+impl ValueCell<()> for UnitCell {
+    #[inline(always)]
+    fn init(&self, (): ()) {}
+
+    #[inline(always)]
+    fn read<'g>(&self, _guard: &'g Guard) -> Option<&'g ()> {
+        Some(&())
+    }
+
+    #[inline(always)]
+    fn replace(&self, (): (), _guard: &Guard) {}
+
+    #[inline(always)]
+    fn take_unpublished(&self) -> Option<()> {
+        Some(())
+    }
+}
+
+/// The general cell: one atomic word pointing at the boxed value.
+///
+/// Replacement is a pointer swap (`AcqRel`), reads are `Acquire` loads; the
+/// old box is retired through the epoch scheme, which is what lets `get` run
+/// concurrently with `upsert` without locks or data races.
+#[derive(Debug)]
+pub struct BoxedCell<V> {
+    ptr: Atomic<V>,
+}
+
+impl<V> Default for BoxedCell<V> {
+    fn default() -> Self {
+        BoxedCell { ptr: Atomic::null() }
+    }
+}
+
+impl<V: Send + Sync> ValueCell<V> for BoxedCell<V> {
+    fn init(&self, value: V) {
+        // The node is unpublished: relaxed is enough, the injection CAS
+        // releases the pointer together with the rest of the node.
+        debug_assert!(
+            self.ptr.load(Ordering::Relaxed, unsafe { crossbeam_epoch::unprotected() }).is_null(),
+            "value cell initialised twice"
+        );
+        let owned = Owned::new(value);
+        let guard = unsafe { crossbeam_epoch::unprotected() };
+        self.ptr.store(owned.into_shared(guard), Ordering::Relaxed);
+    }
+
+    fn read<'g>(&self, guard: &'g Guard) -> Option<&'g V> {
+        let p = self.ptr.load(Ordering::Acquire, guard);
+        if p.is_null() {
+            return None;
+        }
+        Some(unsafe { p.deref() })
+    }
+
+    fn replace(&self, value: V, guard: &Guard) -> V
+    where
+        V: Clone,
+    {
+        let old = self.ptr.swap(Owned::new(value), Ordering::AcqRel, guard);
+        debug_assert!(!old.is_null(), "replace on an uninitialised cell");
+        let out = unsafe { old.deref() }.clone();
+        // Readers pinned before the swap may still hold the old box.
+        unsafe { guard.defer_destroy(old) };
+        out
+    }
+
+    fn take_unpublished(&self) -> Option<V> {
+        let guard = unsafe { crossbeam_epoch::unprotected() };
+        let p = self.ptr.load(Ordering::Relaxed, guard);
+        if p.is_null() {
+            return None;
+        }
+        self.ptr.store(crossbeam_epoch::Shared::null(), Ordering::Relaxed);
+        // The node never became reachable, so this thread owns the box the
+        // pointer came from (`Owned::new` in `init`).
+        Some(*unsafe { Box::from_raw(p.as_raw() as *mut V) })
+    }
+}
+
+impl<V> Drop for BoxedCell<V> {
+    fn drop(&mut self) {
+        // The cell is dropped together with its node, i.e. after the node has
+        // become unreachable (epoch reclamation or exclusive teardown): the
+        // pointer can no longer be raced.
+        let guard = unsafe { crossbeam_epoch::unprotected() };
+        let p = self.ptr.load(Ordering::Relaxed, guard);
+        if !p.is_null() {
+            unsafe { drop(p.into_owned()) };
+        }
+    }
+}
+
+impl MapValue for () {
+    type Cell = UnitCell;
+}
+
+macro_rules! boxed_map_value {
+    ($($t:ty),* $(,)?) => {
+        $(impl MapValue for $t { type Cell = BoxedCell<$t>; })*
+    };
+}
+
+boxed_map_value!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    bool,
+    char,
+    f32,
+    f64,
+    String,
+    &'static str,
+);
+
+impl<T: Send + Sync> MapValue for Box<T> {
+    type Cell = BoxedCell<Box<T>>;
+}
+
+impl<T: Send + Sync> MapValue for std::sync::Arc<T> {
+    type Cell = BoxedCell<std::sync::Arc<T>>;
+}
+
+impl<T: Send + Sync> MapValue for Vec<T> {
+    type Cell = BoxedCell<Vec<T>>;
+}
+
+impl<T: Send + Sync> MapValue for Option<T> {
+    type Cell = BoxedCell<Option<T>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_epoch as epoch;
+
+    #[test]
+    fn unit_cell_is_zero_sized_and_total() {
+        assert_eq!(std::mem::size_of::<UnitCell>(), 0);
+        let cell = UnitCell;
+        let guard = &epoch::pin();
+        cell.init(());
+        assert_eq!(cell.read(guard), Some(&()));
+        cell.replace((), guard);
+        assert_eq!(cell.take_unpublished(), Some(()));
+    }
+
+    #[test]
+    fn boxed_cell_is_one_word() {
+        assert_eq!(std::mem::size_of::<BoxedCell<u64>>(), std::mem::size_of::<usize>());
+        assert_eq!(std::mem::size_of::<BoxedCell<[u8; 256]>>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn boxed_cell_init_read_replace_roundtrip() {
+        let cell: BoxedCell<String> = BoxedCell::default();
+        let guard = &epoch::pin();
+        assert!(cell.read(guard).is_none(), "fresh cell is empty");
+        cell.init("one".to_string());
+        assert_eq!(cell.read(guard).map(String::as_str), Some("one"));
+        let old = cell.replace("two".to_string(), guard);
+        assert_eq!(old, "one");
+        assert_eq!(cell.read(guard).map(String::as_str), Some("two"));
+        // Drop frees the final box (checked by the leak-free test battery).
+    }
+
+    #[test]
+    fn boxed_cell_take_unpublished_returns_ownership() {
+        let cell: BoxedCell<Vec<u8>> = BoxedCell::default();
+        assert_eq!(cell.take_unpublished(), None);
+        cell.init(vec![1, 2, 3]);
+        assert_eq!(cell.take_unpublished(), Some(vec![1, 2, 3]));
+        assert_eq!(cell.take_unpublished(), None, "cell is empty after take");
+        let guard = &epoch::pin();
+        assert!(cell.read(guard).is_none());
+    }
+
+    #[test]
+    fn replace_is_safe_under_concurrent_readers() {
+        use std::sync::Arc;
+        let cell = Arc::new(BoxedCell::<u64>::default());
+        cell.init(0);
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let guard = &epoch::pin();
+                        cell.replace(w * 1_000_000 + i, guard);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        let guard = &epoch::pin();
+                        let v = *cell.read(guard).expect("initialised cell");
+                        assert!(v == 0 || v % 1_000_000 < 5_000, "torn or stale value {v}");
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! # lflist — lock-free ordered linked-list set (Harris / Fomitchev–Ruppert style)
 //!
 //! The paper builds its intuition on lock-free linked lists ("Add can be as
-//! simple as that in a lock-free single linked-list [11]"): a threaded BST *is*
+//! simple as that in a lock-free single linked-list \[11\]"): a threaded BST *is*
 //! an ordered list with two incoming and two outgoing pointers per node.  This
 //! crate provides the list itself, both as the conceptual substrate and as a
 //! comparator for the evaluation at small key ranges, where a flat list with

@@ -1,7 +1,8 @@
-//! # locked-bst — lock-based internal BST baselines
+//! # locked-bst — lock-based baselines and oracles
 //!
-//! Two lock-based implementations of the concurrent Set ADT used as comparator
-//! baselines in the evaluation (experiments E1–E5):
+//! Lock-based implementations of the concurrent Set and Map ADTs used as
+//! comparator baselines and correctness oracles in the evaluation
+//! (experiments E1–E5, E13):
 //!
 //! * [`CoarseLockBst`] — a sequential internal BST behind a single
 //!   `std::sync::Mutex`.  This is the classic coarse-grained baseline whose
@@ -11,8 +12,12 @@
 //!   stand-in for the "carefully tailored locking scheme" class the paper
 //!   compares against: it is extremely fast for read-dominated workloads and
 //!   degrades as the update ratio grows.
+//! * [`CoarseLockMap`] — a `std::collections::BTreeMap` behind a single
+//!   mutex: the trivially correct ordered **map** used as the oracle for the
+//!   map-conformance suites and as the lock-based comparator in the map
+//!   throughput experiment (E13).
 //!
-//! Both implement [`cset::ConcurrentSet`], so the workload driver and the
+//! All implement the matching `cset` traits, so the workload driver and the
 //! benchmarks treat them interchangeably with the lock-free structures.
 
 #![warn(missing_docs)]
@@ -22,7 +27,8 @@ mod sequential;
 
 pub use sequential::SeqBst;
 
-use cset::{ConcurrentSet, OrderedSet};
+use cset::{ConcurrentMap, ConcurrentSet, OrderedMap, OrderedSet};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Bound;
 use std::sync::{Mutex, RwLock};
@@ -178,6 +184,103 @@ impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for RwLockBst<K> {
     }
 }
 
+/// A `BTreeMap` behind one global mutex: the ordered-map oracle.
+///
+/// Every operation takes the lock, so the sequential semantics of
+/// `std::collections::BTreeMap` lift directly to a linearizable concurrent
+/// map — which is exactly what a conformance oracle must be.  It doubles as
+/// the lock-based comparator in the map throughput experiment (E13).
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentMap;
+/// use locked_bst::CoarseLockMap;
+///
+/// let map = CoarseLockMap::new();
+/// assert!(map.insert(1u64, "one"));
+/// assert_eq!(map.get(&1), Some("one"));
+/// assert_eq!(map.upsert(1, "uno"), Some("one"));
+/// assert_eq!(map.remove(&1), Some("uno"));
+/// ```
+pub struct CoarseLockMap<K, V> {
+    inner: Mutex<BTreeMap<K, V>>,
+}
+
+impl<K: Ord, V> CoarseLockMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        CoarseLockMap { inner: Mutex::new(BTreeMap::new()) }
+    }
+}
+
+impl<K: Ord, V> Default for CoarseLockMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> fmt::Debug for CoarseLockMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoarseLockMap").finish_non_exhaustive()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for CoarseLockMap<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        match self.inner.lock().unwrap().entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.inner.lock().unwrap().get(key).cloned()
+    }
+
+    fn upsert(&self, key: K, value: V) -> Option<V> {
+        self.inner.lock().unwrap().insert(key, value)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        self.inner.lock().unwrap().remove(key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.inner.lock().unwrap().contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "coarse-mutex-btreemap"
+    }
+}
+
+impl<K, V> OrderedMap<K, V> for CoarseLockMap<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .range((lo.cloned(), hi.cloned()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +332,51 @@ mod tests {
     fn debug_impls() {
         assert!(format!("{:?}", CoarseLockBst::<u8>::new()).contains("CoarseLockBst"));
         assert!(format!("{:?}", RwLockBst::<u8>::new()).contains("RwLockBst"));
+        assert!(format!("{:?}", CoarseLockMap::<u8, u8>::new()).contains("CoarseLockMap"));
+    }
+
+    #[test]
+    fn coarse_lock_map_obeys_the_map_contract() {
+        use cset::ConcurrentMap;
+        use std::ops::Bound;
+        let map: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(2, 20));
+        assert!(!map.insert(2, 21));
+        assert_eq!(map.get(&2), Some(20));
+        assert_eq!(map.upsert(2, 22), Some(20));
+        assert_eq!(map.upsert(4, 40), None);
+        assert!(map.contains_key(&4));
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            cset::OrderedMap::entries_between(&map, Bound::Unbounded, Bound::Included(&3)),
+            vec![(2, 22)]
+        );
+        assert_eq!(map.remove(&2), Some(22));
+        assert_eq!(map.remove(&2), None);
+        assert_eq!(map.name(), "coarse-mutex-btreemap");
+    }
+
+    #[test]
+    fn coarse_lock_map_concurrent_contract() {
+        use cset::ConcurrentMap;
+        let map = Arc::new(CoarseLockMap::<u64, u64>::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        map.upsert(t * 500 + i, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), 2000);
+        for k in 0..2000u64 {
+            assert_eq!(map.get(&k), Some(k / 500));
+        }
     }
 }

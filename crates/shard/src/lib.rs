@@ -14,10 +14,13 @@
 //! * [`HashRouter`] — uniform spread by hashing (order-destroying);
 //! * [`RangeRouter`] — contiguous `u64` key ranges (order-preserving, so
 //!   cross-shard ordered scans remain possible; see [`OrderedRouter`]);
-//! * [`Sharded`] — the wrapper that owns the inner sets, implements
+//! * [`Sharded`] — the wrapper that owns the inner structures, implements
 //!   [`cset::ConcurrentSet`] by routing each operation, aggregates
 //!   `len`/statistics across shards, and (with an ordered router) serves
-//!   merged range scans via [`Sharded::keys_in_range`].
+//!   merged range scans via [`Sharded::keys_in_range`];
+//! * [`ShardedMap`] — the [`cset::ConcurrentMap`] facade over the same
+//!   routing machinery, for map-shaped inner structures such as
+//!   `LfBst<K, V>` (ordered scans via [`cset::OrderedMap::entries_between`]).
 //!
 //! The benchmark harness measures this layer as experiment **E11** (shard
 //! count × thread count × operation mix); see `EXPERIMENTS.md` at the
@@ -56,9 +59,11 @@ mod router;
 mod sharded;
 
 pub use router::{HashRouter, OrderedRouter, RangeRouter, ShardRouter};
-pub use sharded::{config_name, Sharded};
+pub use sharded::{config_name, Sharded, ShardedMap};
 
-pub use cset::{ConcurrentSet, OrderedSet, PinnedOps, StatsSnapshot};
+pub use cset::{
+    ConcurrentMap, ConcurrentSet, MapAsSet, OrderedMap, OrderedSet, PinnedOps, StatsSnapshot,
+};
 
 #[cfg(test)]
 mod tests {
@@ -267,6 +272,101 @@ mod tests {
             }
         }
         assert_eq!(sharded.len(), plain.len());
+    }
+
+    #[test]
+    fn map_facade_routes_every_entry_to_exactly_one_shard() {
+        let map = ShardedMap::new(HashRouter::new(8), |_| LfBst::<u64, u64>::new());
+        for k in 0u64..1_000 {
+            assert!(map.insert(k, k * 10));
+            assert!(!map.insert(k, k), "duplicate insert must fail and not overwrite");
+        }
+        assert_eq!(ConcurrentMap::len(&map), 1_000);
+        for k in 0u64..1_000 {
+            assert_eq!(map.get(&k), Some(k * 10));
+            let routed = map.router().route(&k);
+            assert_eq!(map.shard(routed).get(&k), Some(k * 10));
+        }
+        for k in 0u64..1_000 {
+            assert_eq!(map.upsert(k, k + 1), Some(k * 10));
+            assert_eq!(ConcurrentMap::remove(&map, &k), Some(k + 1));
+            assert_eq!(ConcurrentMap::remove(&map, &k), None);
+        }
+        assert!(ConcurrentMap::is_empty(&map));
+    }
+
+    #[test]
+    fn map_facade_agrees_with_model_under_random_ops() {
+        use std::collections::BTreeMap;
+        let map = ShardedMap::new(HashRouter::new(4), |_| LfBst::<u64, u64>::new());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        for step in 0..20_000u64 {
+            let k: u64 = rng.gen_range(0..400);
+            let v: u64 = rng.gen_range(0..1_000_000);
+            match rng.gen_range(0..4) {
+                0 => {
+                    let expected = match model.entry(k) {
+                        std::collections::btree_map::Entry::Occupied(_) => false,
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                            true
+                        }
+                    };
+                    assert_eq!(map.insert(k, v), expected, "insert {k} @ {step}");
+                }
+                1 => assert_eq!(map.upsert(k, v), model.insert(k, v), "upsert {k} @ {step}"),
+                2 => assert_eq!(
+                    ConcurrentMap::remove(&map, &k),
+                    model.remove(&k),
+                    "remove {k} @ {step}"
+                ),
+                _ => assert_eq!(map.get(&k), model.get(&k).copied(), "get {k} @ {step}"),
+            }
+        }
+        assert_eq!(ConcurrentMap::len(&map), model.len());
+    }
+
+    #[test]
+    fn map_facade_ordered_scan_matches_model() {
+        use std::collections::BTreeMap;
+        use std::ops::Bound;
+        let map = ShardedMap::new(RangeRouter::covering(8, 5_000), |_| LfBst::<u64, u64>::new());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..3_000 {
+            let k: u64 = rng.gen_range(0..5_000);
+            map.upsert(k, k * 3);
+            model.insert(k, k * 3);
+        }
+        for _ in 0..100 {
+            let a: u64 = rng.gen_range(0..5_000);
+            let b: u64 = rng.gen_range(0..5_000);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let expected: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(
+                map.entries_between(Bound::Included(&lo), Bound::Included(&hi)),
+                expected,
+                "range {lo}..={hi}"
+            );
+        }
+        let all: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(map.entries_between(Bound::Unbounded, Bound::Unbounded), all);
+    }
+
+    #[test]
+    fn map_facade_composes_with_the_locked_oracle() {
+        let map = ShardedMap::new(RangeRouter::covering(4, 100), |_| {
+            locked_bst::CoarseLockMap::<u64, String>::new()
+        });
+        for k in [5u64, 30, 55, 80] {
+            map.insert(k, format!("v{k}"));
+        }
+        assert_eq!(map.get(&30).as_deref(), Some("v30"));
+        assert_eq!(map.name(), "coarse-mutex-btreemapx4-range");
+        let entries =
+            map.entries_between(std::ops::Bound::Included(&10), std::ops::Bound::Excluded(&80));
+        assert_eq!(entries, vec![(30, "v30".to_string()), (55, "v55".to_string())]);
     }
 
     #[test]

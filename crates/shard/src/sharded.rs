@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::{Bound, RangeBounds};
 use std::sync::Mutex;
 
-use cset::{ConcurrentSet, OrderedSet, PinnedOps, StatsSnapshot};
+use cset::{ConcurrentMap, ConcurrentSet, OrderedMap, OrderedSet, PinnedOps, StatsSnapshot};
 
 use crate::router::{OrderedRouter, ShardRouter};
 
@@ -238,6 +238,151 @@ where
         let mut out = Vec::new();
         for shard in &self.shards[first..=last] {
             out.extend(shard.keys_between(lo, hi));
+        }
+        out
+    }
+}
+
+/// A key-space-partitioned concurrent **map**: the [`ConcurrentMap`] facade
+/// over the same routing machinery as [`Sharded`].
+///
+/// This is a separate facade type rather than extra trait impls on
+/// [`Sharded`] so that set-shaped compositions (whose inner type implements
+/// both `ConcurrentSet<K>` and `ConcurrentMap<K, ()>`, as `lfbst` does) keep
+/// unambiguous method calls; the wrapper adds no state and no indirection
+/// beyond the inner [`Sharded`] it exposes through [`as_sharded`](Self::as_sharded).
+///
+/// The linearizability argument is identical: every key routes to exactly one
+/// shard, so per-key linearizability of the inner maps lifts to the whole.
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentMap;
+/// use lfbst::LfBst;
+/// use shard::{HashRouter, ShardedMap};
+///
+/// let map = ShardedMap::new(HashRouter::new(4), |_| LfBst::<u64, u64>::new());
+/// assert!(map.insert(7, 70));
+/// assert_eq!(map.get(&7), Some(70));
+/// assert_eq!(map.upsert(7, 71), Some(70));
+/// assert_eq!(map.remove(&7), Some(71));
+/// ```
+pub struct ShardedMap<S, R> {
+    inner: Sharded<S, R>,
+}
+
+impl<S, R> ShardedMap<S, R> {
+    /// Builds one inner map per shard with `make(shard_index)`.
+    pub fn new<K, V>(router: R, mut make: impl FnMut(usize) -> S) -> Self
+    where
+        S: ConcurrentMap<K, V>,
+        R: ShardRouter<K>,
+    {
+        let shards: Box<[S]> = (0..router.shard_count()).map(&mut make).collect();
+        assert!(!shards.is_empty(), "router must declare at least one shard");
+        let name = config_name(shards[0].name(), shards.len(), router.policy_name());
+        ShardedMap { inner: Sharded { router, shards, name } }
+    }
+
+    /// The underlying [`Sharded`] composition (shard access, router,
+    /// per-shard diagnostics).
+    pub fn as_sharded(&self) -> &Sharded<S, R> {
+        &self.inner
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Direct access to shard `i` (diagnostics and tests).
+    pub fn shard(&self, i: usize) -> &S {
+        self.inner.shard(i)
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &R {
+        self.inner.router()
+    }
+}
+
+impl<S, R: fmt::Debug> fmt::Debug for ShardedMap<S, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedMap").field("inner", &self.inner).finish()
+    }
+}
+
+impl<K, V, S, R> ConcurrentMap<K, V> for ShardedMap<S, R>
+where
+    S: ConcurrentMap<K, V>,
+    R: ShardRouter<K>,
+{
+    #[inline]
+    fn insert(&self, key: K, value: V) -> bool {
+        let shard = self.inner.router.route(&key);
+        self.inner.shards[shard].insert(key, value)
+    }
+
+    #[inline]
+    fn get(&self, key: &K) -> Option<V> {
+        self.inner.shards[self.inner.router.route(key)].get(key)
+    }
+
+    #[inline]
+    fn upsert(&self, key: K, value: V) -> Option<V> {
+        let shard = self.inner.router.route(&key);
+        self.inner.shards[shard].upsert(key, value)
+    }
+
+    #[inline]
+    fn remove(&self, key: &K) -> Option<V> {
+        self.inner.shards[self.inner.router.route(key)].remove(key)
+    }
+
+    #[inline]
+    fn contains_key(&self, key: &K) -> bool {
+        self.inner.shards[self.inner.router.route(key)].contains_key(key)
+    }
+
+    /// Sum of the per-shard quiescent counts (same contract as the set
+    /// facade's [`ConcurrentSet::len`]).
+    fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.shards.iter().map(|s| s.stats()).sum()
+    }
+}
+
+impl<K, V, S, R> OrderedMap<K, V> for ShardedMap<S, R>
+where
+    S: OrderedMap<K, V>,
+    R: OrderedRouter<K>,
+{
+    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        // Same argument as `Sharded::keys_between`: a monotone router confines
+        // the range to a contiguous shard interval, and shard-order
+        // concatenation of ascending per-shard scans is one ascending scan.
+        let first = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(k) | Bound::Excluded(k) => self.inner.router.route(k),
+        };
+        let last = match hi {
+            Bound::Unbounded => self.inner.shards.len() - 1,
+            Bound::Included(k) | Bound::Excluded(k) => self.inner.router.route(k),
+        };
+        if first > last {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for shard in &self.inner.shards[first..=last] {
+            out.extend(shard.entries_between(lo, hi));
         }
         out
     }

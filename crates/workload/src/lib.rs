@@ -6,9 +6,13 @@
 //!
 //! * [`WorkloadSpec`] — an operation mix (contains / insert / remove
 //!   percentages), a key range, a key distribution and a prefill level;
+//! * [`MapSpec`] — a [`WorkloadSpec`] plus a value payload size, for the map
+//!   ADT (get / upsert / remove);
 //! * [`KeyDistribution`] — uniform or Zipfian key popularity;
 //! * [`run_workload`] — drives any [`cset::ConcurrentSet`] with `t` threads for
 //!   a fixed duration and reports throughput and per-operation counts;
+//! * [`run_map_workload`] — the same driver over any
+//!   [`cset::ConcurrentMap`]`<u64, Vec<u8>>`;
 //! * [`Measurement`] / [`format_markdown_table`] — plain-value results that the
 //!   experiment harness and the criterion benchmarks both consume.
 //!
@@ -23,8 +27,8 @@ mod runner;
 mod spec;
 
 pub use distribution::{KeyDistribution, KeySampler};
-pub use runner::{run_workload, Measurement, ThreadStats};
-pub use spec::{OperationMix, WorkloadSpec};
+pub use runner::{prefill_map, run_map_workload, run_workload, Measurement, ThreadStats};
+pub use spec::{MapSpec, OperationMix, WorkloadSpec};
 
 /// Formats a series of labelled measurements as a GitHub-flavoured markdown table.
 ///

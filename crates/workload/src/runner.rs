@@ -1,16 +1,17 @@
-//! The measurement driver: prefill a set, hammer it from `t` threads for a
-//! fixed duration, and report throughput.
+//! The measurement drivers: prefill a structure, hammer it from `t` threads
+//! for a fixed duration, and report throughput — [`run_workload`] for the Set
+//! ADT, [`run_map_workload`] for the Map ADT.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use cset::ConcurrentSet;
+use cset::{ConcurrentMap, ConcurrentSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::distribution::KeySampler;
-use crate::spec::WorkloadSpec;
+use crate::spec::{MapSpec, WorkloadSpec};
 
 /// Per-thread operation counts gathered during a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -180,6 +181,125 @@ where
     }
 }
 
+/// Prefills `map` to the spec's target size (single-threaded, untimed),
+/// installing the spec's payload for every key.
+///
+/// Shared by [`run_map_workload`] and the criterion bench helpers so the two
+/// drivers always measure the same starting population.
+pub fn prefill_map<S>(map: &S, spec: &MapSpec)
+where
+    S: ConcurrentMap<u64, Vec<u8>>,
+{
+    let base = spec.base();
+    let sampler = KeySampler::new(base.key_distribution(), base.key_range());
+    let mut rng = StdRng::seed_from_u64(base.rng_seed());
+    let target = base.prefill_target() as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < target && attempts < target * 64 + 1024 {
+        let key = sampler.sample(&mut rng);
+        if map.insert(key, spec.payload_for(key)) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+}
+
+/// Prefills `map` to the spec's target size and then runs the map operation
+/// mix from `threads` threads for `duration`.
+///
+/// The map twin of [`run_workload`]: `contains` percent runs `get`, `insert`
+/// percent runs `upsert` (counted as a hit when it inserted a **fresh**
+/// entry, mirroring the set's successful-insert accounting), `remove` percent
+/// runs `remove`.  Every write allocates and installs a fresh
+/// [`MapSpec::value_bytes`]-sized payload, so the measured cost includes the
+/// payload traffic a real index pays.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use workload::{run_map_workload, MapSpec, OperationMix, WorkloadSpec};
+/// use locked_bst::CoarseLockMap;
+///
+/// let map = Arc::new(CoarseLockMap::new());
+/// let spec = MapSpec::new(WorkloadSpec::new(1024, OperationMix::updates(50)), 32);
+/// let m = run_map_workload(map, &spec, 2, std::time::Duration::from_millis(50));
+/// assert!(m.total_ops() > 0);
+/// ```
+pub fn run_map_workload<S>(
+    map: Arc<S>,
+    spec: &MapSpec,
+    threads: usize,
+    duration: Duration,
+) -> Measurement
+where
+    S: ConcurrentMap<u64, Vec<u8>> + 'static,
+{
+    let base = spec.base();
+    let sampler = KeySampler::new(base.key_distribution(), base.key_range());
+    prefill_map(&*map, spec);
+    let prefill_size = map.len();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let sampler = sampler.clone();
+        let spec = *spec;
+        let mix = base.mix();
+        let seed = base.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stats = ThreadStats::default();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // Same batched stop-flag cadence as the set runner.
+                for _ in 0..64 {
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        stats.contains += 1;
+                        if map.get(&key).is_some() {
+                            stats.contains_hits += 1;
+                        }
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        stats.inserts += 1;
+                        if map.upsert(key, spec.payload_for(key)).is_none() {
+                            stats.insert_hits += 1;
+                        }
+                    } else {
+                        stats.removes += 1;
+                        if map.remove(&key).is_some() {
+                            stats.remove_hits += 1;
+                        }
+                    }
+                }
+            }
+            stats
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let per_thread: Vec<ThreadStats> =
+        handles.into_iter().map(|h| h.join().expect("map workload thread panicked")).collect();
+    let elapsed = start.elapsed();
+
+    Measurement {
+        set_name: map.name().to_string(),
+        threads,
+        elapsed,
+        per_thread,
+        final_size: map.len(),
+        prefill_size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +337,30 @@ mod tests {
     fn thread_stats_total() {
         let t = ThreadStats { contains: 1, inserts: 2, removes: 3, ..Default::default() };
         assert_eq!(t.total(), 6);
+    }
+
+    #[test]
+    fn map_run_produces_sane_measurement() {
+        use locked_bst::CoarseLockMap;
+        let map = Arc::new(CoarseLockMap::new());
+        let spec = MapSpec::new(WorkloadSpec::new(512, OperationMix::updates(40)).seed(3), 32);
+        let m = run_map_workload(map, &spec, 2, Duration::from_millis(60));
+        assert_eq!(m.threads, 2);
+        assert!(m.total_ops() > 0);
+        assert!(m.mops() > 0.0);
+        assert!(m.prefill_size > 0);
+        assert!(m.final_size <= 512);
+        assert_eq!(m.set_name, "coarse-mutex-btreemap");
+    }
+
+    #[test]
+    fn map_get_only_mix_never_changes_size() {
+        use locked_bst::CoarseLockMap;
+        let map = Arc::new(CoarseLockMap::new());
+        let spec = MapSpec::new(WorkloadSpec::new(256, OperationMix::new(100, 0, 0)).seed(4), 8);
+        let m = run_map_workload(map, &spec, 2, Duration::from_millis(40));
+        assert_eq!(m.final_size, m.prefill_size);
+        let issued_updates: u64 = m.per_thread.iter().map(|t| t.inserts + t.removes).sum();
+        assert_eq!(issued_updates, 0);
     }
 }

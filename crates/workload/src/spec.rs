@@ -163,6 +163,56 @@ impl WorkloadSpec {
     }
 }
 
+/// A map workload: a [`WorkloadSpec`] plus the size of the value payload each
+/// write carries.
+///
+/// The operation mix is reinterpreted for the map ADT — `contains` percent
+/// becomes `get`, `insert` percent becomes `upsert` (the canonical map write:
+/// it always installs its payload), `remove` stays `remove` — so set and map
+/// rows of the same mix stay comparable.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{MapSpec, OperationMix, WorkloadSpec};
+/// let spec = MapSpec::new(WorkloadSpec::new(1 << 16, OperationMix::updates(20)), 64);
+/// assert_eq!(spec.value_bytes(), 64);
+/// assert_eq!(spec.base().key_range(), 1 << 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapSpec {
+    base: WorkloadSpec,
+    value_bytes: usize,
+}
+
+impl MapSpec {
+    /// Creates a map workload carrying `value_bytes`-sized payloads.
+    pub fn new(base: WorkloadSpec, value_bytes: usize) -> Self {
+        MapSpec { base, value_bytes }
+    }
+
+    /// The underlying key-space / mix / distribution spec.
+    pub fn base(&self) -> &WorkloadSpec {
+        &self.base
+    }
+
+    /// Size in bytes of the value payload each write installs.
+    pub fn value_bytes(&self) -> usize {
+        self.value_bytes
+    }
+
+    /// Builds one value payload for `key`: `value_bytes` bytes, stamped with
+    /// the key so correctness checks can tie a value back to its key.
+    pub fn payload_for(&self, key: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_bytes];
+        let stamp = key.to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = stamp[i % stamp.len()];
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +221,18 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn mix_must_sum_to_100() {
         let _ = OperationMix::new(50, 40, 20);
+    }
+
+    #[test]
+    fn map_spec_payloads_are_sized_and_stamped() {
+        let spec = MapSpec::new(WorkloadSpec::new(100, OperationMix::updates(50)), 16);
+        let p = spec.payload_for(0x0102_0304_0506_0708);
+        assert_eq!(p.len(), 16);
+        assert_eq!(&p[..8], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(&p[8..], &0x0102_0304_0506_0708u64.to_le_bytes());
+        // Zero-byte payloads are legal (membership-only maps).
+        let empty = MapSpec::new(WorkloadSpec::new(100, OperationMix::updates(50)), 0);
+        assert!(empty.payload_for(7).is_empty());
     }
 
     #[test]

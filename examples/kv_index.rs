@@ -1,12 +1,21 @@
-//! A concurrent in-memory index: the workload the paper's introduction
-//! motivates (a Set used as the index of a larger system, with a mixed
-//! population of readers and writers).
+//! A concurrent in-memory KV index: the workload the paper's introduction
+//! motivates (a dictionary used as the index of a larger system, with a mixed
+//! population of readers and writers) — now storing **real record payloads**
+//! through the map face of the tree, `LfBst<u64, Record>`, instead of faking
+//! an index with bare ids.
 //!
-//! Three roles run concurrently against one `LfBst<u64>`:
+//! Three roles run concurrently against one map:
 //!
-//! * *ingesters* add new record ids as data arrives;
-//! * *queriers* perform point lookups (the vast majority of traffic);
-//! * a *reaper* removes expired ids in the background.
+//! * *ingesters* upsert fresh records as data arrives (in-place value
+//!   replacement when a record is re-ingested);
+//! * *queriers* perform point lookups (the vast majority of traffic) and
+//!   verify each fetched record's integrity stamp;
+//! * a *reaper* evicts expired records in the background, accounting the
+//!   payload bytes it reclaims from the returned values.
+//!
+//! `Record` is an ordinary user struct: one `impl lfbst::MapValue` line opts
+//! it into the tree's value cells.  (Its sibling `stream_dedup` keeps using
+//! the set alias `LfBst<u64>` — the two faces are the same type.)
 //!
 //! Run with: `cargo run --release -p examples --bin kv_index`
 
@@ -23,39 +32,83 @@ use rand::{Rng, SeedableRng};
 const RUN_FOR: Duration = Duration::from_millis(800);
 const ID_SPACE: u64 = 1 << 20;
 
+/// A fixed-size record: what a real index row carries beside its key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Record {
+    /// The record id (mirrors the key; lets a lookup validate the mapping).
+    id: u64,
+    /// Monotonic ingest generation.
+    generation: u64,
+    /// Opaque payload.
+    payload: [u8; 16],
+}
+
+impl Record {
+    fn new(id: u64, generation: u64) -> Record {
+        let mut payload = [0u8; 16];
+        payload[..8].copy_from_slice(&id.to_le_bytes());
+        payload[8..].copy_from_slice(&generation.to_le_bytes());
+        Record { id, generation, payload }
+    }
+
+    /// The integrity check a querier runs on every fetched record.
+    fn verify(&self, key: u64) -> bool {
+        self.id == key
+            && self.payload[..8] == key.to_le_bytes()
+            && self.payload[8..] == self.generation.to_le_bytes()
+    }
+}
+
+// The one-line opt-in: store `Record`s behind the tree's atomic value cells.
+impl lfbst::MapValue for Record {
+    type Cell = lfbst::BoxedCell<Record>;
+}
+
 fn main() {
-    let index: Arc<LfBst<u64>> = Arc::new(LfBst::new());
+    let index: Arc<LfBst<u64, Record>> = Arc::new(LfBst::new());
     let stop = Arc::new(AtomicBool::new(false));
     let lookups = Arc::new(AtomicU64::new(0));
     let hits = Arc::new(AtomicU64::new(0));
     let ingested = Arc::new(AtomicU64::new(0));
+    let replaced = Arc::new(AtomicU64::new(0));
     let reaped = Arc::new(AtomicU64::new(0));
+    let reaped_bytes = Arc::new(AtomicU64::new(0));
 
-    // Pre-load yesterday's records.
+    // Pre-load yesterday's records (generation 0).
     for id in 0..100_000u64 {
-        index.insert(id * 8);
+        index.insert_entry(id * 8, Record::new(id * 8, 0));
     }
     println!("index pre-loaded with {} records", index.len());
 
     let mut handles = Vec::new();
 
-    // Two ingesters appending fresh ids.
+    // Two ingesters upserting fresh records.
     for w in 0..2u64 {
         let index = Arc::clone(&index);
         let stop = Arc::clone(&stop);
         let ingested = Arc::clone(&ingested);
+        let replaced = Arc::clone(&replaced);
         handles.push(thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(w);
+            let mut generation = 1u64;
             while !stop.load(Ordering::Relaxed) {
                 let id = rng.gen_range(0..ID_SPACE);
-                if index.insert(id) {
-                    ingested.fetch_add(1, Ordering::Relaxed);
+                match index.upsert(id, Record::new(id, generation)) {
+                    None => {
+                        ingested.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(old) => {
+                        // In-place replacement of a live record.
+                        debug_assert!(old.verify(id));
+                        replaced.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                generation += 1;
             }
         }));
     }
 
-    // Four queriers doing point lookups.
+    // Four queriers doing point lookups with integrity checks.
     for w in 0..4u64 {
         let index = Arc::clone(&index);
         let stop = Arc::clone(&stop);
@@ -68,7 +121,8 @@ fn main() {
             while !stop.load(Ordering::Relaxed) {
                 let id = rng.gen_range(0..ID_SPACE);
                 local_lookups += 1;
-                if index.contains(&id) {
+                if let Some(record) = index.get(&id) {
+                    assert!(record.verify(id), "corrupt record fetched for id {id}");
                     local_hits += 1;
                 }
             }
@@ -77,16 +131,20 @@ fn main() {
         }));
     }
 
-    // One reaper removing expired ids (the oldest block of the id space).
+    // One reaper evicting expired records (the oldest block of the id space),
+    // accounting the payload bytes each eviction returns.
     {
         let index = Arc::clone(&index);
         let stop = Arc::clone(&stop);
         let reaped = Arc::clone(&reaped);
+        let reaped_bytes = Arc::clone(&reaped_bytes);
         handles.push(thread::spawn(move || {
             let mut cursor = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                if index.remove(&cursor) {
+                if let Some(evicted) = index.remove_entry(&cursor) {
+                    assert!(evicted.verify(cursor), "corrupt record evicted for id {cursor}");
                     reaped.fetch_add(1, Ordering::Relaxed);
+                    reaped_bytes.fetch_add(evicted.payload.len() as u64, Ordering::Relaxed);
                 }
                 cursor = (cursor + 1) % ID_SPACE;
             }
@@ -104,15 +162,20 @@ fn main() {
     let lookups = lookups.load(Ordering::Relaxed);
     println!("ran for {secs:.2}s");
     println!(
-        "lookups: {} ({}) — hit rate {:.1}%",
+        "lookups: {} ({}) — hit rate {:.1}%, every hit integrity-checked",
         lookups,
         format_rate(lookups as f64 / secs),
         100.0 * hits.load(Ordering::Relaxed) as f64 / lookups.max(1) as f64
     );
     println!(
-        "ingested: {} new records, reaped: {} expired records",
+        "ingested: {} new records, {} in-place replacements",
         ingested.load(Ordering::Relaxed),
-        reaped.load(Ordering::Relaxed)
+        replaced.load(Ordering::Relaxed)
+    );
+    println!(
+        "reaped: {} expired records ({} payload bytes reclaimed)",
+        reaped.load(Ordering::Relaxed),
+        reaped_bytes.load(Ordering::Relaxed)
     );
     println!("final index size: {} records, tree height {}", index.len(), index.height());
 }

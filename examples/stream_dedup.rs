@@ -7,6 +7,11 @@
 //! `false` and drops its copy.  At the end, the number of processed events must
 //! equal the number of distinct ids — a property this example checks.
 //!
+//! This example deliberately stays on the **set alias** `LfBst<u64>`
+//! (= `LfBst<u64, ()>`): membership is all deduplication needs, and the alias
+//! keeps the paper's five-word node while its sibling `kv_index` drives the
+//! map face of the very same type.
+//!
 //! Run with: `cargo run --release -p examples --bin stream_dedup`
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -2,16 +2,26 @@
 //! implementations and require identical results at every step, then identical
 //! final contents.  This catches semantic divergences that per-implementation
 //! unit tests might miss.
+//!
+//! The second half is the **map-conformance suite**: the same step-by-step
+//! equivalence discipline applied to the `ConcurrentMap` face (`LfBst<u64,
+//! u64>` and its sharded compositions) against a `Mutex<BTreeMap>` oracle,
+//! plus a concurrent upsert-vs-remove race battery asserting linearizable
+//! `get` results.
 
-use cset::ConcurrentSet;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Mutex;
+
+use cset::{ConcurrentMap, ConcurrentSet, MapAsSet, OrderedMap};
 use ellen_bst::EllenBst;
 use lfbst::LfBst;
 use lflist::LockFreeList;
-use locked_bst::{CoarseLockBst, RwLockBst};
+use locked_bst::{CoarseLockBst, CoarseLockMap, RwLockBst};
 use natarajan_bst::NatarajanBst;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use shard::{HashRouter, RangeRouter, Sharded};
+use shard::{HashRouter, RangeRouter, Sharded, ShardedMap};
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -113,4 +123,255 @@ fn snapshots_agree_after_identical_updates() {
     // The order-preserving sharded scan must reproduce the global order.
     assert_eq!(reference, sharded_range.keys_in_range(..));
     lfbst::validate::validate(&lfbst).expect("lfbst structure must validate");
+}
+
+// ---------------------------------------------------------------------------
+// Map conformance: LfBst<u64, u64> and its compositions vs a Mutex<BTreeMap>.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Upsert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    ContainsKey(u64),
+}
+
+fn random_map_ops(n: usize, key_range: u64, seed: u64) -> Vec<MapOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let k = rng.gen_range(0..key_range);
+            let v = (i as u64) << 16 | k; // unique per step, key-stamped
+            match rng.gen_range(0..5) {
+                0 => MapOp::Insert(k, v),
+                1 => MapOp::Upsert(k, v),
+                2 => MapOp::Remove(k),
+                3 => MapOp::Get(k),
+                _ => MapOp::ContainsKey(k),
+            }
+        })
+        .collect()
+}
+
+/// The observable result of one map operation, for step-wise comparison.
+#[derive(Debug, PartialEq, Eq)]
+enum MapOutcome {
+    Inserted(bool),
+    Previous(Option<u64>),
+    Value(Option<u64>),
+    Present(bool),
+}
+
+fn apply_map(map: &dyn ConcurrentMap<u64, u64>, op: MapOp) -> MapOutcome {
+    match op {
+        MapOp::Insert(k, v) => MapOutcome::Inserted(map.insert(k, v)),
+        MapOp::Upsert(k, v) => MapOutcome::Previous(map.upsert(k, v)),
+        MapOp::Remove(k) => MapOutcome::Previous(map.remove(&k)),
+        MapOp::Get(k) => MapOutcome::Value(map.get(&k)),
+        MapOp::ContainsKey(k) => MapOutcome::Present(map.contains_key(&k)),
+    }
+}
+
+/// The oracle: the sequential `BTreeMap` semantics lifted through a mutex.
+fn apply_oracle(oracle: &Mutex<BTreeMap<u64, u64>>, op: MapOp) -> MapOutcome {
+    let mut m = oracle.lock().unwrap();
+    match op {
+        MapOp::Insert(k, v) => MapOutcome::Inserted(match m.entry(k) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v);
+                true
+            }
+        }),
+        MapOp::Upsert(k, v) => MapOutcome::Previous(m.insert(k, v)),
+        MapOp::Remove(k) => MapOutcome::Previous(m.remove(&k)),
+        MapOp::Get(k) => MapOutcome::Value(m.get(&k).copied()),
+        MapOp::ContainsKey(k) => MapOutcome::Present(m.contains_key(&k)),
+    }
+}
+
+#[test]
+fn map_implementations_agree_with_btreemap_oracle_on_sequential_histories() {
+    for seed in [2u64, 13, 101] {
+        let ops = random_map_ops(30_000, 300, seed);
+        let oracle: Mutex<BTreeMap<u64, u64>> = Mutex::new(BTreeMap::new());
+        let lfbst: LfBst<u64, u64> = LfBst::new();
+        let sharded_hash = ShardedMap::new(HashRouter::new(8), |_| LfBst::<u64, u64>::new());
+        let sharded_range =
+            ShardedMap::new(RangeRouter::covering(8, 300), |_| LfBst::<u64, u64>::new());
+        let locked: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+        let maps: Vec<&dyn ConcurrentMap<u64, u64>> =
+            vec![&lfbst, &sharded_hash, &sharded_range, &locked];
+        for (i, &op) in ops.iter().enumerate() {
+            let expected = apply_oracle(&oracle, op);
+            for map in &maps {
+                assert_eq!(
+                    apply_map(*map, op),
+                    expected,
+                    "{} diverged from the BTreeMap oracle at step {i} ({op:?}), seed {seed}",
+                    map.name()
+                );
+            }
+        }
+        let expected_len = oracle.lock().unwrap().len();
+        for map in &maps {
+            assert_eq!(map.len(), expected_len, "{} final size differs", map.name());
+        }
+        for k in 0..300u64 {
+            let expected = oracle.lock().unwrap().get(&k).copied();
+            for map in &maps {
+                assert_eq!(map.get(&k), expected, "{} final value of {k}", map.name());
+            }
+        }
+        lfbst::validate::validate(&lfbst).expect("map tree must validate");
+    }
+}
+
+#[test]
+fn map_ordered_scans_agree_with_the_oracle() {
+    let ops = random_map_ops(20_000, 200, 4321);
+    let oracle: Mutex<BTreeMap<u64, u64>> = Mutex::new(BTreeMap::new());
+    let lfbst: LfBst<u64, u64> = LfBst::new();
+    let sharded_range =
+        ShardedMap::new(RangeRouter::covering(8, 200), |_| LfBst::<u64, u64>::new());
+    let locked: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+    for &op in &ops {
+        if matches!(op, MapOp::Get(_) | MapOp::ContainsKey(_)) {
+            continue;
+        }
+        apply_oracle(&oracle, op);
+        apply_map(&lfbst, op);
+        apply_map(&sharded_range, op);
+        apply_map(&locked, op);
+    }
+    let model = oracle.lock().unwrap();
+    let reference: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(lfbst.iter_entries(), reference);
+    assert_eq!(lfbst.entries_between(Bound::Unbounded, Bound::Unbounded), reference);
+    assert_eq!(sharded_range.entries_between(Bound::Unbounded, Bound::Unbounded), reference);
+    assert_eq!(OrderedMap::entries_between(&locked, Bound::Unbounded, Bound::Unbounded), reference);
+    // Sub-range scans agree too, across all bound shapes.
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..50 {
+        let a: u64 = rng.gen_range(0..200);
+        let b: u64 = rng.gen_range(0..200);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let expected: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(lfbst.entries_between(Bound::Included(&lo), Bound::Included(&hi)), expected);
+        assert_eq!(
+            sharded_range.entries_between(Bound::Included(&lo), Bound::Included(&hi)),
+            expected
+        );
+    }
+}
+
+#[test]
+fn map_as_set_bridge_matches_the_set_face_of_the_same_tree() {
+    // Any ConcurrentMap<K, ()> serves as a ConcurrentSet<K> through the
+    // blanket bridge; driving the bridged lfbst against the native set face
+    // step-by-step proves the two agree operation for operation.
+    let ops = random_ops(20_000, 250, 777);
+    let native: LfBst<u64> = LfBst::new();
+    let bridged = MapAsSet(LfBst::<u64, ()>::new());
+    for (i, &op) in ops.iter().enumerate() {
+        assert_eq!(
+            apply(&bridged, op),
+            apply(&native, op),
+            "bridged map diverged from the native set at step {i} ({op:?})"
+        );
+    }
+    assert_eq!(ConcurrentSet::len(&bridged), native.len());
+}
+
+/// The upsert-vs-remove race battery the map contract promises: `get` must
+/// stay linearizable while writers replace values in place and removers evict
+/// the same keys.
+///
+/// Values are tagged `(writer, sequence)`, so a reader can prove that every
+/// observed value was genuinely written to *that* key (no torn reads, no
+/// cross-key leaks, no resurrection of evicted boxes), and the per-key
+/// eviction balance ties successful fresh inserts to successful removes.
+#[test]
+fn concurrent_upsert_vs_remove_keeps_gets_linearizable() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    const KEYS: u64 = 16; // small key space -> constant collisions
+    const OPS: u64 = 30_000;
+    const WRITERS: u64 = 2;
+    const REMOVERS: u64 = 2;
+    const READERS: u64 = 2;
+
+    let map: Arc<LfBst<u64, u64>> = Arc::new(LfBst::new());
+    // fresh_balance[k] = successful fresh inserts - successful removes.
+    let balance = Arc::new((0..KEYS).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
+
+    let encode = |writer: u64, seq: u64, key: u64| (writer << 48) | (seq << 8) | key;
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let map = Arc::clone(&map);
+        let balance = Arc::clone(&balance);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w);
+            for seq in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if map.upsert(k, encode(w, seq, k)).is_none() {
+                    balance[k as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for r in 0..REMOVERS {
+        let map = Arc::clone(&map);
+        let balance = Arc::clone(&balance);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + r);
+            for _ in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if let Some(evicted) = map.remove_entry(&k) {
+                    assert_eq!(evicted & 0xFF, k, "evicted value belongs to a different key");
+                    balance[k as usize].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let map = Arc::clone(&map);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(200 + r);
+            for _ in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if let Some(v) = map.get(&k) {
+                    // Linearizable get: the observed value must be one that
+                    // some writer installed for exactly this key, untorn.
+                    assert_eq!(v & 0xFF, k, "get returned a value written for another key");
+                    let writer = v >> 48;
+                    let seq = (v >> 8) & 0xFF_FFFF_FFFF;
+                    assert!(writer < WRITERS, "impossible writer tag {writer}");
+                    assert!(seq < OPS, "impossible sequence {seq}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Quiescent accounting: each key is present iff its fresh-insert/remove
+    // balance says so, and the final value is well-formed.
+    for k in 0..KEYS {
+        let b = balance[k as usize].load(std::sync::atomic::Ordering::Relaxed);
+        assert!(b == 0 || b == 1, "impossible balance {b} for key {k}");
+        match map.get(&k) {
+            Some(v) => {
+                assert_eq!(b, 1, "key {k} present but balance says absent");
+                assert_eq!(v & 0xFF, k);
+            }
+            None => assert_eq!(b, 0, "key {k} absent but balance says present"),
+        }
+    }
+    lfbst::validate::validate(&*map).expect("map tree must validate after the race");
 }
