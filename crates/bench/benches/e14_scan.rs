@@ -1,0 +1,94 @@
+//! E14 — streaming cursor vs collect-everything range scans (key range 2^16,
+//! half prefilled).
+//!
+//! One benchmark iteration is one scan operation: read up to `len` keys from
+//! a fixed lower bound a quarter into the key space.
+//!
+//! * `cursor/<impl>/<len>`  — the streaming path (`OrderedSet::scan_keys`,
+//!   consumed `len` deep): pays O(log n + len).
+//! * `collect/<impl>/<len>` — the historical path (`OrderedSet::keys_between`
+//!   over the tail, then `len` keys read): pays O(log n + tail) however small
+//!   `len` is.
+//!
+//! Swept over the single tree and the 16-way range-sharded composition
+//! (whose cursor rows exercise the k-way merge).  The `full` length makes the
+//! scan consume the whole tail — there the two paths do the same traversal
+//! work and the cursor must at least match.
+
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::prefill;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cset::OrderedSet;
+use lfbst::LfBst;
+use shard::{RangeRouter, Sharded};
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+const SHARDS: usize = 16;
+/// Scan lengths: two early-exit pages and the full tail.
+const SCAN_LENS: &[(&str, usize)] = &[("16", 16), ("1024", 1024), ("full", KEY_RANGE as usize)];
+
+fn scan_pair<S: OrderedSet<u64>>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    set: &S,
+    label: &str,
+) {
+    let lo = KEY_RANGE / 4;
+    for &(len_label, len) in SCAN_LENS {
+        group.bench_with_input(
+            BenchmarkId::new(format!("cursor/{label}"), len_label),
+            &len,
+            |b, &len| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for k in set.scan_keys(Bound::Included(&lo), Bound::Unbounded).take(len) {
+                        std::hint::black_box(k);
+                        n += 1;
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("collect/{label}"), len_label),
+            &len,
+            |b, &len| {
+                b.iter(|| {
+                    let all = set.keys_between(Bound::Included(&lo), Bound::Unbounded);
+                    let mut n = 0usize;
+                    for k in all.iter().take(len) {
+                        std::hint::black_box(k);
+                        n += 1;
+                    }
+                    n
+                });
+            },
+        );
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(KEY_RANGE, OperationMix::updates(0));
+    let mut group = c.benchmark_group("e14_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
+
+    let tree: Arc<LfBst<u64>> = Arc::new(LfBst::new());
+    prefill(&*tree, &spec);
+    scan_pair(&mut group, &*tree, "lfbst");
+
+    let sharded =
+        Arc::new(Sharded::new(RangeRouter::covering(SHARDS, KEY_RANGE), |_| LfBst::new()));
+    prefill(&*sharded, &spec);
+    scan_pair(&mut group, &*sharded, "sharded");
+
+    group.finish();
+}
+
+criterion_group!(e14, benches);
+criterion_main!(e14);

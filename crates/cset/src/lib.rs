@@ -7,4 +7,8 @@ pub mod traits;
 
 pub use key::KeyBound;
 pub use stats::{OpKind, OpStats, StatsSnapshot};
-pub use traits::{ConcurrentMap, ConcurrentSet, MapAsSet, OrderedMap, OrderedSet, PinnedOps};
+pub use traits::{
+    chunked_scan_entries, chunked_scan_keys, range_is_empty, ConcurrentMap, ConcurrentSet,
+    EntryCursor, KeyCursor, MapAsSet, OrderedMap, OrderedSet, PinnedOps, SCAN_CHUNK,
+    SCAN_CHUNK_MAX,
+};

@@ -1,10 +1,75 @@
 //! The [`ConcurrentSet`] / [`OrderedSet`] and [`ConcurrentMap`] /
 //! [`OrderedMap`] abstractions implemented by the structures in this
 //! workspace, plus the [`MapAsSet`] bridge between the two families.
+//!
+//! ## Streaming scans
+//!
+//! Ordered reads come in two shapes.  The collecting methods
+//! ([`OrderedSet::keys_between`], [`OrderedMap::entries_between`]) materialise
+//! the whole result — simple, but O(result) allocation and no way to stop
+//! early.  The **cursor** methods ([`OrderedSet::scan_keys`],
+//! [`OrderedMap::scan_entries`]) return a lazy ascending stream instead:
+//! items are produced one at a time, so pagination, top-k and early-exit
+//! consumers only pay for what they read.  Every method in the family has a
+//! default in terms of the others, so an implementation picks its natural
+//! primitive:
+//!
+//! * a structure with a native streaming traversal (such as `lfbst`'s
+//!   threaded successor links) overrides `scan_keys` / `scan_entries` and
+//!   inherits the collecting methods as `collect()` adapters;
+//! * a structure that can only scan in bulk overrides `keys_between` (and,
+//!   ideally, the bounded [`keys_between_limited`](OrderedSet::keys_between_limited))
+//!   and inherits a **chunked fallback cursor** that pages through
+//!   `keys_between_limited` with an advancing lower bound.
+//!
+//! An implementation **must override at least one** of
+//! `keys_between`/`scan_keys` (resp. `entries_between`/`scan_entries`);
+//! the defaults are mutually recursive.
 
 use std::ops::Bound;
 
 use crate::stats::StatsSnapshot;
+
+/// Number of items a chunked fallback cursor fetches per page (see
+/// [`OrderedSet::scan_keys`]'s default implementation).
+///
+/// Small enough that early-exit consumers over fallback cursors stay cheap,
+/// large enough that the per-page scan overhead amortises.
+pub const SCAN_CHUNK: usize = 64;
+
+/// The page-size ceiling of the chunked fallback cursors: pages grow
+/// geometrically from [`SCAN_CHUNK`] (cheap early exit) towards this cap
+/// (amortising the per-page re-locate on long scans), so a fallback cursor's
+/// transient memory is bounded by `SCAN_CHUNK_MAX` items however long the
+/// scan runs.
+pub const SCAN_CHUNK_MAX: usize = 4096;
+
+/// A boxed streaming cursor over keys, ascending; see
+/// [`OrderedSet::scan_keys`].
+pub type KeyCursor<'a, K> = Box<dyn Iterator<Item = K> + 'a>;
+
+/// Returns `true` if no key can satisfy both bounds: the range is inverted or
+/// pinched to nothing by exclusion.
+///
+/// The chunked fallback cursors consult this before fetching a page, both so
+/// that caller-supplied inverted ranges yield an empty stream (the convention
+/// across this workspace) and so that the advancing lower bound never hands an
+/// inverted range to an implementation whose bulk scan would reject it (the
+/// std `BTreeMap::range` panics on `start > end`).
+pub fn range_is_empty<K: Ord>(lo: &Bound<K>, hi: &Bound<K>) -> bool {
+    match (lo, hi) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => false,
+        (Bound::Included(a), Bound::Included(b)) => a > b,
+        (Bound::Included(a), Bound::Excluded(b)) | (Bound::Excluded(a), Bound::Included(b)) => {
+            a >= b
+        }
+        (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+    }
+}
+
+/// A boxed streaming cursor over `(key, value)` entries, ascending by key;
+/// see [`OrderedMap::scan_entries`].
+pub type EntryCursor<'a, K, V> = Box<dyn Iterator<Item = (K, V)> + 'a>;
 
 /// A linearizable concurrent set of keys.
 ///
@@ -193,10 +258,204 @@ pub trait ConcurrentMap<K, V>: Send + Sync {
 /// consistent** under concurrent mutation, exact in a quiescent state, keys
 /// strictly ascending.  Each value is the one observed for its key at the
 /// moment the scan visited it.
+///
+/// Every method has a default implementation in terms of the others (see the
+/// [module docs](self) on streaming scans); an implementation must override at
+/// least one of [`entries_between`](Self::entries_between) /
+/// [`scan_entries`](Self::scan_entries).
 pub trait OrderedMap<K, V>: ConcurrentMap<K, V> {
     /// Collects the `(key, value)` entries between `lo` and `hi`, in ascending
     /// key order.
-    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>;
+    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.scan_entries(lo, hi).collect()
+    }
+
+    /// Collects at most `limit` entries between `lo` and `hi`, smallest keys
+    /// first.
+    ///
+    /// The default collects the full range and truncates; implementations
+    /// that can stop early (a streaming cursor, a `range().take(limit)`)
+    /// should override it — the chunked fallback cursor behind
+    /// [`scan_entries`](Self::scan_entries) pages through this method, so its
+    /// memory bound is only as good as this override.
+    fn entries_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        let mut entries = self.entries_between(lo, hi);
+        entries.truncate(limit);
+        entries
+    }
+
+    /// Returns a lazy ascending cursor over the entries between `lo` and `hi`.
+    ///
+    /// The stream is **weakly consistent** exactly like
+    /// [`entries_between`](Self::entries_between), with one addition worth
+    /// spelling out for long scans: every entry whose key was present for the
+    /// *entire* duration of the scan appears, and no key absent for the entire
+    /// duration appears.  The default implementation is a chunked fallback: it
+    /// repeatedly fetches [`SCAN_CHUNK`]-sized pages through
+    /// [`entries_between_limited`](Self::entries_between_limited), advancing
+    /// the lower bound past the last key of each page.
+    fn scan_entries<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>) -> EntryCursor<'a, K, V>
+    where
+        K: Clone + Ord + 'a,
+        V: 'a,
+    {
+        Box::new(ChunkedPager::new(
+            move |lo, hi, limit| self.entries_between_limited(lo, hi, limit),
+            |(k, _): &(K, V)| k,
+            lo.cloned(),
+            hi.cloned(),
+        ))
+    }
+
+    /// Returns the entry with the smallest key, if any (weakly consistent).
+    fn first_entry(&self) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.entries_between_limited(Bound::Unbounded, Bound::Unbounded, 1).pop()
+    }
+
+    /// Returns the entry with the largest key, if any (weakly consistent).
+    ///
+    /// The default scans the whole map; implementations with a rightmost-path
+    /// walk or a `next_back()` should override it.
+    fn last_entry(&self) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.entries_between(Bound::Unbounded, Bound::Unbounded).pop()
+    }
+
+    /// Returns the entry with the smallest key strictly greater than `key`,
+    /// if any (weakly consistent) — the successor query pagination builds on.
+    fn next_entry_after(&self, key: &K) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.entries_between_limited(Bound::Excluded(key), Bound::Unbounded, 1).pop()
+    }
+}
+
+/// Returns a chunked-paging cursor over `set`, regardless of how `set`'s own
+/// [`scan_keys`](OrderedSet::scan_keys) is implemented: pages of at most
+/// [`SCAN_CHUNK`] keys are fetched through
+/// [`keys_between_limited`](OrderedSet::keys_between_limited), and **no
+/// internal resource outlives a page fetch** — between pulls the cursor holds
+/// only owned keys.
+///
+/// Composing layers use this when a long-lived native cursor would hold a
+/// resource hostage to the consumer's pacing: e.g. a sharding layer merging
+/// many per-shard streams, where a structure's own streaming cursor may pin
+/// an epoch-reclamation guard until that stream is reached.
+pub fn chunked_scan_keys<'a, K, S>(set: &'a S, lo: Bound<&K>, hi: Bound<&K>) -> KeyCursor<'a, K>
+where
+    S: OrderedSet<K> + ?Sized,
+    K: Clone + Ord + 'a,
+{
+    Box::new(ChunkedPager::new(
+        move |lo, hi, limit| set.keys_between_limited(lo, hi, limit),
+        |k: &K| k,
+        lo.cloned(),
+        hi.cloned(),
+    ))
+}
+
+/// The entry twin of [`chunked_scan_keys`]: chunked pages through
+/// [`entries_between_limited`](OrderedMap::entries_between_limited).
+pub fn chunked_scan_entries<'a, K, V, M>(
+    map: &'a M,
+    lo: Bound<&K>,
+    hi: Bound<&K>,
+) -> EntryCursor<'a, K, V>
+where
+    M: OrderedMap<K, V> + ?Sized,
+    K: Clone + Ord + 'a,
+    V: 'a,
+{
+    Box::new(ChunkedPager::new(
+        move |lo, hi, limit| map.entries_between_limited(lo, hi, limit),
+        |(k, _): &(K, V)| k,
+        lo.cloned(),
+        hi.cloned(),
+    ))
+}
+
+/// The chunked fallback cursor behind the `scan_keys` / `scan_entries`
+/// defaults: pages of at most [`SCAN_CHUNK`] items fetched through `fetch`
+/// (an implementation's `*_between_limited`), lower bound advanced past each
+/// full page's last key (`key_of`) — one key clone per page, not per item.
+struct ChunkedPager<K, T, F> {
+    fetch: F,
+    key_of: fn(&T) -> &K,
+    lo: Bound<K>,
+    hi: Bound<K>,
+    page: std::vec::IntoIter<T>,
+    /// Next page size: starts at [`SCAN_CHUNK`], doubles after every full
+    /// page up to [`SCAN_CHUNK_MAX`].
+    chunk: usize,
+    exhausted: bool,
+}
+
+impl<K, T, F> ChunkedPager<K, T, F>
+where
+    F: FnMut(Bound<&K>, Bound<&K>, usize) -> Vec<T>,
+{
+    fn new(fetch: F, key_of: fn(&T) -> &K, lo: Bound<K>, hi: Bound<K>) -> Self {
+        ChunkedPager {
+            fetch,
+            key_of,
+            lo,
+            hi,
+            page: Vec::new().into_iter(),
+            chunk: SCAN_CHUNK,
+            exhausted: false,
+        }
+    }
+}
+
+impl<K, T, F> Iterator for ChunkedPager<K, T, F>
+where
+    K: Clone + Ord,
+    F: FnMut(Bound<&K>, Bound<&K>, usize) -> Vec<T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        loop {
+            if let Some(item) = self.page.next() {
+                return Some(item);
+            }
+            if self.exhausted {
+                return None;
+            }
+            if range_is_empty(&self.lo, &self.hi) {
+                self.exhausted = true;
+                return None;
+            }
+            let page = (self.fetch)(self.lo.as_ref(), self.hi.as_ref(), self.chunk);
+            if page.len() < self.chunk {
+                // A short page means the range is drained; remember that so a
+                // concurrent insert behind the cursor cannot revive it.
+                self.exhausted = true;
+            } else if let Some(last) = page.last() {
+                // A full page will be followed by another fetch: resume
+                // strictly after its last key, with a geometrically larger
+                // page to amortise the fetch's re-locate cost.
+                self.lo = Bound::Excluded((self.key_of)(last).clone());
+                self.chunk = (self.chunk * 2).min(SCAN_CHUNK_MAX);
+            }
+            self.page = page.into_iter();
+            if self.page.len() == 0 {
+                return None;
+            }
+        }
+    }
 }
 
 /// Presents any [`ConcurrentMap`] with `()` values as a [`ConcurrentSet`].
@@ -280,8 +539,46 @@ impl<K, M> OrderedSet<K> for MapAsSet<M>
 where
     M: OrderedMap<K, ()>,
 {
-    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
         self.0.entries_between(lo, hi).into_iter().map(|(k, ())| k).collect()
+    }
+
+    fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
+        self.0.entries_between_limited(lo, hi, limit).into_iter().map(|(k, ())| k).collect()
+    }
+
+    fn scan_keys<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>) -> KeyCursor<'a, K>
+    where
+        K: Clone + Ord + 'a,
+    {
+        Box::new(self.0.scan_entries(lo, hi).map(|(k, ())| k))
+    }
+
+    fn first(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.0.first_entry().map(|(k, ())| k)
+    }
+
+    fn last(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.0.last_entry().map(|(k, ())| k)
+    }
+
+    fn next_after(&self, key: &K) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.0.next_entry_after(key).map(|(k, ())| k)
     }
 }
 
@@ -296,6 +593,11 @@ where
 /// `RangeBounds` parameter so that composed implementations (such as a
 /// sharding layer fanning one scan out over many inner sets) can forward them
 /// without re-materialising range types.
+///
+/// Every method has a default implementation in terms of the others (see the
+/// [module docs](self) on streaming scans); an implementation must override at
+/// least one of [`keys_between`](Self::keys_between) /
+/// [`scan_keys`](Self::scan_keys).
 pub trait OrderedSet<K>: ConcurrentSet<K> {
     /// Collects the keys between `lo` and `hi`, in ascending order.
     ///
@@ -309,7 +611,88 @@ pub trait OrderedSet<K>: ConcurrentSet<K> {
     ///     set.keys_between(Bound::Unbounded, Bound::Unbounded)
     /// }
     /// ```
-    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>;
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
+        self.scan_keys(lo, hi).collect()
+    }
+
+    /// Collects at most `limit` keys between `lo` and `hi`, smallest first.
+    ///
+    /// The default collects the full range and truncates; implementations
+    /// that can stop early should override it — the chunked fallback cursor
+    /// behind [`scan_keys`](Self::scan_keys) pages through this method, so
+    /// its memory bound is only as good as this override.
+    fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
+        let mut keys = self.keys_between(lo, hi);
+        keys.truncate(limit);
+        keys
+    }
+
+    /// Returns a lazy ascending cursor over the keys between `lo` and `hi`.
+    ///
+    /// The stream is **weakly consistent** exactly like
+    /// [`keys_between`](Self::keys_between); for long scans the contract is:
+    /// every key present for the *entire* duration of the scan appears, no key
+    /// absent for the entire duration appears.  The default implementation is
+    /// a chunked fallback that pages through
+    /// [`keys_between_limited`](Self::keys_between_limited) in
+    /// [`SCAN_CHUNK`]-sized steps, advancing the lower bound past each page.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::ops::Bound;
+    /// use cset::OrderedSet;
+    ///
+    /// // Top-k without materialising the tail: only k items are produced.
+    /// fn top_k<S: OrderedSet<u64>>(set: &S, k: usize) -> Vec<u64> {
+    ///     set.scan_keys(Bound::Unbounded, Bound::Unbounded).take(k).collect()
+    /// }
+    /// ```
+    fn scan_keys<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>) -> KeyCursor<'a, K>
+    where
+        K: Clone + Ord + 'a,
+    {
+        Box::new(ChunkedPager::new(
+            move |lo, hi, limit| self.keys_between_limited(lo, hi, limit),
+            |k: &K| k,
+            lo.cloned(),
+            hi.cloned(),
+        ))
+    }
+
+    /// Returns the smallest key, if any (weakly consistent).
+    fn first(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.keys_between_limited(Bound::Unbounded, Bound::Unbounded, 1).pop()
+    }
+
+    /// Returns the largest key, if any (weakly consistent).
+    ///
+    /// The default scans the whole set; implementations with a
+    /// rightmost-path walk should override it.
+    fn last(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.keys_between(Bound::Unbounded, Bound::Unbounded).pop()
+    }
+
+    /// Returns the smallest key strictly greater than `key`, if any (weakly
+    /// consistent) — the successor query pagination builds on.
+    fn next_after(&self, key: &K) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.keys_between_limited(Bound::Excluded(key), Bound::Unbounded, 1).pop()
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +856,109 @@ mod tests {
                 .map(|(&k, &v)| (k, v))
                 .collect()
         }
+    }
+
+    impl OrderedSet<u64> for MutexSet {
+        fn keys_between(&self, lo: Bound<&u64>, hi: Bound<&u64>) -> Vec<u64> {
+            if range_is_empty(&lo, &hi) {
+                return Vec::new();
+            }
+            self.inner.lock().unwrap().range((lo.cloned(), hi.cloned())).copied().collect()
+        }
+    }
+
+    #[test]
+    fn chunked_fallback_cursor_matches_bulk_scan() {
+        let set = MutexSet::default();
+        // More than two SCAN_CHUNK pages, odd stride so page edges are keys.
+        for k in (0..(3 * SCAN_CHUNK as u64 + 17)).map(|i| i * 3) {
+            set.insert(k);
+        }
+        for (lo, hi) in [
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(&10u64), Bound::Excluded(&500u64)),
+            (Bound::Excluded(&9u64), Bound::Included(&9u64)),
+            (Bound::Included(&400u64), Bound::Included(&100u64)), // reversed
+        ] {
+            let bulk = set.keys_between(lo, hi);
+            let streamed: Vec<u64> = set.scan_keys(lo, hi).collect();
+            assert_eq!(streamed, bulk, "bounds {lo:?}..{hi:?}");
+        }
+        // The limited default truncates consistently with the bulk scan.
+        assert_eq!(
+            set.keys_between_limited(Bound::Unbounded, Bound::Unbounded, 5),
+            set.keys_between(Bound::Unbounded, Bound::Unbounded)[..5].to_vec()
+        );
+    }
+
+    #[test]
+    fn successor_query_defaults() {
+        let set = MutexSet::default();
+        assert_eq!(set.first(), None);
+        assert_eq!(set.last(), None);
+        assert_eq!(set.next_after(&0), None);
+        for k in [30u64, 10, 20] {
+            set.insert(k);
+        }
+        assert_eq!(set.first(), Some(10));
+        assert_eq!(set.last(), Some(30));
+        assert_eq!(set.next_after(&10), Some(20));
+        assert_eq!(set.next_after(&15), Some(20));
+        assert_eq!(set.next_after(&30), None);
+    }
+
+    /// An ordered set that counts how many keys its paged scans fetch, to pin
+    /// the chunked cursor's laziness.
+    #[derive(Default)]
+    struct CountingSet {
+        inner: MutexSet,
+        fetched: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ConcurrentSet<u64> for CountingSet {
+        fn insert(&self, key: u64) -> bool {
+            self.inner.insert(key)
+        }
+        fn remove(&self, key: &u64) -> bool {
+            self.inner.remove(key)
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.inner.contains(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    impl OrderedSet<u64> for CountingSet {
+        fn keys_between(&self, lo: Bound<&u64>, hi: Bound<&u64>) -> Vec<u64> {
+            let keys = self.inner.keys_between(lo, hi);
+            self.fetched.fetch_add(keys.len(), std::sync::atomic::Ordering::Relaxed);
+            keys
+        }
+        fn keys_between_limited(&self, lo: Bound<&u64>, hi: Bound<&u64>, limit: usize) -> Vec<u64> {
+            let keys = self.inner.keys_between_limited(lo, hi, limit);
+            self.fetched.fetch_add(keys.len(), std::sync::atomic::Ordering::Relaxed);
+            keys
+        }
+    }
+
+    #[test]
+    fn chunked_cursor_is_lazy() {
+        let set = CountingSet::default();
+        for k in 0..10_000u64 {
+            set.insert(k);
+        }
+        let top: Vec<u64> = set.scan_keys(Bound::Unbounded, Bound::Unbounded).take(5).collect();
+        assert_eq!(top, vec![0, 1, 2, 3, 4]);
+        let fetched = set.fetched.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            fetched <= SCAN_CHUNK,
+            "early-exit scan fetched {fetched} keys, expected at most one page ({SCAN_CHUNK})"
+        );
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! Reproduces the planned evaluation of *Efficient Lock-free Binary Search
 //! Trees* (the paper defers experiments to future work; the suite below is the
 //! standard concurrent-set methodology its comparators use, see `DESIGN.md`
-//! and `EXPERIMENTS.md` for the experiment index E1–E13).
+//! and `EXPERIMENTS.md` for the experiment index E1–E14).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e13|all|e1,e13,...] [--quick] [--duration-ms N]
+//! experiments [e1|e2|...|e14|all|e1,e14,...] [--quick] [--duration-ms N]
 //!             [--max-threads N] [--value-bytes N] [--csv] [--json <path>]
 //! ```
 //!
@@ -35,8 +35,8 @@ use locked_bst::{CoarseLockBst, CoarseLockMap, RwLockBst};
 use natarajan_bst::NatarajanBst;
 use shard::{HashRouter, RangeRouter, Sharded, ShardedMap};
 use workload::{
-    format_csv, format_markdown_table, run_map_workload, run_workload, MapSpec, Measurement,
-    OperationMix, WorkloadSpec,
+    format_csv, format_markdown_table, run_map_workload, run_scan_workload, run_workload, MapSpec,
+    Measurement, OperationMix, ScanMode, WorkloadSpec,
 };
 
 /// Which implementations an experiment measures.
@@ -249,7 +249,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e13|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--csv] [--json <path>]"
+                        "usage: experiments [e1..e14|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -921,6 +921,61 @@ fn e13(opts: &Options) {
     );
 }
 
+/// The scan lengths E14 sweeps (keys per scan operation).  The last row of a
+/// full run uses the whole key range, where the cursor path degenerates into
+/// exactly the collect path's work — the "at least matching" check.
+const E14_SCAN_LENS: &[usize] = &[16, 256, 4096];
+
+fn e14(opts: &Options) {
+    // Scan-heavy mixed workload: the streaming-cursor architecture against
+    // the historical collect-everything scans, over the single tree and the
+    // range-sharded composition (whose cross-shard scans go through the
+    // k-way merge cursor).  Rows are scan lengths; columns are
+    // implementation x scan-serving mode.  Every scan reads up to `len` keys
+    // from a sampled lower bound: the cursor rows stop there, the collect
+    // rows first materialise the whole tail the way the pre-cursor API
+    // forced, so short rows show the early-exit/top-k win and the full-range
+    // row checks the cursor costs nothing when the scan consumes everything.
+    let threads = opts.max_threads;
+    let key_range = 1u64 << 16;
+    let mix = OperationMix::with_scans(50, 15, 15, 20);
+    let mix_label = "50/15/15+20%scan";
+    let shards = 16usize;
+    let mut lens: Vec<usize> = if opts.quick { vec![16, 4096] } else { E14_SCAN_LENS.to_vec() };
+    if !opts.quick {
+        lens.push(key_range as usize);
+    }
+    let mut rows = Vec::new();
+    for &len in &lens {
+        let spec = WorkloadSpec::new(key_range, mix).scan_len(len);
+        let row_mix = format!("{mix_label} len={len}");
+        let mut cells = Vec::new();
+        for mode in [ScanMode::Cursor, ScanMode::Collect] {
+            let m = run_scan_workload(Arc::new(LfBst::new()), &spec, threads, opts.duration, mode);
+            let name = format!("lfbst-{}", mode.label());
+            opts.record("e14", &name, threads, key_range, &row_mix, m.mops());
+            cells.push((name, m.mops()));
+        }
+        for mode in [ScanMode::Cursor, ScanMode::Collect] {
+            let set = Sharded::new(RangeRouter::covering(shards, key_range), |_| LfBst::new());
+            let base = ConcurrentSet::<u64>::name(&set);
+            let m = run_scan_workload(Arc::new(set), &spec, threads, opts.duration, mode);
+            let name = format!("{base}-{}", mode.label());
+            opts.record("e14", &name, threads, key_range, &row_mix, m.mops());
+            cells.push((name, m.mops()));
+        }
+        rows.push((len.to_string(), cells));
+    }
+    opts.emit(
+        &format!(
+            "E14 — scan-heavy mixed workload (get/insert/remove/scan {mix_label}, range 2^16, \
+             {threads} threads; cursor = streaming, collect = materialise-the-tail)"
+        ),
+        "scan len",
+        &rows,
+    );
+}
+
 fn main() {
     let opts = Options::parse();
     println!(
@@ -930,7 +985,7 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
     type Experiment = (&'static str, fn(&Options));
-    let experiments: [Experiment; 13] = [
+    let experiments: [Experiment; 14] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -944,6 +999,7 @@ fn main() {
         ("e11", e11),
         ("e12", e12),
         ("e13", e13),
+        ("e14", e14),
     ];
     for (name, run) in experiments {
         if opts.selected(name) {

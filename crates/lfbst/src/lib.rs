@@ -30,6 +30,28 @@
 //! assert_eq!(index.remove_entry(&7).as_deref(), Some("VII"));
 //! ```
 //!
+//! Ordered reads are **streaming**: the [`cursor`] module turns the threaded
+//! representation's one-hop-per-successor property into a guard-scoped
+//! [`Cursor`] (seek once, stream entries, zero allocation) and an owning
+//! [`RangeIter`] that repins its epoch guard on long scans; the collecting
+//! APIs ([`keys_in_range`](LfBst::keys_in_range),
+//! [`entries_in_range`](LfBst::entries_in_range), [`iter_keys`](LfBst::iter_keys))
+//! are thin adapters over it, and [`next_key_after`](LfBst::next_key_after) /
+//! [`min_key`](LfBst::min_key) / [`max_key`](LfBst::max_key) serve successor
+//! queries for pagination.
+//!
+//! ```
+//! use lfbst::LfBst;
+//!
+//! let set = LfBst::new();
+//! for k in [30u64, 10, 50, 20, 40] {
+//!     set.insert(k);
+//! }
+//! // Top-2 keys at or above 15, without materialising the rest.
+//! let top2: Vec<u64> = set.range_iter(15..).keys().take(2).collect();
+//! assert_eq!(top2, vec![20, 30]);
+//! ```
+//!
 //! The tree is an *internal* BST stored in **threaded** form (Perlis & Thornton):
 //! a node's right child pointer, when there is no right child, is a *thread* to the
 //! node's in-order successor, and a missing left child pointer is a thread to the
@@ -102,6 +124,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod cursor;
 pub mod guard;
 mod link;
 mod locate;
@@ -112,6 +135,7 @@ pub mod validate;
 pub mod value;
 
 pub use config::{Config, HelpPolicy, RestartPolicy};
+pub use cursor::{Cursor, Entry, RangeIter, REPIN_SCAN_EVERY};
 pub use guard::Pinned;
 pub use tree::LfBst;
 pub use value::{BoxedCell, MapValue, UnitCell, ValueCell};

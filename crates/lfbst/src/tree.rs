@@ -554,6 +554,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// The snapshot walks the threaded representation (an in-order walk is a
     /// linear scan over threads).  It is **weakly consistent**: concurrent
     /// mutations may or may not be observed; in a quiescent state it is exact.
+    ///
+    /// This is a convenience collector; for streaming consumption use
+    /// [`range_cursor`](Self::range_cursor) / [`range_iter`](Self::range_iter).
     pub fn iter_keys(&self) -> Vec<K>
     where
         K: Clone,
@@ -598,12 +601,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         K: Clone,
         R: std::ops::RangeBounds<K>,
     {
+        let guard = &epoch::pin();
+        let mut cursor = self.range_cursor(range, guard);
         let mut out = Vec::new();
-        self.for_each_in_range(range, |node, _| {
-            if let KeyBound::Key(k) = &node.key {
-                out.push(k.clone());
-            }
-        });
+        while let Some(entry) = cursor.next() {
+            out.push(entry.key().clone());
+        }
         out
     }
 
@@ -630,70 +633,13 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         V: Clone,
         R: std::ops::RangeBounds<K>,
     {
-        let mut out = Vec::new();
-        self.for_each_in_range(range, |node, guard| {
-            if let KeyBound::Key(k) = &node.key {
-                let v = node.value.read(guard).expect("keyed node has a value").clone();
-                out.push((k.clone(), v));
-            }
-        });
-        out
-    }
-
-    /// The shared range-scan walk: locates the first node at or above the
-    /// lower bound, then follows successor threads, invoking `f` on every node
-    /// whose key is within the range.
-    fn for_each_in_range<R>(&self, range: R, mut f: impl FnMut(&Node<K, V>, &Guard))
-    where
-        R: std::ops::RangeBounds<K>,
-    {
-        use std::ops::Bound;
         let guard = &epoch::pin();
-        // Find the first node whose key is >= (or > for an excluded bound) the
-        // lower bound.
-        let mut curr = match range.start_bound() {
-            Bound::Unbounded => self.in_order_successor(self.root0(), guard),
-            Bound::Included(k) | Bound::Excluded(k) => {
-                let loc = self.locate_from(self.root1(), self.root0(), k, false, guard);
-                if loc.dir == 2 {
-                    if matches!(range.start_bound(), Bound::Included(_)) {
-                        loc.curr
-                    } else {
-                        self.in_order_successor(loc.curr, guard)
-                    }
-                } else if loc.dir == 0 {
-                    // Stopped at a threaded left link: `curr` is the first key
-                    // greater than the bound.
-                    loc.curr
-                } else {
-                    // Stopped at a threaded right link: its target is the first
-                    // key greater than the bound.
-                    loc.link.with_tag(0)
-                }
-            }
-        };
-        loop {
-            if same_node(curr, self.root1()) || curr.is_null() {
-                break;
-            }
-            let node = unsafe { curr.deref() };
-            match &node.key {
-                KeyBound::Key(k) => {
-                    let past_end = match range.end_bound() {
-                        Bound::Unbounded => false,
-                        Bound::Included(end) => k > end,
-                        Bound::Excluded(end) => k >= end,
-                    };
-                    if past_end {
-                        break;
-                    }
-                    f(node, guard);
-                }
-                KeyBound::NegInf => {}
-                KeyBound::PosInf => break,
-            }
-            curr = self.in_order_successor(curr, guard);
+        let mut cursor = self.range_cursor(range, guard);
+        let mut out = Vec::new();
+        while let Some(entry) = cursor.next() {
+            out.push((entry.key().clone(), entry.value().clone()));
         }
+        out
     }
 
     /// Returns the smallest key in the set, if any (weakly consistent).
@@ -733,7 +679,28 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         K: Clone,
     {
         let guard = &epoch::pin();
-        // Rightmost node reachable from the real tree via unthreaded right links.
+        self.rightmost(guard).map(|node| {
+            node.key.as_key().cloned().expect("rightmost interior node carries a real key")
+        })
+    }
+
+    /// Returns the entry with the largest key, if any (weakly consistent):
+    /// the map twin of [`max_key`](Self::max_key), one rightmost-path walk.
+    pub fn max_entry(&self) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let guard = &epoch::pin();
+        self.rightmost(guard).map(|node| {
+            let k = node.key.as_key().cloned().expect("rightmost interior node carries a real key");
+            let v = node.value.read(guard).expect("keyed node has a value").clone();
+            (k, v)
+        })
+    }
+
+    /// The rightmost interior node, reached through unthreaded right links.
+    fn rightmost<'g>(&self, guard: &'g Guard) -> Option<&'g Node<K, V>> {
         let top = unsafe { self.root0().deref() }.child[1].load(LOAD, guard);
         if is_thread(top) {
             return None;
@@ -742,14 +709,15 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         loop {
             let right = unsafe { curr.deref() }.child[1].load(LOAD, guard);
             if is_thread(right) {
-                return unsafe { curr.deref() }.key.as_key().cloned();
+                return Some(unsafe { curr.deref() });
             }
             curr = right.with_tag(0);
         }
     }
 
-    /// Follows the threaded representation to the in-order successor of `node`.
-    fn in_order_successor<'g>(
+    /// Follows the threaded representation to the in-order successor of `node`
+    /// (the per-step hop of the streaming cursors in [`crate::cursor`]).
+    pub(crate) fn in_order_successor<'g>(
         &self,
         node: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
@@ -906,6 +874,49 @@ where
     fn keys_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<K> {
         self.keys_in_range((lo.cloned(), hi.cloned()))
     }
+
+    fn keys_between_limited(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        limit: usize,
+    ) -> Vec<K> {
+        let guard = &epoch::pin();
+        let mut cursor = self.range_cursor((lo.cloned(), hi.cloned()), guard);
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match cursor.next() {
+                Some(entry) => out.push(entry.key().clone()),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn scan_keys<'a>(
+        &'a self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+    ) -> cset::KeyCursor<'a, K>
+    where
+        K: 'a,
+    {
+        // The owning iterator manages its own guard (and repins on long
+        // scans), which is what a boxed cursor with only `&'a self` needs.
+        Box::new(self.range_iter((lo.cloned(), hi.cloned())).keys())
+    }
+
+    fn first(&self) -> Option<K> {
+        self.min_key()
+    }
+
+    fn last(&self) -> Option<K> {
+        self.max_key()
+    }
+
+    fn next_after(&self, key: &K) -> Option<K> {
+        self.next_key_after(key)
+    }
 }
 
 impl<K, V> ConcurrentMap<K, V> for LfBst<K, V>
@@ -953,6 +964,49 @@ where
 {
     fn entries_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
         self.entries_in_range((lo.cloned(), hi.cloned()))
+    }
+
+    fn entries_between_limited(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        limit: usize,
+    ) -> Vec<(K, V)> {
+        let guard = &epoch::pin();
+        let mut cursor = self.range_cursor((lo.cloned(), hi.cloned()), guard);
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match cursor.next() {
+                Some(entry) => out.push((entry.key().clone(), entry.value().clone())),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn scan_entries<'a>(
+        &'a self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+    ) -> cset::EntryCursor<'a, K, V>
+    where
+        K: 'a,
+        V: 'a,
+    {
+        Box::new(self.range_iter((lo.cloned(), hi.cloned())))
+    }
+
+    fn first_entry(&self) -> Option<(K, V)> {
+        let guard = &epoch::pin();
+        self.range_cursor(.., guard).next().map(|e| (e.key().clone(), e.value().clone()))
+    }
+
+    fn last_entry(&self) -> Option<(K, V)> {
+        self.max_entry()
+    }
+
+    fn next_entry_after(&self, key: &K) -> Option<(K, V)> {
+        LfBst::next_entry_after(self, key)
     }
 }
 

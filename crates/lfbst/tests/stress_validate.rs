@@ -52,3 +52,25 @@ fn stress_many_rounds() {
         one_round(base + r, threads, 2_000, 1 << 6);
     }
 }
+
+/// A short, bounded slice of the race hunt that runs in every `cargo test`
+/// invocation (progress toward the removal-protocol race in ROADMAP's open
+/// items: more eyes per CI run).  `one_round`'s panic messages carry the
+/// failing seed; to replay a failure with the **same** round parameters
+/// (4 threads, 1 000 ops, range 2^6 — thread/op counts change the
+/// interleaving, so `stress_many_rounds` does not reproduce these seeds):
+///
+/// ```text
+/// STRESS_SMOKE_BASE=<seed> cargo test -p lfbst --test stress_validate stress_bounded_smoke
+/// ```
+///
+/// Tuned to stay in the low seconds: 32 rounds of 4 oversubscribed threads
+/// on a small key range, the shape that reproduced the known `SizeMismatch`.
+#[test]
+fn stress_bounded_smoke() {
+    let base: u64 =
+        std::env::var("STRESS_SMOKE_BASE").ok().and_then(|s| s.parse().ok()).unwrap_or(9_000);
+    for r in 0..32 {
+        one_round(base + r, 4, 1_000, 1 << 6);
+    }
+}

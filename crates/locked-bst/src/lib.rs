@@ -115,6 +115,15 @@ impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for CoarseLockBst<K> {
     fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
         filter_range(self.inner.lock().unwrap().keys(), lo, hi)
     }
+
+    fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K> {
+        // The sequential tree only offers a bulk key dump, so a page still
+        // walks the whole structure under the lock; the truncation bounds the
+        // *returned* page, which is what the chunked cursor contract needs.
+        let mut keys = filter_range(self.inner.lock().unwrap().keys(), lo, hi);
+        keys.truncate(limit);
+        keys
+    }
 }
 
 /// A sequential internal BST protected by a readers-writer lock.
@@ -181,6 +190,12 @@ impl<K: Ord + Send + Sync> ConcurrentSet<K> for RwLockBst<K> {
 impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for RwLockBst<K> {
     fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
         filter_range(self.inner.read().unwrap().keys(), lo, hi)
+    }
+
+    fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K> {
+        let mut keys = filter_range(self.inner.read().unwrap().keys(), lo, hi);
+        keys.truncate(limit);
+        keys
     }
 }
 
@@ -272,12 +287,47 @@ where
     V: Clone + Send + Sync,
 {
     fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        // `BTreeMap::range` panics on inverted bounds; the workspace contract
+        // is an empty result.
+        if cset::range_is_empty(&lo, &hi) {
+            return Vec::new();
+        }
         self.inner
             .lock()
             .unwrap()
             .range((lo.cloned(), hi.cloned()))
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
+    }
+
+    fn entries_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<(K, V)> {
+        if cset::range_is_empty(&lo, &hi) {
+            return Vec::new();
+        }
+        self.inner
+            .lock()
+            .unwrap()
+            .range((lo.cloned(), hi.cloned()))
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn first_entry(&self) -> Option<(K, V)> {
+        self.inner.lock().unwrap().iter().next().map(|(k, v)| (k.clone(), v.clone()))
+    }
+
+    fn last_entry(&self) -> Option<(K, V)> {
+        self.inner.lock().unwrap().iter().next_back().map(|(k, v)| (k.clone(), v.clone()))
+    }
+
+    fn next_entry_after(&self, key: &K) -> Option<(K, V)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .next()
+            .map(|(k, v)| (k.clone(), v.clone()))
     }
 }
 

@@ -395,6 +395,93 @@ impl<K: Ord> NatarajanBst<K> {
         out.sort();
         out
     }
+
+    /// Collects up to `limit` keys in `[lo, hi]`, ascending (weakly
+    /// consistent; exact at quiescence, though a key whose removal is still
+    /// in its physical-splice window may briefly be reported).
+    ///
+    /// A pruned in-order DFS over the external tree, identical in shape to
+    /// `ellen_bst`'s: right child pushed before left for ascending pops,
+    /// out-of-bounds subtrees pruned, early exit at `limit` — the bounded
+    /// page primitive behind the chunked fallback cursor of
+    /// [`cset::OrderedSet::scan_keys`].
+    pub fn keys_in_range_limited(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        limit: usize,
+    ) -> Vec<K>
+    where
+        K: Clone,
+    {
+        use std::cmp::Ordering as CmpOrdering;
+        use std::ops::Bound;
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        let guard = &epoch::pin();
+        let mut stack = vec![self.root_shared()];
+        while let Some(node) = stack.pop() {
+            let n = unsafe { node.deref() };
+            let left = n.child[0].load(ORD, guard).with_tag(0);
+            if left.is_null() {
+                if let ExtKey::Key(k) = &n.key {
+                    let above = match lo {
+                        Bound::Unbounded => true,
+                        Bound::Included(b) => k >= b,
+                        Bound::Excluded(b) => k > b,
+                    };
+                    let below = match hi {
+                        Bound::Unbounded => true,
+                        Bound::Included(b) => k <= b,
+                        Bound::Excluded(b) => k < b,
+                    };
+                    if above && below {
+                        out.push(k.clone());
+                        if out.len() == limit {
+                            return out;
+                        }
+                    }
+                }
+                continue;
+            }
+            let right = n.child[1].load(ORD, guard).with_tag(0);
+            // Left subtree holds keys < n.key, right subtree keys >= n.key
+            // (sentinel routing keys compare above every real key).
+            let skip_left = match lo {
+                Bound::Unbounded => false,
+                Bound::Included(b) | Bound::Excluded(b) => n.key.cmp_key(b) != CmpOrdering::Greater,
+            };
+            let skip_right = match hi {
+                Bound::Unbounded => false,
+                Bound::Included(b) => n.key.cmp_key(b) == CmpOrdering::Greater,
+                Bound::Excluded(b) => n.key.cmp_key(b) != CmpOrdering::Less,
+            };
+            if !skip_right && !right.is_null() {
+                stack.push(right);
+            }
+            if !skip_left {
+                stack.push(left);
+            }
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> cset::OrderedSet<K> for NatarajanBst<K> {
+    fn keys_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<K> {
+        self.keys_in_range_limited(lo, hi, usize::MAX)
+    }
+
+    fn keys_between_limited(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        limit: usize,
+    ) -> Vec<K> {
+        self.keys_in_range_limited(lo, hi, limit)
+    }
 }
 
 fn clone_ext_key<K>(key: &ExtKey<K>) -> ExtKey<K>

@@ -17,10 +17,13 @@
 //! * [`Sharded`] — the wrapper that owns the inner structures, implements
 //!   [`cset::ConcurrentSet`] by routing each operation, aggregates
 //!   `len`/statistics across shards, and (with an ordered router) serves
-//!   merged range scans via [`Sharded::keys_in_range`];
+//!   cross-shard ordered scans as a **bounded-memory k-way merge** over
+//!   per-shard streaming cursors ([`Sharded::scan_range`] /
+//!   [`Sharded::keys_in_range`]; see the [`merge`] module);
 //! * [`ShardedMap`] — the [`cset::ConcurrentMap`] facade over the same
 //!   routing machinery, for map-shaped inner structures such as
-//!   `LfBst<K, V>` (ordered scans via [`cset::OrderedMap::entries_between`]).
+//!   `LfBst<K, V>` (streaming scans via [`cset::OrderedMap::scan_entries`],
+//!   collecting scans via [`cset::OrderedMap::entries_between`]).
 //!
 //! The benchmark harness measures this layer as experiment **E11** (shard
 //! count × thread count × operation mix); see `EXPERIMENTS.md` at the
@@ -55,9 +58,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod merge;
 mod router;
 mod sharded;
 
+pub use merge::{MergedEntries, MergedKeys};
 pub use router::{HashRouter, OrderedRouter, RangeRouter, ShardRouter};
 pub use sharded::{config_name, Sharded, ShardedMap};
 
@@ -156,6 +161,122 @@ mod tests {
         assert_eq!(set.keys_in_range(80..=10), Vec::<u64>::new());
         assert_eq!(set.keys_in_range(90..10), Vec::<u64>::new());
         assert_eq!(LfBst::keys_in_range(set.shard(0), 80..=10), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn streaming_scan_matches_collecting_scan() {
+        let set = Sharded::new(RangeRouter::covering(8, 5_000), |_| LfBst::new());
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..2_000 {
+            set.insert(rng.gen_range(0..5_000u64));
+        }
+        for _ in 0..50 {
+            let a: u64 = rng.gen_range(0..5_000);
+            let b: u64 = rng.gen_range(0..5_000);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let collected = set.keys_in_range(lo..=hi);
+            let streamed: Vec<u64> = set.scan_range(lo..=hi).collect();
+            assert_eq!(streamed, collected, "range {lo}..={hi}");
+            // Limited pages are prefixes of the full scan.
+            let page = set.keys_between_limited(
+                std::ops::Bound::Included(&lo),
+                std::ops::Bound::Included(&hi),
+                7,
+            );
+            assert_eq!(page, collected[..collected.len().min(7)].to_vec());
+        }
+    }
+
+    #[test]
+    fn successor_queries_cross_shards() {
+        let set = Sharded::new(RangeRouter::covering(4, 100), |_| LfBst::new());
+        assert_eq!(set.first(), None);
+        assert_eq!(set.last(), None);
+        assert_eq!(set.next_after(&50), None);
+        for k in [5u64, 30, 55, 80] {
+            set.insert(k);
+        }
+        assert_eq!(set.first(), Some(5));
+        assert_eq!(set.last(), Some(80));
+        // Successors within a shard and across shard boundaries.
+        assert_eq!(set.next_after(&5), Some(30));
+        assert_eq!(set.next_after(&30), Some(55));
+        assert_eq!(set.next_after(&31), Some(55));
+        assert_eq!(set.next_after(&80), None);
+        // Empty low shards are skipped.
+        set.remove(&5);
+        assert_eq!(set.first(), Some(30));
+    }
+
+    /// An ordered inner set that counts every key its scans hand out, to pin
+    /// the merge cursor's bounded-memory/lazy contract.
+    struct CountingSet {
+        inner: CoarseLockBst<u64>,
+        handed_out: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl ConcurrentSet<u64> for CountingSet {
+        fn insert(&self, key: u64) -> bool {
+            self.inner.insert(key)
+        }
+        fn remove(&self, key: &u64) -> bool {
+            self.inner.remove(key)
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.inner.contains(key)
+        }
+        fn len(&self) -> usize {
+            ConcurrentSet::len(&self.inner)
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    impl OrderedSet<u64> for CountingSet {
+        fn keys_between(&self, lo: std::ops::Bound<&u64>, hi: std::ops::Bound<&u64>) -> Vec<u64> {
+            let keys = self.inner.keys_between(lo, hi);
+            self.handed_out.fetch_add(keys.len(), Ordering::Relaxed);
+            keys
+        }
+        fn keys_between_limited(
+            &self,
+            lo: std::ops::Bound<&u64>,
+            hi: std::ops::Bound<&u64>,
+            limit: usize,
+        ) -> Vec<u64> {
+            let keys = self.inner.keys_between_limited(lo, hi, limit);
+            self.handed_out.fetch_add(keys.len(), Ordering::Relaxed);
+            keys
+        }
+    }
+
+    #[test]
+    fn merged_scan_memory_is_bounded_by_shards_plus_page() {
+        // 4 shards x 1000 keys; an early-exit scan of 10 keys must not pull
+        // the 4000-key result set through the merge.  The inner cursors here
+        // are cset's chunked fallbacks, so the worst case is one SCAN_CHUNK
+        // page per shard plus the emitted page — the documented bound.
+        const SHARDS: usize = 4;
+        const PER_SHARD: u64 = 1_000;
+        let handed_out = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let set = Sharded::new(RangeRouter::covering(SHARDS, SHARDS as u64 * PER_SHARD), |_| {
+            CountingSet { inner: CoarseLockBst::new(), handed_out: Arc::clone(&handed_out) }
+        });
+        for k in 0..SHARDS as u64 * PER_SHARD {
+            set.insert(k);
+        }
+        handed_out.store(0, Ordering::Relaxed);
+        let top: Vec<u64> = set.scan_range(..).take(10).collect();
+        assert_eq!(top, (0..10).collect::<Vec<_>>());
+        let pulled = handed_out.load(Ordering::Relaxed);
+        let bound = SHARDS * cset::SCAN_CHUNK + 10;
+        assert!(
+            pulled <= bound,
+            "early-exit merge pulled {pulled} keys from shards, bound is {bound} \
+             (collect-everything would have pulled {})",
+            SHARDS as u64 * PER_SHARD
+        );
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub fn config_name(inner: &'static str, shards: usize, policy: &'static str) -> 
 /// shard-local values; see [`StatsSnapshot::merge`] for the exact/monotone
 /// contract of such sums.  With an order-preserving router
 /// ([`OrderedRouter`], e.g. [`RangeRouter`](crate::RangeRouter)), ordered
-/// range scans remain available and are served by concatenating per-shard
-/// scans in shard order — see [`Sharded::keys_in_range`].
+/// range scans remain available, served as a bounded-memory k-way merge over
+/// per-shard streaming cursors — see [`Sharded::scan_range`] /
+/// [`Sharded::keys_in_range`] and the [`crate::merge`] module.
 ///
 /// # Examples
 ///
@@ -213,16 +214,13 @@ where
     }
 }
 
-impl<K, S, R> OrderedSet<K> for Sharded<S, R>
-where
-    S: OrderedSet<K>,
-    R: OrderedRouter<K>,
-{
-    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
-        // A monotone router puts every key of [lo, hi] into the contiguous
-        // shard interval [route(lo), route(hi)]; each shard scan is ascending
-        // and shard i's keys all precede shard i+1's, so plain concatenation
-        // yields one ascending scan.
+impl<S, R> Sharded<S, R> {
+    /// The contiguous shard interval a monotone router confines `[lo, hi]`
+    /// to, or `None` for inverted bounds (the scan is empty).
+    fn shard_span<K>(&self, lo: Bound<&K>, hi: Bound<&K>) -> Option<(usize, usize)>
+    where
+        R: OrderedRouter<K>,
+    {
         let first = match lo {
             Bound::Unbounded => 0,
             Bound::Included(k) | Bound::Excluded(k) => self.router.route(k),
@@ -231,15 +229,94 @@ where
             Bound::Unbounded => self.shards.len() - 1,
             Bound::Included(k) | Bound::Excluded(k) => self.router.route(k),
         };
-        if first > last {
+        (first <= last).then_some((first, last))
+    }
+}
+
+impl<K, S, R> OrderedSet<K> for Sharded<S, R>
+where
+    S: OrderedSet<K>,
+    R: OrderedRouter<K>,
+{
+    /// A bounded-memory cross-shard scan: one streaming cursor per shard in
+    /// the router-confined interval `[route(lo), route(hi)]`, k-way merged
+    /// through a [`BinaryHeap`](std::collections::BinaryHeap) holding one
+    /// pending key per shard (see [`crate::merge`]).  Nothing is collected up
+    /// front, so `scan.take(k)` touches O(shards + k) items however large the
+    /// range is.
+    ///
+    /// The per-shard streams are served in bounded pages
+    /// ([`cset::chunked_scan_keys`] over each shard's
+    /// `keys_between_limited`), **not** through the shards' own long-lived
+    /// cursors: a native cursor may hold a resource (e.g. an epoch
+    /// reclamation pin) for its whole lifetime, and a merged scan keeps the
+    /// later shards' cursors idle until the earlier shards drain — paging
+    /// guarantees that between pulls the merge holds only owned keys, so a
+    /// long or slowly consumed scan never stalls reclamation.
+    fn scan_keys<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>) -> cset::KeyCursor<'a, K>
+    where
+        K: Clone + Ord + 'a,
+    {
+        let Some((first, last)) = self.shard_span(lo, hi) else {
             // Inverted bounds: empty, matching every inner implementation.
+            return Box::new(std::iter::empty());
+        };
+        let cursors: Vec<_> =
+            self.shards[first..=last].iter().map(|s| cset::chunked_scan_keys(s, lo, hi)).collect();
+        Box::new(crate::merge::MergedKeys::new(cursors))
+    }
+
+    /// A full collect materialises its result anyway, so it concatenates
+    /// per-shard bulk scans (key-disjoint and ascending in shard order under
+    /// a monotone router) instead of draining the merge cursor — which for
+    /// inner sets *without* a native cursor would page the whole range
+    /// through their chunked fallbacks quadratically.
+    fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
+        let Some((first, last)) = self.shard_span(lo, hi) else {
             return Vec::new();
-        }
+        };
         let mut out = Vec::new();
         for shard in &self.shards[first..=last] {
             out.extend(shard.keys_between(lo, hi));
         }
         out
+    }
+
+    fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K>
+    where
+        K: Clone + Ord,
+    {
+        self.scan_keys(lo, hi).take(limit).collect()
+    }
+
+    /// Served shard-by-shard in router order: with a monotone router the
+    /// first non-empty shard holds the global minimum.
+    fn first(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.shards.iter().find_map(|s| s.first())
+    }
+
+    fn last(&self) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        self.shards.iter().rev().find_map(|s| s.last())
+    }
+
+    /// Starts at `route(key)` (no earlier shard can hold a larger key under a
+    /// monotone router) and walks forward to the first shard with a
+    /// successor.
+    fn next_after(&self, key: &K) -> Option<K>
+    where
+        K: Clone + Ord,
+    {
+        let start = self.router.route(key);
+        self.shards[start..].iter().find_map(|s| s.next_after(key))
     }
 }
 
@@ -365,26 +442,71 @@ where
     S: OrderedMap<K, V>,
     R: OrderedRouter<K>,
 {
-    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
-        // Same argument as `Sharded::keys_between`: a monotone router confines
-        // the range to a contiguous shard interval, and shard-order
-        // concatenation of ascending per-shard scans is one ascending scan.
-        let first = match lo {
-            Bound::Unbounded => 0,
-            Bound::Included(k) | Bound::Excluded(k) => self.inner.router.route(k),
+    /// Same shape as [`Sharded`]'s `scan_keys`: per-shard entry streams over
+    /// the router-confined shard interval, served in bounded pages
+    /// ([`cset::chunked_scan_entries`], so no per-shard resource outlives a
+    /// page fetch) and k-way merged with one pending entry per shard (see
+    /// [`crate::merge`]).
+    fn scan_entries<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>) -> cset::EntryCursor<'a, K, V>
+    where
+        K: Clone + Ord + 'a,
+        V: 'a,
+    {
+        let Some((first, last)) = self.inner.shard_span(lo, hi) else {
+            return Box::new(std::iter::empty());
         };
-        let last = match hi {
-            Bound::Unbounded => self.inner.shards.len() - 1,
-            Bound::Included(k) | Bound::Excluded(k) => self.inner.router.route(k),
-        };
-        if first > last {
+        let cursors: Vec<_> = self.inner.shards[first..=last]
+            .iter()
+            .map(|s| cset::chunked_scan_entries(s, lo, hi))
+            .collect();
+        Box::new(crate::merge::MergedEntries::new(cursors))
+    }
+
+    /// Concatenates per-shard bulk scans, for the same reason as
+    /// [`Sharded`]'s `keys_between`: a collect materialises its result, and
+    /// concatenation never pays the chunked-fallback paging of cursor-less
+    /// inner maps.
+    fn entries_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        let Some((first, last)) = self.inner.shard_span(lo, hi) else {
             return Vec::new();
-        }
+        };
         let mut out = Vec::new();
         for shard in &self.inner.shards[first..=last] {
             out.extend(shard.entries_between(lo, hi));
         }
         out
+    }
+
+    fn entries_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.scan_entries(lo, hi).take(limit).collect()
+    }
+
+    fn first_entry(&self) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.inner.shards.iter().find_map(|s| s.first_entry())
+    }
+
+    fn last_entry(&self) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        self.inner.shards.iter().rev().find_map(|s| s.last_entry())
+    }
+
+    fn next_entry_after(&self, key: &K) -> Option<(K, V)>
+    where
+        K: Clone + Ord,
+    {
+        let start = self.inner.router.route(key);
+        self.inner.shards[start..].iter().find_map(|s| s.next_entry_after(key))
     }
 }
 
@@ -393,7 +515,8 @@ impl<S, R> Sharded<S, R> {
     ///
     /// Only available with an order-preserving router.  Like the inner sets'
     /// scans this is **weakly consistent** under concurrent mutation and exact
-    /// in a quiescent state.
+    /// in a quiescent state.  This is the collecting convenience over
+    /// [`scan_range`](Self::scan_range).
     ///
     /// # Examples
     ///
@@ -411,11 +534,41 @@ impl<S, R> Sharded<S, R> {
     /// ```
     pub fn keys_in_range<K, Rg>(&self, range: Rg) -> Vec<K>
     where
+        K: Clone + Ord,
         S: OrderedSet<K>,
         R: OrderedRouter<K>,
         Rg: RangeBounds<K>,
     {
         self.keys_between(range.start_bound(), range.end_bound())
+    }
+
+    /// Streams the keys in `range` across all shards, ascending, without
+    /// materialising anything: a k-way merge over per-shard cursors holding
+    /// one pending key per shard (see [`crate::merge`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::LfBst;
+    /// use shard::{RangeRouter, Sharded};
+    /// use cset::ConcurrentSet;
+    ///
+    /// let set = Sharded::new(RangeRouter::covering(4, 100), |_| LfBst::new());
+    /// for k in [5u64, 30, 55, 80] {
+    ///     set.insert(k);
+    /// }
+    /// // Top-2 without touching the rest of the key space.
+    /// let top: Vec<u64> = set.scan_range(10..).take(2).collect();
+    /// assert_eq!(top, vec![30, 55]);
+    /// ```
+    pub fn scan_range<'a, K, Rg>(&'a self, range: Rg) -> cset::KeyCursor<'a, K>
+    where
+        K: Clone + Ord + 'a,
+        S: OrderedSet<K>,
+        R: OrderedRouter<K>,
+        Rg: RangeBounds<K>,
+    {
+        self.scan_keys(range.start_bound(), range.end_bound())
     }
 }
 

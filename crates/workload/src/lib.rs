@@ -13,6 +13,10 @@
 //!   a fixed duration and reports throughput and per-operation counts;
 //! * [`run_map_workload`] — the same driver over any
 //!   [`cset::ConcurrentMap`]`<u64, Vec<u8>>`;
+//! * [`run_scan_workload`] — the ordered driver: mixes built with
+//!   [`OperationMix::with_scans`] issue range reads of
+//!   [`WorkloadSpec::scan_len`] keys, served either through a streaming
+//!   cursor or the historical collect-everything path ([`ScanMode`]);
 //! * [`Measurement`] / [`format_markdown_table`] — plain-value results that the
 //!   experiment harness and the criterion benchmarks both consume.
 //!
@@ -27,8 +31,11 @@ mod runner;
 mod spec;
 
 pub use distribution::{KeyDistribution, KeySampler};
-pub use runner::{prefill_map, run_map_workload, run_workload, Measurement, ThreadStats};
-pub use spec::{MapSpec, OperationMix, WorkloadSpec};
+pub use runner::{
+    prefill_map, run_map_workload, run_scan_workload, run_workload, Measurement, ScanMode,
+    ThreadStats,
+};
+pub use spec::{MapSpec, OperationMix, WorkloadSpec, DEFAULT_SCAN_LEN};
 
 /// Formats a series of labelled measurements as a GitHub-flavoured markdown table.
 ///

@@ -1,12 +1,13 @@
 //! The measurement drivers: prefill a structure, hammer it from `t` threads
 //! for a fixed duration, and report throughput — [`run_workload`] for the Set
-//! ADT, [`run_map_workload`] for the Map ADT.
+//! ADT, [`run_map_workload`] for the Map ADT, [`run_scan_workload`] for
+//! scan-carrying mixes over any ordered set (experiment E14).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use cset::{ConcurrentMap, ConcurrentSet};
+use cset::{ConcurrentMap, ConcurrentSet, OrderedSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,12 +29,50 @@ pub struct ThreadStats {
     pub remove_hits: u64,
     /// Successful contains (key found).
     pub contains_hits: u64,
+    /// Range-scan operations issued (see [`run_scan_workload`]).
+    pub scans: u64,
+    /// Total keys yielded by those scans.
+    pub scan_keys: u64,
 }
 
 impl ThreadStats {
-    /// Total operations issued by this thread.
+    /// Total operations issued by this thread (a scan of any length counts
+    /// as one operation).
     pub fn total(&self) -> u64 {
-        self.contains + self.inserts + self.removes
+        self.contains + self.inserts + self.removes + self.scans
+    }
+}
+
+/// How [`run_scan_workload`] serves each scan operation.
+///
+/// Both modes read the same data (up to `scan_len` keys from a sampled lower
+/// bound); they differ in *how much work the API shape forces*:
+///
+/// * [`Cursor`](Self::Cursor) — the streaming path: a lazy
+///   [`OrderedSet::scan_keys`] cursor consumed `scan_len` items deep, so an
+///   early exit never touches the tail of the key space.
+/// * [`Collect`](Self::Collect) — the historical collect-everything path:
+///   [`OrderedSet::keys_between`] materialises every key from the bound to
+///   the end of the key space, then the first `scan_len` are consumed.
+///
+/// Comparing the two (experiment E14) quantifies what the cursor pipeline
+/// buys on top-k/paginated reads and what it costs when the scan really does
+/// consume the whole range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Lazy streaming cursor, early exit after `scan_len` keys.
+    Cursor,
+    /// Collect the full tail into a `Vec`, then read `scan_len` keys.
+    Collect,
+}
+
+impl ScanMode {
+    /// A short label for benchmark rows (`"cursor"` / `"collect"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScanMode::Cursor => "cursor",
+            ScanMode::Collect => "collect",
+        }
     }
 }
 
@@ -107,6 +146,14 @@ pub fn run_workload<S>(
 where
     S: ConcurrentSet<u64> + 'static,
 {
+    // A real assert (once per run, not per op): in release builds a scan
+    // percentage silently falling into the remove branch would corrupt the
+    // reported mix.
+    assert_eq!(
+        spec.mix().scan_pct(),
+        0,
+        "scan-carrying mixes need an OrderedSet driver: use run_scan_workload"
+    );
     // Prefill from a dedicated RNG so the initial population is independent of
     // the thread count.
     let sampler = KeySampler::new(spec.key_distribution(), spec.key_range());
@@ -181,6 +228,134 @@ where
     }
 }
 
+/// Prefills `set` to the spec's target size and then runs a scan-carrying
+/// operation mix from `threads` threads for `duration`.
+///
+/// The ordered twin of [`run_workload`]: point operations behave identically,
+/// and the mix's scan percentage issues ordered range reads of
+/// [`WorkloadSpec::scan_length`] keys from a sampled lower bound, served
+/// through `mode` ([`ScanMode::Cursor`] streams and exits early,
+/// [`ScanMode::Collect`] materialises the tail first — the pre-cursor
+/// architecture).  A scan counts as **one** operation in the throughput
+/// numbers; the keys it yielded are tallied in [`ThreadStats::scan_keys`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use workload::{run_scan_workload, OperationMix, ScanMode, WorkloadSpec};
+/// use locked_bst::CoarseLockBst;
+///
+/// let set = Arc::new(CoarseLockBst::new());
+/// let spec =
+///     WorkloadSpec::new(1024, OperationMix::with_scans(50, 20, 20, 10)).scan_len(16);
+/// let m = run_scan_workload(set, &spec, 2, std::time::Duration::from_millis(50), ScanMode::Cursor);
+/// assert!(m.total_ops() > 0);
+/// assert!(m.per_thread.iter().any(|t| t.scans > 0));
+/// ```
+pub fn run_scan_workload<S>(
+    set: Arc<S>,
+    spec: &WorkloadSpec,
+    threads: usize,
+    duration: Duration,
+    mode: ScanMode,
+) -> Measurement
+where
+    S: OrderedSet<u64> + 'static,
+{
+    let sampler = KeySampler::new(spec.key_distribution(), spec.key_range());
+    let mut prefill_rng = StdRng::seed_from_u64(spec.rng_seed());
+    let target = spec.prefill_target() as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < target && attempts < target * 64 + 1024 {
+        if set.insert(sampler.sample(&mut prefill_rng)) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+    let prefill_size = set.len();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let scan_len = spec.scan_length();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let sampler = sampler.clone();
+        let mix = spec.mix();
+        let seed = spec.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stats = ThreadStats::default();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // Scans are orders of magnitude heavier than point ops, so the
+                // batch between stop-flag checks is shorter than the point-op
+                // runners' 64.
+                for _ in 0..8 {
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    if op < mix.contains_pct() {
+                        stats.contains += 1;
+                        if set.contains(&key) {
+                            stats.contains_hits += 1;
+                        }
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        stats.inserts += 1;
+                        if set.insert(key) {
+                            stats.insert_hits += 1;
+                        }
+                    } else if op < mix.contains_pct() + mix.insert_pct() + mix.remove_pct() {
+                        stats.removes += 1;
+                        if set.remove(&key) {
+                            stats.remove_hits += 1;
+                        }
+                    } else {
+                        stats.scans += 1;
+                        let lo = std::ops::Bound::Included(&key);
+                        let hi = std::ops::Bound::Unbounded;
+                        match mode {
+                            ScanMode::Cursor => {
+                                for k in set.scan_keys(lo, hi).take(scan_len) {
+                                    std::hint::black_box(k);
+                                    stats.scan_keys += 1;
+                                }
+                            }
+                            ScanMode::Collect => {
+                                let all = set.keys_between(lo, hi);
+                                for k in all.iter().take(scan_len) {
+                                    std::hint::black_box(k);
+                                    stats.scan_keys += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            stats
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let per_thread: Vec<ThreadStats> =
+        handles.into_iter().map(|h| h.join().expect("scan workload thread panicked")).collect();
+    let elapsed = start.elapsed();
+
+    Measurement {
+        set_name: set.name().to_string(),
+        threads,
+        elapsed,
+        per_thread,
+        final_size: set.len(),
+        prefill_size,
+    }
+}
+
 /// Prefills `map` to the spec's target size (single-threaded, untimed),
 /// installing the spec's payload for every key.
 ///
@@ -237,6 +412,12 @@ where
     S: ConcurrentMap<u64, Vec<u8>> + 'static,
 {
     let base = spec.base();
+    // Same guard as run_workload: this driver has no scan branch either.
+    assert_eq!(
+        base.mix().scan_pct(),
+        0,
+        "scan-carrying mixes need an OrderedSet driver: use run_scan_workload"
+    );
     let sampler = KeySampler::new(base.key_distribution(), base.key_range());
     prefill_map(&*map, spec);
     let prefill_size = map.len();
@@ -337,6 +518,26 @@ mod tests {
     fn thread_stats_total() {
         let t = ThreadStats { contains: 1, inserts: 2, removes: 3, ..Default::default() };
         assert_eq!(t.total(), 6);
+    }
+
+    #[test]
+    fn scan_run_counts_scans_in_both_modes() {
+        for mode in [ScanMode::Cursor, ScanMode::Collect] {
+            let set = Arc::new(CoarseLockBst::new());
+            let spec =
+                WorkloadSpec::new(512, crate::spec::OperationMix::with_scans(40, 20, 20, 20))
+                    .scan_len(8)
+                    .seed(11);
+            let m = run_scan_workload(set, &spec, 2, Duration::from_millis(60), mode);
+            assert!(m.total_ops() > 0, "{mode:?}");
+            let scans: u64 = m.per_thread.iter().map(|t| t.scans).sum();
+            let scan_keys: u64 = m.per_thread.iter().map(|t| t.scan_keys).sum();
+            assert!(scans > 0, "{mode:?} issued no scans");
+            // Each scan yields at most scan_len keys; most yield exactly that
+            // on a half-full 512-key range.
+            assert!(scan_keys <= scans * 8, "{mode:?}");
+            assert!(scan_keys > 0, "{mode:?} scans never produced keys");
+        }
     }
 
     #[test]

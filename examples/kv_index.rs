@@ -178,4 +178,36 @@ fn main() {
         reaped_bytes.load(Ordering::Relaxed)
     );
     println!("final index size: {} records, tree height {}", index.len(), index.height());
+
+    // Keyset pagination over the live index: each page is an early-exit
+    // streaming scan resuming strictly after the previous page's last id —
+    // the access pattern a "list records after X" endpoint serves.  The
+    // cursor stops after PAGE records, so a page costs O(log n + PAGE)
+    // however many records the index holds.
+    const PAGE: usize = 5;
+    println!("\nkeyset pagination (pages of {PAGE} records):");
+    let mut after: Option<u64> = None;
+    for page_no in 1..=3 {
+        let page: Vec<(u64, Record)> = match after {
+            None => index.range_iter(..).take(PAGE).collect(),
+            Some(last) => index
+                .range_iter((std::ops::Bound::Excluded(last), std::ops::Bound::Unbounded))
+                .take(PAGE)
+                .collect(),
+        };
+        if page.is_empty() {
+            println!("  page {page_no}: end of index");
+            break;
+        }
+        let ids: Vec<u64> = page.iter().map(|(id, _)| *id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "page {page_no} not ascending: {ids:?}");
+        for (id, record) in &page {
+            assert!(record.verify(*id), "corrupt record paged for id {id}");
+        }
+        println!("  page {page_no}: ids {ids:?} (integrity-checked)");
+        after = ids.last().copied();
+    }
+    if let Some((max_id, _)) = index.max_entry() {
+        println!("largest id currently indexed: {max_id}");
+    }
 }

@@ -106,13 +106,15 @@ fn main() {
     println!("shard sizes: min {min}, max {max}, total {}", sharded.len());
 
     // What the range router preserves: one globally ordered scan across all
-    // shards, served by concatenating per-shard scans.
+    // shards, served as a streaming k-way merge over per-shard cursors —
+    // keys arrive one at a time, nothing is collected up front.
     let ordered = Sharded::new(RangeRouter::covering(SHARDS, 1_000), |_| LfBst::new());
     for k in [907u64, 23, 501, 250, 999, 3, 777, 125] {
         ordered.insert(k);
     }
-    println!("\nrange-routed ordered scan of 100..=950 over {} shards:", ordered.shard_count());
-    println!("  {:?}", ordered.keys_in_range(100..=950));
+    println!("\nrange-routed streaming scan of 100..=950 over {} shards:", ordered.shard_count());
+    let streamed: Vec<u64> = ordered.scan_range(100..=950u64).collect();
+    println!("  {streamed:?}");
     println!(
         "  (shards holding keys: {:?})",
         ordered
@@ -122,5 +124,16 @@ fn main() {
             .filter(|(_, &n)| n > 0)
             .map(|(i, _)| i)
             .collect::<Vec<_>>()
+    );
+
+    // Early exit through the same merge cursor: the top-3 keys cost three
+    // heap pops, not a cross-shard collect of the whole range.
+    let top3: Vec<u64> = ordered.scan_range(..).take(3).collect();
+    println!("  top-3 via early-exit merge cursor: {top3:?}");
+    println!(
+        "  cross-shard successor queries: first={:?} next_after(500)={:?} last={:?}",
+        cset::OrderedSet::first(&ordered),
+        cset::OrderedSet::next_after(&ordered, &500),
+        cset::OrderedSet::last(&ordered),
     );
 }

@@ -125,6 +125,74 @@ fn snapshots_agree_after_identical_updates() {
     lfbst::validate::validate(&lfbst).expect("lfbst structure must validate");
 }
 
+#[test]
+fn streaming_cursors_agree_across_all_ordered_implementations() {
+    // Every OrderedSet in the workspace — the native lfbst cursor, the
+    // chunked fallback cursors of the external trees and the lock-based
+    // baselines, and the sharded k-way merge — must stream the same keys in
+    // the same order as the BTreeSet oracle, for collecting, limited and
+    // cursor access alike.
+    use cset::OrderedSet;
+    let ops = random_ops(15_000, 300, 4321);
+    let lfbst = LfBst::new();
+    let ellen = EllenBst::new();
+    let natarajan = NatarajanBst::new();
+    let coarse = CoarseLockBst::new();
+    let rwlock = RwLockBst::new();
+    let sharded_range = Sharded::new(RangeRouter::covering(8, 300), |_| LfBst::new());
+    let mut model = std::collections::BTreeSet::new();
+    for &op in &ops {
+        match op {
+            Op::Insert(k) => {
+                model.insert(k);
+            }
+            Op::Remove(k) => {
+                model.remove(&k);
+            }
+            Op::Contains(_) => continue,
+        }
+        apply(&lfbst, op);
+        apply(&ellen, op);
+        apply(&natarajan, op);
+        apply(&coarse, op);
+        apply(&rwlock, op);
+        apply(&sharded_range, op);
+    }
+    let sets: [&dyn OrderedSet<u64>; 6] =
+        [&lfbst, &ellen, &natarajan, &coarse, &rwlock, &sharded_range];
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..30 {
+        let x: u64 = rng.gen_range(0..300);
+        let y: u64 = rng.gen_range(0..300);
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        let (lo, hi) = (Bound::Included(&a), Bound::Excluded(&b));
+        let expected: Vec<u64> = model.range((lo, hi)).copied().collect();
+        for set in sets {
+            let name = set.name();
+            assert_eq!(set.keys_between(lo, hi), expected, "{name} keys_between {a}..{b}");
+            let streamed: Vec<u64> = set.scan_keys(lo, hi).collect();
+            assert_eq!(streamed, expected, "{name} scan_keys {a}..{b}");
+            let paged: Vec<u64> = set.scan_keys(lo, hi).take(5).collect();
+            assert_eq!(paged, expected[..expected.len().min(5)].to_vec(), "{name} take(5)");
+            assert_eq!(
+                set.keys_between_limited(lo, hi, 5),
+                expected[..expected.len().min(5)].to_vec(),
+                "{name} keys_between_limited {a}..{b}"
+            );
+        }
+    }
+    // Successor queries agree everywhere too.
+    for set in sets {
+        let name = set.name();
+        assert_eq!(set.first(), model.iter().next().copied(), "{name} first");
+        assert_eq!(set.last(), model.iter().next_back().copied(), "{name} last");
+        for probe in (0..300u64).step_by(17) {
+            let expected = model.range((Bound::Excluded(probe), Bound::Unbounded)).next().copied();
+            assert_eq!(set.next_after(&probe), expected, "{name} next_after({probe})");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Map conformance: LfBst<u64, u64> and its compositions vs a Mutex<BTreeMap>.
 // ---------------------------------------------------------------------------
