@@ -1,0 +1,77 @@
+//! E15 — the observability tax: mixed-workload throughput over `lfbst` with
+//! per-op latency sampling swept from *off* through the default 1-in-64 rate
+//! down to timing every operation (key range 2^16, 90/9/1 mix).
+//!
+//! The harness reports latency percentiles for every experiment by timing a
+//! sampled subset of operations (`--sample-every`, two `Instant` reads per
+//! sampled op).  This target prices that instrumentation:
+//!
+//! * `lfbst/off`  — sampling disabled: the baseline op loop.
+//! * `lfbst/64`   — the default rate the harness ships with; the acceptance
+//!   bar is that this row stays within noise of `off` (≤ 2%).
+//! * `lfbst/1`    — every op timed: the worst case, bounding what full
+//!   tracing-grade latency capture would cost.
+//!
+//! The recorded histograms are merged across iterations and printed once at
+//! the end, so a bench run doubles as a quick percentile readout.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, prefill, timed_sampled_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::LfBst;
+use workload::{OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 16;
+const SAMPLE_RATES: &[u64] = &[0, 64, 1];
+
+fn read_dominated() -> OperationMix {
+    OperationMix::new(90, 9, 1)
+}
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e15_latency_sampling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
+    let spec = WorkloadSpec::new(KEY_RANGE, read_dominated());
+    let set: Arc<LfBst<u64>> = Arc::new(LfBst::new());
+    prefill(&*set, &spec);
+    let hist = Arc::new(obs::Histogram::new());
+    for &rate in SAMPLE_RATES {
+        let label = if rate == 0 { "off".to_string() } else { rate.to_string() };
+        group.bench_with_input(BenchmarkId::new("lfbst", &label), &rate, |b, &rate| {
+            b.iter_custom(|iters| {
+                timed_sampled_ops(
+                    &set,
+                    threads,
+                    iters.max(1),
+                    read_dominated(),
+                    KEY_RANGE,
+                    7,
+                    rate,
+                    &hist,
+                )
+            });
+        });
+    }
+    group.finish();
+    let snap = hist.snapshot();
+    if snap.count() > 0 {
+        println!(
+            "e15 sampled latency over {} ops: p50={}ns p90={}ns p99={}ns p999={}ns max={}ns",
+            snap.count(),
+            snap.p50(),
+            snap.p90(),
+            snap.p99(),
+            snap.p999(),
+            snap.max()
+        );
+    }
+}
+
+criterion_group!(e15, benches);
+criterion_main!(e15);

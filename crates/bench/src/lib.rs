@@ -154,6 +154,68 @@ where
     elapsed
 }
 
+/// [`timed_mixed_ops`] with per-operation latency sampling: every
+/// `sample_every`-th op per thread is timed and recorded into `hist`
+/// (`0` disables sampling — byte-for-byte the unsampled loop apart from one
+/// predictable branch).  Returns the elapsed wall-clock time, so benchmarks
+/// can measure the observability tax itself by sweeping `sample_every`.
+#[allow(clippy::too_many_arguments)]
+pub fn timed_sampled_ops<S>(
+    set: &Arc<S>,
+    threads: usize,
+    total_ops: u64,
+    mix: OperationMix,
+    key_range: u64,
+    seed: u64,
+    sample_every: u64,
+    hist: &Arc<obs::Histogram>,
+) -> Duration
+where
+    S: ConcurrentSet<u64> + 'static,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let per_thread = total_ops / threads as u64;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let sampler = KeySampler::new(workload::KeyDistribution::Uniform, key_range);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(set);
+            let barrier = Arc::clone(&barrier);
+            let sampler = sampler.clone();
+            let hist = Arc::clone(hist);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B9));
+                barrier.wait();
+                for i in 0..per_thread {
+                    let key = sampler.sample(&mut rng);
+                    let op = rng.gen_range(0..100u8);
+                    let t0 = (sample_every != 0 && i % sample_every == 0).then(Instant::now);
+                    if op < mix.contains_pct() {
+                        std::hint::black_box(set.contains(&key));
+                    } else if op < mix.contains_pct() + mix.insert_pct() {
+                        std::hint::black_box(set.insert(key));
+                    } else {
+                        std::hint::black_box(set.remove(&key));
+                    }
+                    if let Some(t0) = t0 {
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+    elapsed
+}
+
 /// The number of worker threads benchmarks use by default: the available
 /// parallelism, capped so that over-subscription does not dominate the numbers.
 pub fn bench_threads() -> usize {
@@ -186,6 +248,23 @@ mod tests {
     fn bench_threads_reasonable() {
         let t = bench_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn timed_sampled_ops_fills_histogram() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(128, OperationMix::updates(50));
+        prefill(&*set, &spec);
+        let hist = Arc::new(obs::Histogram::new());
+        let d = timed_sampled_ops(&set, 2, 10_000, OperationMix::updates(50), 128, 1, 16, &hist);
+        assert!(d.as_nanos() > 0);
+        let snap = hist.snapshot();
+        assert!(snap.count() > 0);
+        // ~1/16 of the ops sampled (each thread rounds up by at most one).
+        assert!(snap.count() <= 10_000 / 16 + 2);
+        let off = Arc::new(obs::Histogram::new());
+        timed_sampled_ops(&set, 2, 1_000, OperationMix::updates(50), 128, 1, 0, &off);
+        assert_eq!(off.snapshot().count(), 0);
     }
 
     #[test]

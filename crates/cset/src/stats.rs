@@ -58,6 +58,12 @@ pub struct OpStats {
     pub links_traversed: AtomicU64,
     /// Nodes physically unlinked and retired to the reclamation scheme.
     pub nodes_retired: AtomicU64,
+    /// Completed `insert` operations (either outcome).
+    pub ops_insert: AtomicU64,
+    /// Completed `remove` operations (either outcome).
+    pub ops_remove: AtomicU64,
+    /// Completed `contains` operations (either outcome).
+    pub ops_contains: AtomicU64,
 }
 
 impl OpStats {
@@ -106,6 +112,21 @@ impl OpStats {
         self.nodes_retired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one completed operation of `kind`.
+    ///
+    /// Summed per shard, these are the live load signals the sharding layer
+    /// needs for hot-shard detection (a shard whose op counters grow much
+    /// faster than its peers is hot regardless of its size).
+    #[inline]
+    pub fn record_op(&self, kind: OpKind) {
+        let counter = match kind {
+            OpKind::Insert => &self.ops_insert,
+            OpKind::Remove => &self.ops_remove,
+            OpKind::Contains => &self.ops_contains,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters (relaxed loads).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -115,6 +136,9 @@ impl OpStats {
             restarts: self.restarts.load(Ordering::Relaxed),
             links_traversed: self.links_traversed.load(Ordering::Relaxed),
             nodes_retired: self.nodes_retired.load(Ordering::Relaxed),
+            ops_insert: self.ops_insert.load(Ordering::Relaxed),
+            ops_remove: self.ops_remove.load(Ordering::Relaxed),
+            ops_contains: self.ops_contains.load(Ordering::Relaxed),
         }
     }
 
@@ -126,6 +150,9 @@ impl OpStats {
         self.restarts.store(0, Ordering::Relaxed);
         self.links_traversed.store(0, Ordering::Relaxed);
         self.nodes_retired.store(0, Ordering::Relaxed);
+        self.ops_insert.store(0, Ordering::Relaxed);
+        self.ops_remove.store(0, Ordering::Relaxed);
+        self.ops_contains.store(0, Ordering::Relaxed);
     }
 }
 
@@ -144,6 +171,12 @@ pub struct StatsSnapshot {
     pub links_traversed: u64,
     /// Nodes retired to the reclamation scheme.
     pub nodes_retired: u64,
+    /// Completed `insert` operations.
+    pub ops_insert: u64,
+    /// Completed `remove` operations.
+    pub ops_remove: u64,
+    /// Completed `contains` operations.
+    pub ops_contains: u64,
 }
 
 impl StatsSnapshot {
@@ -158,12 +191,20 @@ impl StatsSnapshot {
             restarts: self.restarts.saturating_sub(earlier.restarts),
             links_traversed: self.links_traversed.saturating_sub(earlier.links_traversed),
             nodes_retired: self.nodes_retired.saturating_sub(earlier.nodes_retired),
+            ops_insert: self.ops_insert.saturating_sub(earlier.ops_insert),
+            ops_remove: self.ops_remove.saturating_sub(earlier.ops_remove),
+            ops_contains: self.ops_contains.saturating_sub(earlier.ops_contains),
         }
     }
 
     /// Total CAS instructions attempted in this window.
     pub fn cas_total(&self) -> u64 {
         self.cas_failures + self.cas_successes
+    }
+
+    /// Total completed operations in this window (all kinds).
+    pub fn ops_total(&self) -> u64 {
+        self.ops_insert + self.ops_remove + self.ops_contains
     }
 
     /// Component-wise sum `self + other`, saturating at `u64::MAX`.
@@ -196,6 +237,9 @@ impl StatsSnapshot {
             restarts: self.restarts.saturating_add(other.restarts),
             links_traversed: self.links_traversed.saturating_add(other.links_traversed),
             nodes_retired: self.nodes_retired.saturating_add(other.nodes_retired),
+            ops_insert: self.ops_insert.saturating_add(other.ops_insert),
+            ops_remove: self.ops_remove.saturating_add(other.ops_remove),
+            ops_contains: self.ops_contains.saturating_add(other.ops_contains),
         }
     }
 }
@@ -239,6 +283,23 @@ mod tests {
         assert_eq!(snap.restarts, 1);
         assert_eq!(snap.links_traversed, 10);
         assert_eq!(snap.nodes_retired, 1);
+    }
+
+    #[test]
+    fn record_op_indexes_by_kind() {
+        let s = OpStats::new();
+        s.record_op(OpKind::Insert);
+        s.record_op(OpKind::Insert);
+        s.record_op(OpKind::Remove);
+        s.record_op(OpKind::Contains);
+        let snap = s.snapshot();
+        assert_eq!(snap.ops_insert, 2);
+        assert_eq!(snap.ops_remove, 1);
+        assert_eq!(snap.ops_contains, 1);
+        assert_eq!(snap.ops_total(), 4);
+        let before = snap;
+        s.record_op(OpKind::Contains);
+        assert_eq!(s.snapshot().since(&before).ops_contains, 1);
     }
 
     #[test]
@@ -288,6 +349,9 @@ mod tests {
             restarts: 3,
             links_traversed: 100,
             nodes_retired: 4,
+            ops_insert: 11,
+            ops_remove: 12,
+            ops_contains: 13,
         };
         let b = StatsSnapshot {
             cas_failures: 5,
@@ -296,6 +360,9 @@ mod tests {
             restarts: 7,
             links_traversed: 50,
             nodes_retired: 1,
+            ops_insert: 1,
+            ops_remove: 2,
+            ops_contains: 3,
         };
         let m = a.merge(&b);
         assert_eq!(m.cas_failures, 6);
@@ -304,6 +371,10 @@ mod tests {
         assert_eq!(m.restarts, 10);
         assert_eq!(m.links_traversed, 150);
         assert_eq!(m.nodes_retired, 5);
+        assert_eq!(m.ops_insert, 12);
+        assert_eq!(m.ops_remove, 14);
+        assert_eq!(m.ops_contains, 16);
+        assert_eq!(m.ops_total(), a.ops_total() + b.ops_total());
         // No cross-counter relation is invented by the merge.
         assert_eq!(m.cas_total(), a.cas_total() + b.cas_total());
         assert_eq!(a + b, m);

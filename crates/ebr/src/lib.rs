@@ -66,6 +66,84 @@ const GARBAGE_HIGH_WATER: usize = 1024;
 /// pinned participant has observed the current value.
 static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(0);
 
+/// Reclamation health counters (see [`ReclamationStats`]).  All updates sit on
+/// cold paths — collection attempts, retirement (which already takes the
+/// garbage lock), and explicit repins — so the counters are always on: the pin
+/// fast path is untouched.
+mod health {
+    use std::sync::atomic::AtomicU64;
+
+    /// Successful global-epoch advancements.
+    pub static EPOCH_ADVANCES: AtomicU64 = AtomicU64::new(0);
+    /// Nodes pushed into the garbage bag by `defer_destroy`.
+    pub static NODES_RETIRED: AtomicU64 = AtomicU64::new(0);
+    /// Retired nodes whose destructor has run.
+    pub static NODES_FREED: AtomicU64 = AtomicU64::new(0);
+    /// Collection attempts that skipped the bag scan via the cached minimum
+    /// stamp (nothing old enough to free).
+    pub static MIN_STAMP_SKIPS: AtomicU64 = AtomicU64::new(0);
+    /// Explicit `Guard::repin` calls that actually cycled the slot.
+    pub static REPINS: AtomicU64 = AtomicU64::new(0);
+}
+
+/// A point-in-time reading of the reclamation health counters.
+///
+/// The counters are process-global and monotone (free-running since process
+/// start); consumers that want per-run numbers subtract two snapshots with
+/// [`since`](ReclamationStats::since).  Exact at quiescence; under concurrent
+/// activity each field is individually accurate but the set is not a single
+/// atomic cut — fine for health reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReclamationStats {
+    /// Successful global-epoch advancements.
+    pub epoch_advances: u64,
+    /// Nodes retired into the garbage bag (`defer_destroy` under a real pin).
+    pub nodes_retired: u64,
+    /// Retired nodes actually freed.
+    pub nodes_freed: u64,
+    /// Bag scans skipped because the cached minimum stamp proved nothing was
+    /// old enough (the O(1) fast path of `try_collect`).
+    pub min_stamp_skips: u64,
+    /// Explicit guard repins.
+    pub repins: u64,
+}
+
+impl ReclamationStats {
+    /// Retired-but-not-yet-freed node count — the garbage-bag depth implied
+    /// by this snapshot.
+    pub fn bag_depth(&self) -> u64 {
+        self.nodes_retired.saturating_sub(self.nodes_freed)
+    }
+
+    /// Field-wise difference `self - earlier` (both from
+    /// [`reclamation_stats`]), for per-run deltas.
+    pub fn since(&self, earlier: &ReclamationStats) -> ReclamationStats {
+        ReclamationStats {
+            epoch_advances: self.epoch_advances.wrapping_sub(earlier.epoch_advances),
+            nodes_retired: self.nodes_retired.wrapping_sub(earlier.nodes_retired),
+            nodes_freed: self.nodes_freed.wrapping_sub(earlier.nodes_freed),
+            min_stamp_skips: self.min_stamp_skips.wrapping_sub(earlier.min_stamp_skips),
+            repins: self.repins.wrapping_sub(earlier.repins),
+        }
+    }
+}
+
+/// Reads the process-global reclamation health counters.
+pub fn reclamation_stats() -> ReclamationStats {
+    ReclamationStats {
+        epoch_advances: health::EPOCH_ADVANCES.load(Ordering::Relaxed),
+        nodes_retired: health::NODES_RETIRED.load(Ordering::Relaxed),
+        nodes_freed: health::NODES_FREED.load(Ordering::Relaxed),
+        min_stamp_skips: health::MIN_STAMP_SKIPS.load(Ordering::Relaxed),
+        repins: health::REPINS.load(Ordering::Relaxed),
+    }
+}
+
+/// The current global epoch (diagnostic; free-running since process start).
+pub fn global_epoch() -> usize {
+    GLOBAL_EPOCH.load(Ordering::Relaxed)
+}
+
 /// One registered thread: the epoch it is pinned at, or [`NOT_PINNED`].
 struct Slot {
     state: AtomicUsize,
@@ -188,26 +266,34 @@ fn try_collect() {
     };
     if can_advance {
         // A racing advance is fine; the epoch only needs to be monotonic.
-        let _ = GLOBAL_EPOCH.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        if GLOBAL_EPOCH.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            health::EPOCH_ADVANCES.fetch_add(1, Ordering::Relaxed);
+        }
     }
     let now = GLOBAL_EPOCH.load(Ordering::SeqCst);
     if let Ok(mut bag) = GARBAGE.try_lock() {
         if bag.min_stamp.saturating_add(2) > now {
             // Nothing is old enough yet: skip the scan entirely.
+            health::MIN_STAMP_SKIPS.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut new_min = usize::MAX;
+        let mut freed = 0u64;
         let mut i = 0;
         while i < bag.items.len() {
             if bag.items[i].0 + 2 <= now {
                 let (_, d) = bag.items.swap_remove(i);
                 unsafe { (d.drop_fn)(d.ptr) };
+                freed += 1;
             } else {
                 new_min = new_min.min(bag.items[i].0);
                 i += 1;
             }
         }
         bag.min_stamp = new_min;
+        if freed > 0 {
+            health::NODES_FREED.fetch_add(freed, Ordering::Relaxed);
+        }
     }
 }
 
@@ -257,6 +343,7 @@ impl Guard {
         }
         let deferred = Deferred { ptr: raw.cast(), drop_fn: drop_box::<T> };
         let stamp = GLOBAL_EPOCH.load(Ordering::SeqCst);
+        health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
         let len = {
             let mut bag = GARBAGE.lock().expect("ebr garbage poisoned");
             bag.items.push((stamp, deferred));
@@ -283,6 +370,7 @@ impl Guard {
     /// matching `crossbeam-epoch`.
     pub fn repin(&mut self) {
         if self.protected {
+            health::REPINS.fetch_add(1, Ordering::Relaxed);
             LOCAL.with(|local| {
                 local.unpin();
                 local.pin();
@@ -730,6 +818,34 @@ mod tests {
         reader.join().unwrap();
         let guard = pin();
         unsafe { drop(a.load(Ordering::SeqCst, &guard).into_owned()) };
+    }
+
+    #[test]
+    fn reclamation_stats_track_retire_free_cycle() {
+        // Counters are process-global and other tests run concurrently, so
+        // assert on deltas and lower bounds only.
+        let before = reclamation_stats();
+        {
+            let guard = pin();
+            let p = Owned::new(123u64).into_shared(&guard);
+            unsafe { guard.defer_destroy(p) };
+        }
+        for _ in 0..6 * PINS_PER_COLLECT {
+            drop(pin());
+        }
+        let mut guard = pin();
+        guard.repin();
+        drop(guard);
+        let delta = reclamation_stats().since(&before);
+        assert!(delta.nodes_retired >= 1, "retired: {delta:?}");
+        assert!(delta.nodes_freed >= 1, "freed: {delta:?}");
+        assert!(delta.epoch_advances >= 2, "advances: {delta:?}");
+        assert!(delta.repins >= 1, "repins: {delta:?}");
+        // Globally, frees never outrun retirements.
+        let now = reclamation_stats();
+        assert!(now.nodes_freed <= now.nodes_retired);
+        assert_eq!(now.bag_depth(), now.nodes_retired - now.nodes_freed);
+        let _ = global_epoch();
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e14|all|e1,e14,...] [--quick] [--duration-ms N]
-//!             [--max-threads N] [--value-bytes N] [--csv] [--json <path>]
+//! experiments [e1|e2|...|e15|all|e1,e15,...] [--quick] [--duration-ms N]
+//!             [--max-threads N] [--value-bytes N] [--sample-every N]
+//!             [--csv] [--json <path>]
 //! ```
 //!
 //! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
@@ -22,6 +23,16 @@
 //! be committed as trajectory points (`BENCH_*.json`) and compared across PRs;
 //! the `kind` / `value_bytes` fields keep set rows and map rows (E13)
 //! machine-comparable in one schema.
+//!
+//! Schema v3 (`lfbst-bench-v3`) extends v2 by **appending** fields only, so
+//! v2 consumers keep working: every record now also carries the latency
+//! sampling rate (`--sample-every`, default one op in 64, `0` = off), the
+//! sampled per-op latency percentiles in nanoseconds (p50/p90/p99/p999/max),
+//! and the epoch-reclamation deltas the run produced (epoch advances, nodes
+//! retired/freed, min-stamp skips, repins — see `ebr::ReclamationStats`).
+//! E15 sweeps those percentiles against thread count under two mixes, and a
+//! final reclamation-health table reports the process-wide gauges through
+//! `obs::Registry`.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -149,6 +160,74 @@ struct JsonRecord {
     kind: &'static str,
     value_bytes: usize,
     mops: f64,
+    latency: LatencyFields,
+    reclamation: ReclamationFields,
+}
+
+/// Sampled per-op latency summary of one record (schema v3 appendix; all
+/// zeros for drivers that bypass the workload runners, e.g. E8's partitioned
+/// loop).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct LatencyFields {
+    sample_rate: u64,
+    samples: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyFields {
+    fn of(m: &Measurement) -> LatencyFields {
+        LatencyFields {
+            sample_rate: m.sample_rate,
+            samples: m.latency.count(),
+            p50_ns: m.latency.p50(),
+            p90_ns: m.latency.p90(),
+            p99_ns: m.latency.p99(),
+            p999_ns: m.latency.p999(),
+            max_ns: m.latency.max(),
+        }
+    }
+}
+
+/// Epoch-reclamation activity a run produced (schema v3 appendix).
+///
+/// The counters are process-wide (`ebr::reclamation_stats`), so each record
+/// holds the delta across its own run; experiments execute sequentially, so a
+/// delta attributes to its run plus whatever stragglers the previous run left
+/// in the garbage bags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ReclamationFields {
+    epoch_advances: u64,
+    nodes_retired: u64,
+    nodes_freed: u64,
+    min_stamp_skips: u64,
+    repins: u64,
+}
+
+impl ReclamationFields {
+    fn of(delta: &crossbeam_epoch::ReclamationStats) -> ReclamationFields {
+        ReclamationFields {
+            epoch_advances: delta.epoch_advances,
+            nodes_retired: delta.nodes_retired,
+            nodes_freed: delta.nodes_freed,
+            min_stamp_skips: delta.min_stamp_skips,
+            repins: delta.repins,
+        }
+    }
+}
+
+/// Runs one measurement closure bracketed by process-wide reclamation
+/// snapshots, returning the measurement and the reclamation delta it caused.
+fn with_reclamation(
+    f: impl FnOnce() -> Measurement,
+) -> (Measurement, crossbeam_epoch::ReclamationStats) {
+    let before = crossbeam_epoch::reclamation_stats();
+    let m = f();
+    let delta = crossbeam_epoch::reclamation_stats().since(&before);
+    (m, delta)
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -172,13 +251,15 @@ fn json_escape(s: &str) -> String {
 fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"lfbst-bench-v2\",\n");
+    out.push_str("  \"schema\": \"lfbst-bench-v3\",\n");
     out.push_str(&format!("  \"duration_ms\": {},\n", duration.as_millis()));
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
+        // v3 appends fields after `ops_per_sec`; everything a v2 consumer
+        // read is still present under the same name at the same meaning.
         out.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"kind\": \"{}\", \"value_bytes\": {}, \"mops\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"kind\": \"{}\", \"value_bytes\": {}, \"mops\": {:.6}, \"ops_per_sec\": {:.1}, \"schema_version\": 3, \"sample_rate\": {}, \"latency_samples\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"epoch_advances\": {}, \"nodes_retired\": {}, \"nodes_freed\": {}, \"min_stamp_skips\": {}, \"repins\": {}}}{}\n",
             json_escape(&r.experiment),
             json_escape(&r.impl_name),
             r.threads,
@@ -188,6 +269,18 @@ fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize)
             r.value_bytes,
             r.mops,
             r.mops * 1.0e6,
+            r.latency.sample_rate,
+            r.latency.samples,
+            r.latency.p50_ns,
+            r.latency.p90_ns,
+            r.latency.p99_ns,
+            r.latency.p999_ns,
+            r.latency.max_ns,
+            r.reclamation.epoch_advances,
+            r.reclamation.nodes_retired,
+            r.reclamation.nodes_freed,
+            r.reclamation.min_stamp_skips,
+            r.reclamation.repins,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -206,6 +299,9 @@ struct Options {
     json: Option<String>,
     /// Overrides E13's value payload sweep with a single size.
     value_bytes: Option<usize>,
+    /// Overrides the workload's default latency sampling rate (`0` disables
+    /// sampling — no clock reads at all on the measured hot paths).
+    sample_every: Option<u64>,
     records: RefCell<Vec<JsonRecord>>,
 }
 
@@ -218,6 +314,7 @@ impl Options {
         let mut quick = false;
         let mut json = None;
         let mut value_bytes = None;
+        let mut sample_every = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -236,6 +333,10 @@ impl Options {
                     i += 1;
                     value_bytes = args.get(i).and_then(|s| s.parse().ok());
                 }
+                "--sample-every" => {
+                    i += 1;
+                    sample_every = args.get(i).and_then(|s| s.parse().ok());
+                }
                 // Explicit form of the positional selector: `--experiments e1,e13`.
                 "--experiments" => {
                     i += 1;
@@ -249,7 +350,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e14|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--csv] [--json <path>]"
+                        "usage: experiments [e1..e15|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--sample-every N] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -268,7 +369,18 @@ impl Options {
             quick,
             json,
             value_bytes,
+            sample_every,
             records: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Builds a [`WorkloadSpec`], applying the `--sample-every` override when
+    /// one was given (otherwise the workload default of one op in 64 holds).
+    fn spec(&self, key_range: u64, mix: OperationMix) -> WorkloadSpec {
+        let spec = WorkloadSpec::new(key_range, mix);
+        match self.sample_every {
+            Some(n) => spec.sample_every(n),
+            None => spec,
         }
     }
 
@@ -278,7 +390,9 @@ impl Options {
         self.experiment == "all" || self.experiment.split(',').any(|e| e.trim() == name)
     }
 
-    /// Collects one machine-readable **set** data point for `--json`.
+    /// Collects one machine-readable **set** data point for `--json` from a
+    /// raw throughput number (drivers that bypass the workload runners carry
+    /// no latency or reclamation appendix — those fields stay zero).
     fn record(
         &self,
         experiment: &str,
@@ -297,30 +411,37 @@ impl Options {
             kind: "set",
             value_bytes: 0,
             mops,
+            latency: LatencyFields::default(),
+            reclamation: ReclamationFields::default(),
         });
     }
 
-    /// Collects one machine-readable **map** data point for `--json`.
+    /// Collects one full data point for `--json` from a runner
+    /// [`Measurement`] plus the reclamation delta its run produced: the v2
+    /// throughput fields and the v3 latency/reclamation appendix.
     #[allow(clippy::too_many_arguments)]
-    fn record_map(
+    fn record_run(
         &self,
         experiment: &str,
         impl_name: &str,
-        threads: usize,
         key_range: u64,
         mix: &str,
+        kind: &'static str,
         value_bytes: usize,
-        mops: f64,
+        m: &Measurement,
+        reclamation: &crossbeam_epoch::ReclamationStats,
     ) {
         self.records.borrow_mut().push(JsonRecord {
             experiment: experiment.to_string(),
             impl_name: impl_name.to_string(),
-            threads,
+            threads: m.threads,
             key_range,
             mix: mix.to_string(),
-            kind: "map",
+            kind,
             value_bytes,
-            mops,
+            mops: m.mops(),
+            latency: LatencyFields::of(m),
+            reclamation: ReclamationFields::of(reclamation),
         });
     }
 
@@ -366,13 +487,13 @@ fn thread_sweep(
     mix: OperationMix,
     key_range: u64,
 ) {
-    let spec = WorkloadSpec::new(key_range, mix);
+    let spec = opts.spec(key_range, mix);
     let mut rows = Vec::new();
     for &threads in &opts.thread_counts() {
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
-            let m = run_kind(kind, &spec, threads, opts.duration);
-            opts.record(exp, kind.label(), threads, key_range, mix_label, m.mops());
+            let (m, rec) = with_reclamation(|| run_kind(kind, &spec, threads, opts.duration));
+            opts.record_run(exp, kind.label(), key_range, mix_label, "set", 0, &m, &rec);
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((threads.to_string(), cells));
@@ -423,11 +544,11 @@ fn e4(opts: &Options) {
     };
     let mut rows = Vec::new();
     for &range in ranges {
-        let spec = WorkloadSpec::new(range, OperationMix::updates(50));
+        let spec = opts.spec(range, OperationMix::updates(50));
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
-            let m = run_kind(kind, &spec, threads, opts.duration);
-            opts.record("e4", kind.label(), threads, range, "50% updates", m.mops());
+            let (m, rec) = with_reclamation(|| run_kind(kind, &spec, threads, opts.duration));
+            opts.record_run("e4", kind.label(), range, "50% updates", "set", 0, &m, &rec);
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((format!("2^{}", range.trailing_zeros()), cells));
@@ -444,11 +565,20 @@ fn e5(opts: &Options) {
     let ratios: &[u8] = if opts.quick { &[0, 50, 100] } else { &[0, 10, 20, 40, 60, 80, 100] };
     let mut rows = Vec::new();
     for &u in ratios {
-        let spec = WorkloadSpec::new(1 << 16, OperationMix::updates(u));
+        let spec = opts.spec(1 << 16, OperationMix::updates(u));
         let mut cells = Vec::new();
         for &kind in COMPETITORS {
-            let m = run_kind(kind, &spec, threads, opts.duration);
-            opts.record("e5", kind.label(), threads, 1 << 16, &format!("{u}% updates"), m.mops());
+            let (m, rec) = with_reclamation(|| run_kind(kind, &spec, threads, opts.duration));
+            opts.record_run(
+                "e5",
+                kind.label(),
+                1 << 16,
+                &format!("{u}% updates"),
+                "set",
+                0,
+                &m,
+                &rec,
+            );
             cells.push((kind.label().to_string(), m.mops()));
         }
         rows.push((format!("{u}%"), cells));
@@ -471,7 +601,7 @@ fn e6(opts: &Options) {
         );
     }
     let threads = opts.max_threads;
-    let spec = WorkloadSpec::new(1 << 10, OperationMix::new(0, 50, 50));
+    let spec = opts.spec(1 << 10, OperationMix::new(0, 50, 50));
     let mut rows = Vec::new();
     for (label, restart) in [("vicinity", RestartPolicy::Vicinity), ("root", RestartPolicy::Root)] {
         let set =
@@ -508,7 +638,7 @@ fn e7(opts: &Options) {
         ("50% reads", OperationMix::new(50, 25, 25)),
         ("0% reads", OperationMix::new(0, 50, 50)),
     ] {
-        let spec = WorkloadSpec::new(1 << 12, mix);
+        let spec = opts.spec(1 << 12, mix);
         let mut cells = Vec::new();
         for (label, policy) in [
             ("read-optimized", HelpPolicy::ReadOptimized),
@@ -715,7 +845,7 @@ fn e11(opts: &Options) {
         ("read-dominated 90/9/1", OperationMix::new(90, 9, 1)),
         ("write-heavy 0/50/50", OperationMix::new(0, 50, 50)),
     ] {
-        let spec = WorkloadSpec::new(1 << 16, mix);
+        let spec = opts.spec(1 << 16, mix);
         let mut rows = Vec::new();
         for &shards in SHARD_COUNTS {
             let mut cells = Vec::new();
@@ -723,12 +853,13 @@ fn e11(opts: &Options) {
                 for kind in
                     [SetKind::LfbstShardedHash { shards }, SetKind::LfbstShardedRange { shards }]
                 {
-                    let m = run_kind(kind, &spec, threads, opts.duration);
+                    let (m, rec) =
+                        with_reclamation(|| run_kind(kind, &spec, threads, opts.duration));
                     let policy = match kind {
                         SetKind::LfbstShardedHash { .. } => "hash",
                         _ => "range",
                     };
-                    opts.record("e11", kind.label(), threads, 1 << 16, mix_label, m.mops());
+                    opts.record_run("e11", kind.label(), 1 << 16, mix_label, "set", 0, &m, &rec);
                     cells.push((format!("{policy}/{threads}t"), m.mops()));
                 }
             }
@@ -835,12 +966,13 @@ fn e12(opts: &Options) {
             ("contains-only", "100/0/0", OperationMix::new(100, 0, 0)),
             ("read-dominated", "90/9/1", OperationMix::new(90, 9, 1)),
         ] {
-            let spec = WorkloadSpec::new(key_range, mix);
+            let spec = opts.spec(key_range, mix);
             let mut cells = Vec::new();
             for &threads in &thread_counts {
-                let m = run_kind(SetKind::Lfbst, &spec, threads, opts.duration);
+                let (m, rec) =
+                    with_reclamation(|| run_kind(SetKind::Lfbst, &spec, threads, opts.duration));
                 let impl_name = format!("lfbst-{variant}");
-                opts.record("e12", &impl_name, threads, key_range, mix_label, m.mops());
+                opts.record_run("e12", &impl_name, key_range, mix_label, "set", 0, &m, &rec);
                 cells.push((format!("{threads}t"), m.mops()));
                 let pinned_mops = run_lfbst_pinned(&spec, threads, opts.duration);
                 let pinned_name = format!("lfbst-pinned-{variant}");
@@ -879,34 +1011,39 @@ fn e13(opts: &Options) {
     };
     let mut rows = Vec::new();
     for &value_bytes in &sizes {
-        let spec = MapSpec::new(WorkloadSpec::new(key_range, mix), value_bytes);
+        let spec = MapSpec::new(opts.spec(key_range, mix), value_bytes);
         let mut cells = Vec::new();
 
-        let m =
-            run_map_workload(Arc::new(LfBst::<u64, Vec<u8>>::new()), &spec, threads, opts.duration);
-        opts.record_map("e13", "lfbst", threads, key_range, mix_label, value_bytes, m.mops());
+        let (m, rec) = with_reclamation(|| {
+            run_map_workload(Arc::new(LfBst::<u64, Vec<u8>>::new()), &spec, threads, opts.duration)
+        });
+        opts.record_run("e13", "lfbst", key_range, mix_label, "map", value_bytes, &m, &rec);
         cells.push(("lfbst".to_string(), m.mops()));
 
         let sharded = ShardedMap::new(HashRouter::new(16), |_| LfBst::<u64, Vec<u8>>::new());
         let label = sharded.name();
-        let m = run_map_workload(Arc::new(sharded), &spec, threads, opts.duration);
-        opts.record_map("e13", label, threads, key_range, mix_label, value_bytes, m.mops());
+        let (m, rec) =
+            with_reclamation(|| run_map_workload(Arc::new(sharded), &spec, threads, opts.duration));
+        opts.record_run("e13", label, key_range, mix_label, "map", value_bytes, &m, &rec);
         cells.push((label.to_string(), m.mops()));
 
-        let m = run_map_workload(
-            Arc::new(CoarseLockMap::<u64, Vec<u8>>::new()),
-            &spec,
-            threads,
-            opts.duration,
-        );
-        opts.record_map(
+        let (m, rec) = with_reclamation(|| {
+            run_map_workload(
+                Arc::new(CoarseLockMap::<u64, Vec<u8>>::new()),
+                &spec,
+                threads,
+                opts.duration,
+            )
+        });
+        opts.record_run(
             "e13",
             "coarse-mutex-btreemap",
-            threads,
             key_range,
             mix_label,
+            "map",
             value_bytes,
-            m.mops(),
+            &m,
+            &rec,
         );
         cells.push(("coarse-mutex-btreemap".to_string(), m.mops()));
 
@@ -947,21 +1084,25 @@ fn e14(opts: &Options) {
     }
     let mut rows = Vec::new();
     for &len in &lens {
-        let spec = WorkloadSpec::new(key_range, mix).scan_len(len);
+        let spec = opts.spec(key_range, mix).scan_len(len);
         let row_mix = format!("{mix_label} len={len}");
         let mut cells = Vec::new();
         for mode in [ScanMode::Cursor, ScanMode::Collect] {
-            let m = run_scan_workload(Arc::new(LfBst::new()), &spec, threads, opts.duration, mode);
+            let (m, rec) = with_reclamation(|| {
+                run_scan_workload(Arc::new(LfBst::new()), &spec, threads, opts.duration, mode)
+            });
             let name = format!("lfbst-{}", mode.label());
-            opts.record("e14", &name, threads, key_range, &row_mix, m.mops());
+            opts.record_run("e14", &name, key_range, &row_mix, "set", 0, &m, &rec);
             cells.push((name, m.mops()));
         }
         for mode in [ScanMode::Cursor, ScanMode::Collect] {
             let set = Sharded::new(RangeRouter::covering(shards, key_range), |_| LfBst::new());
             let base = ConcurrentSet::<u64>::name(&set);
-            let m = run_scan_workload(Arc::new(set), &spec, threads, opts.duration, mode);
+            let (m, rec) = with_reclamation(|| {
+                run_scan_workload(Arc::new(set), &spec, threads, opts.duration, mode)
+            });
             let name = format!("{base}-{}", mode.label());
-            opts.record("e14", &name, threads, key_range, &row_mix, m.mops());
+            opts.record_run("e14", &name, key_range, &row_mix, "set", 0, &m, &rec);
             cells.push((name, m.mops()));
         }
         rows.push((len.to_string(), cells));
@@ -976,6 +1117,95 @@ fn e14(opts: &Options) {
     );
 }
 
+/// Appends one implementation's latency percentile columns to an E15 row.
+fn push_latency_cells(cells: &mut Vec<(String, f64)>, name: &str, m: &Measurement) {
+    cells.push((format!("{name} p50ns"), m.latency.p50() as f64));
+    cells.push((format!("{name} p99ns"), m.latency.p99() as f64));
+    cells.push((format!("{name} p999ns"), m.latency.p999() as f64));
+    cells.push((format!("{name} maxns"), m.latency.max() as f64));
+    cells.push((format!("{name} Mops"), m.mops()));
+}
+
+fn e15(opts: &Options) {
+    // Latency under contention: the per-op latency distribution (sampled, see
+    // --sample-every) as thread count grows, for the single tree against the
+    // hash-sharded composition of the same tree.  Throughput sweeps (E1-E3)
+    // hide tail behaviour entirely: a structure can keep its Mops while its
+    // p999 collapses under helping storms.  Map ADT so the rows carry real
+    // payload traffic; two mixes bracket the contention regimes.
+    if opts.sample_every == Some(0) {
+        println!("\n(note: --sample-every 0 disables latency sampling — E15 would be all zeros; skipping)");
+        return;
+    }
+    let key_range = 1u64 << 16;
+    let value_bytes = 8usize;
+    let shards = 16usize;
+    for (mix_label, mix) in
+        [("90/9/1", OperationMix::new(90, 9, 1)), ("0/50/50", OperationMix::new(0, 50, 50))]
+    {
+        let mut rows = Vec::new();
+        let mut sample_rate = 0u64;
+        for &threads in &opts.thread_counts() {
+            let spec = MapSpec::new(opts.spec(key_range, mix), value_bytes);
+            sample_rate = spec.base().sample_rate();
+            let mut cells = Vec::new();
+
+            let (m, rec) = with_reclamation(|| {
+                run_map_workload(
+                    Arc::new(LfBst::<u64, Vec<u8>>::new()),
+                    &spec,
+                    threads,
+                    opts.duration,
+                )
+            });
+            opts.record_run("e15", "lfbst", key_range, mix_label, "map", value_bytes, &m, &rec);
+            push_latency_cells(&mut cells, "lfbst", &m);
+
+            let sharded =
+                ShardedMap::new(HashRouter::new(shards), |_| LfBst::<u64, Vec<u8>>::new());
+            let label = sharded.name();
+            let (m, rec) = with_reclamation(|| {
+                run_map_workload(Arc::new(sharded), &spec, threads, opts.duration)
+            });
+            opts.record_run("e15", label, key_range, mix_label, "map", value_bytes, &m, &rec);
+            push_latency_cells(&mut cells, label, &m);
+
+            rows.push((threads.to_string(), cells));
+        }
+        opts.emit(
+            &format!(
+                "E15 — per-op latency under contention ({mix_label} map mix, range 2^16, \
+                 {value_bytes} B payloads; nanosecond percentiles from 1-in-{sample_rate} sampling)"
+            ),
+            "threads",
+            &rows,
+        );
+    }
+}
+
+/// Prints the process-wide reclamation health gauges through the metrics
+/// registry (the `obs::Registry` wiring of the `ebr` counters).
+fn reclamation_report(opts: &Options) {
+    let stats = crossbeam_epoch::reclamation_stats();
+    if stats.nodes_retired == 0 && stats.epoch_advances == 0 {
+        return; // nothing epoch-managed ran (e.g. an e9/e10-only invocation)
+    }
+    let registry = obs::Registry::new();
+    registry.gauge("ebr.epoch_advances").set(stats.epoch_advances as i64);
+    registry.gauge("ebr.nodes_retired").set(stats.nodes_retired as i64);
+    registry.gauge("ebr.nodes_freed").set(stats.nodes_freed as i64);
+    registry.gauge("ebr.bag_depth").set(stats.bag_depth() as i64);
+    registry.gauge("ebr.min_stamp_skips").set(stats.min_stamp_skips as i64);
+    registry.gauge("ebr.repins").set(stats.repins as i64);
+    registry.gauge("ebr.global_epoch").set(crossbeam_epoch::global_epoch() as i64);
+    let snap = registry.snapshot();
+    let rows: Vec<(String, Vec<(String, f64)>)> = snap
+        .iter()
+        .map(|(name, v)| (name.to_string(), vec![("value".to_string(), v as f64)]))
+        .collect();
+    opts.emit("Reclamation health (process totals over every experiment run)", "gauge", &rows);
+}
+
 fn main() {
     let opts = Options::parse();
     println!(
@@ -985,7 +1215,7 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
     type Experiment = (&'static str, fn(&Options));
-    let experiments: [Experiment; 14] = [
+    let experiments: [Experiment; 15] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1000,18 +1230,21 @@ fn main() {
         ("e12", e12),
         ("e13", e13),
         ("e14", e14),
+        ("e15", e15),
     ];
     for (name, run) in experiments {
         if opts.selected(name) {
             run(&opts);
         }
     }
+    reclamation_report(&opts);
     opts.write_json();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workload::ThreadStats;
 
     #[test]
     fn json_escape_handles_specials() {
@@ -1019,6 +1252,20 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\ny");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    fn test_opts(experiment: &str) -> Options {
+        Options {
+            experiment: experiment.to_string(),
+            duration: Duration::from_millis(1),
+            max_threads: 1,
+            csv: false,
+            quick: true,
+            json: None,
+            value_bytes: None,
+            sample_every: None,
+            records: RefCell::new(Vec::new()),
+        }
     }
 
     #[test]
@@ -1033,6 +1280,22 @@ mod tests {
                 kind: "set",
                 value_bytes: 0,
                 mops: 12.5,
+                latency: LatencyFields {
+                    sample_rate: 64,
+                    samples: 1000,
+                    p50_ns: 210,
+                    p90_ns: 400,
+                    p99_ns: 900,
+                    p999_ns: 3000,
+                    max_ns: 12000,
+                },
+                reclamation: ReclamationFields {
+                    epoch_advances: 5,
+                    nodes_retired: 100,
+                    nodes_freed: 90,
+                    min_stamp_skips: 2,
+                    repins: 0,
+                },
             },
             JsonRecord {
                 experiment: "e13".into(),
@@ -1043,16 +1306,24 @@ mod tests {
                 kind: "map",
                 value_bytes: 64,
                 mops: 8.0,
+                latency: LatencyFields::default(),
+                reclamation: ReclamationFields::default(),
             },
         ];
         let doc = json_document(&records, Duration::from_millis(300), 8);
-        assert!(doc.contains("\"schema\": \"lfbst-bench-v2\""));
+        assert!(doc.contains("\"schema\": \"lfbst-bench-v3\""));
         assert!(doc.contains("\"duration_ms\": 300"));
         assert!(doc.contains("\"ops_per_sec\": 12500000.0"));
         // Every record is self-describing about its ADT face and payload.
         assert!(doc.contains("\"kind\": \"set\", \"value_bytes\": 0"));
         assert!(doc.contains("\"kind\": \"map\", \"value_bytes\": 64"));
         assert!(doc.contains("\"experiment\": \"e13\""));
+        // The v3 appendix rides on every record (zeros when absent).
+        assert!(doc.contains("\"schema_version\": 3"));
+        assert!(doc.contains("\"sample_rate\": 64"));
+        assert!(doc.contains("\"p999_ns\": 3000"));
+        assert!(doc.contains("\"nodes_freed\": 90"));
+        assert!(doc.contains("\"p50_ns\": 0"));
         // Exactly one comma separates the two records; the last has none.
         assert_eq!(doc.matches("},\n").count(), 1);
         // Balanced braces and brackets.
@@ -1062,40 +1333,61 @@ mod tests {
 
     #[test]
     fn set_and_map_records_share_one_schema() {
-        let opts = Options {
-            experiment: "all".to_string(),
-            duration: Duration::from_millis(1),
-            max_threads: 1,
-            csv: false,
-            quick: true,
-            json: None,
-            value_bytes: None,
-            records: RefCell::new(Vec::new()),
-        };
+        let opts = test_opts("all");
         opts.record("e1", "lfbst", 2, 1 << 16, "90/9/1", 1.0);
-        opts.record_map("e13", "lfbst", 2, 1 << 16, "70/20/10", 256, 2.0);
+        let m = Measurement {
+            set_name: "lfbst".to_string(),
+            threads: 2,
+            elapsed: Duration::from_millis(10),
+            per_thread: vec![ThreadStats {
+                contains: 70,
+                inserts: 20,
+                removes: 10,
+                ..Default::default()
+            }],
+            final_size: 10,
+            prefill_size: 10,
+            latency: obs::HistogramSnapshot::empty(),
+            sample_rate: 64,
+        };
+        let rec = crossbeam_epoch::ReclamationStats {
+            epoch_advances: 1,
+            nodes_retired: 4,
+            nodes_freed: 4,
+            min_stamp_skips: 0,
+            repins: 0,
+        };
+        opts.record_run("e13", "lfbst", 1 << 16, "70/20/10", "map", 256, &m, &rec);
         let records = opts.records.borrow();
         assert_eq!(records[0].kind, "set");
         assert_eq!(records[0].value_bytes, 0);
+        assert_eq!(records[0].latency, LatencyFields::default());
         assert_eq!(records[1].kind, "map");
         assert_eq!(records[1].value_bytes, 256);
         assert_eq!(records[1].experiment, "e13");
+        assert_eq!(records[1].threads, 2);
+        assert_eq!(records[1].latency.sample_rate, 64);
+        assert_eq!(records[1].reclamation.nodes_retired, 4);
     }
 
     #[test]
     fn selection_accepts_lists() {
-        let opts = Options {
-            experiment: "e1,e13".to_string(),
-            duration: Duration::from_millis(1),
-            max_threads: 1,
-            csv: false,
-            quick: true,
-            json: None,
-            value_bytes: None,
-            records: RefCell::new(Vec::new()),
-        };
+        let opts = test_opts("e1,e13");
         assert!(opts.selected("e1"));
         assert!(opts.selected("e13"));
         assert!(!opts.selected("e2"));
+    }
+
+    #[test]
+    fn sample_every_override_applies_to_specs() {
+        let mut opts = test_opts("all");
+        assert_eq!(
+            opts.spec(100, OperationMix::default()).sample_rate(),
+            workload::DEFAULT_SAMPLE_EVERY
+        );
+        opts.sample_every = Some(7);
+        assert_eq!(opts.spec(100, OperationMix::default()).sample_rate(), 7);
+        opts.sample_every = Some(0);
+        assert_eq!(opts.spec(100, OperationMix::default()).sample_rate(), 0);
     }
 }

@@ -130,6 +130,7 @@ mod link;
 mod locate;
 mod node;
 mod remove;
+mod trace_hooks;
 mod tree;
 pub mod validate;
 pub mod value;
@@ -158,3 +159,18 @@ pub use cset::{
 pub const fn stats_compiled() -> bool {
     cfg!(feature = "stats")
 }
+
+/// Returns `true` if this build of the crate records remove-protocol trace
+/// events (the `trace` cargo feature, forwarding `obs/trace`).
+///
+/// Without the feature every trace hook compiles to nothing; stress tests use
+/// this to decide whether a flight-recorder dump can carry any evidence.
+pub const fn trace_compiled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Flight-recorder access for test harnesses (`trace` feature only): dump or
+/// reset the per-thread remove-protocol event rings recorded by this crate's
+/// hooks.  Re-exported from [`obs::trace`].
+#[cfg(feature = "trace")]
+pub use obs::trace;

@@ -28,8 +28,11 @@
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 
+use cset::OpKind;
+
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, FLAG, MARK, THREAD};
 use crate::node::Node;
+use crate::trace_hooks::trace_ev;
 use crate::tree::ord::{CAS, CAS_ERR, LOAD, STORE};
 use crate::tree::LfBst;
 use crate::value::MapValue;
@@ -80,6 +83,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         guard: &'g Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
         let record = self.record_stats();
+        self.note_op(OpKind::Remove);
         let mut prev = self.root1();
         let mut curr = self.root0();
         loop {
@@ -106,6 +110,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                         if record {
                             self.stats.record_cas(true);
                         }
+                        trace_ev!(FlagOrder, order, victim);
                         match self.clean_flag_threaded(order, loc.dir, victim, guard) {
                             FinishOutcome::Done => {
                                 self.note_removal();
@@ -133,6 +138,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                         if record {
                             self.stats.record_cas(false);
                         }
+                        trace_ev!(FlagOrderLost, order, victim);
                         // Fall through to the failure analysis below.
                     }
                 }
@@ -146,6 +152,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 // the key as already absent (our linearization point follows the
                 // owner's).
                 self.note_help();
+                trace_ev!(HelpForeignFlag, order, victim);
                 let _ = self.clean_flag_threaded(order, loc.dir, victim, guard);
                 return None;
             }
@@ -218,6 +225,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 }
                 // Our flag was consumed by a shift and the mark belongs to a
                 // later removal of the shifted (still live) victim.
+                trace_ev!(FlagInvalidated, order, victim);
                 return FinishOutcome::Invalidated;
             }
             if is_flag(r) {
@@ -253,6 +261,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 // `dir == 0`: the flag was consumed by a shift of the (still
                 // live) victim; whatever state the victim is in now belongs
                 // to a different removal.  Restart.
+                trace_ev!(FlagInvalidated, order, victim);
                 return FinishOutcome::Invalidated;
             }
             // Step II: record the order node for later helpers (validated hint).
@@ -272,6 +281,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     if self.record_stats() {
                         self.stats.record_cas(true);
                     }
+                    trace_ev!(MarkRight, victim, order);
                     break;
                 }
                 Err(_) => {
@@ -299,6 +309,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 // swing of this removal has already happened, so the remaining
                 // (straight-line) swings are being driven by the thread that
                 // performed it; there is nothing left for a late helper to do.
+                trace_ev!(CleanMarkEscape, victim, victim);
                 return;
             }
             if same_node(order, victim) || same_node(order, left) {
@@ -350,6 +361,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 }
                 // A clean self-thread means no removal currently holds the
                 // victim's order link.
+                trace_ev!(OrderEscape, victim, victim);
                 return Shared::null();
             }
             // Walk the right spine of the left subtree.
@@ -372,6 +384,8 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 n = r.with_tag(0);
             }
         }
+        // The bounded walk found no threaded link into the victim.
+        trace_ev!(OrderEscape, victim, victim);
         Shared::null()
     }
 
@@ -429,6 +443,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                     .is_ok()
                 {
+                    trace_ev!(MarkLeft, victim, order);
                     break;
                 }
             }
@@ -527,6 +542,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             // child, the victim is now category 2.
             let vl = victim_ref.child[0].load(LOAD, guard);
             if same_node(vl, order) {
+                trace_ev!(Cat3Reexamine, victim, order);
                 return Cat3Outcome::Reexamine;
             }
             let ocl = order_ref.child[0].load(LOAD, guard);
@@ -574,8 +590,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                         same_node(orl, victim) && is_flag(orl) && is_thread(orl)
                     };
                     if live {
+                        trace_ev!(FlagOrderParent, order, opar);
                         break;
                     }
+                    trace_ev!(Cat3Rollback, order, victim);
                     let _ = opar_ref.child[odir].compare_exchange(
                         ol.with_tag(ol.tag() | FLAG),
                         ol,
@@ -609,6 +627,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             if same_node(vl, order) || is_thread(vl) {
                 // Category changed under us (cannot normally happen after step
                 // IV); re-dispatch to be safe.
+                trace_ev!(Cat3Reexamine, victim, order);
                 return Cat3Outcome::Reexamine;
             }
             if is_flag(vl) {
@@ -622,6 +641,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                 .is_ok()
             {
+                trace_ev!(MarkLeft, victim, order);
                 break;
             }
         }
@@ -789,7 +809,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 CAS_ERR,
                 guard,
             ) {
-                Ok(_) => return Some((parent, pdir)),
+                Ok(_) => {
+                    trace_ev!(FlagParent, victim, parent);
+                    return Some((parent, pdir));
+                }
                 Err(_) => {
                     if self.record_stats() {
                         self.stats.record_cas(false);
@@ -860,6 +883,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Best-effort helper dispatch for a node that obstructed us: examines the
     /// node's links and finishes whatever pending removal they reveal.
     pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        trace_ev!(HelpNode, node, node);
         let node_ref = unsafe { node.deref() };
         let r = node_ref.child[1].load(LOAD, guard);
         if is_mark(r) {
@@ -898,6 +922,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         if self.record_stats() {
             self.stats.record_retire();
         }
+        trace_ev!(Retire, victim, victim);
         unsafe {
             guard.defer_destroy(victim);
         }

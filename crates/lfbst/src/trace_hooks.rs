@@ -1,0 +1,29 @@
+//! The `trace_ev!` hook macro bridging the remove protocol to the
+//! flight recorder in `obs::trace` (feature `trace`, default off).
+//!
+//! Call shape: `trace_ev!(StepName, ptr_a, ptr_b)` where the pointers are
+//! `Shared<Node>` values — the macro lowers them to raw addresses so a dump
+//! can correlate different threads' views of the same node.
+//!
+//! With the feature off the macro expands to an empty block that does not
+//! evaluate its arguments, so instrumented protocol code is byte-identical to
+//! an uninstrumented build (checked by `obs`'s zero-cost assertion test and
+//! the trace-off CI job).
+
+#[cfg(feature = "trace")]
+macro_rules! trace_ev {
+    ($step:ident, $a:expr, $b:expr) => {
+        obs::trace::record(
+            obs::trace::TraceStep::$step,
+            $a.with_tag(0).as_raw() as usize,
+            $b.with_tag(0).as_raw() as usize,
+        )
+    };
+}
+
+#[cfg(not(feature = "trace"))]
+macro_rules! trace_ev {
+    ($step:ident, $a:expr, $b:expr) => {{}};
+}
+
+pub(crate) use trace_ev;

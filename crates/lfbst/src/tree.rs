@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
 use cset::{
-    ConcurrentMap, ConcurrentSet, KeyBound, OpStats, OrderedMap, OrderedSet, StatsSnapshot,
+    ConcurrentMap, ConcurrentSet, KeyBound, OpKind, OpStats, OrderedMap, OrderedSet, StatsSnapshot,
 };
 
 use crate::config::{Config, HelpPolicy, RestartPolicy};
@@ -284,6 +284,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
     pub fn contains_with(&self, key: &K, guard: &Guard) -> bool {
         let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
+        self.note_op(OpKind::Contains);
         loc.dir == 2
     }
 
@@ -424,7 +425,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// [`insert_entry`](Self::insert_entry) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
     pub fn insert_entry_with(&self, key: K, value: V, guard: &Guard) -> bool {
-        matches!(self.insert_core(key, value, guard), InsertOutcome::Inserted)
+        let inserted = matches!(self.insert_core(key, value, guard), InsertOutcome::Inserted);
+        self.note_op(OpKind::Insert);
+        inserted
     }
 
     /// Returns the value currently associated with `key`, if any.
@@ -447,6 +450,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         V: Clone,
     {
         let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
+        self.note_op(OpKind::Contains);
         if loc.dir != 2 {
             return None;
         }
@@ -475,6 +479,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         V: Clone,
     {
+        self.note_op(OpKind::Insert);
         let mut key = key;
         let mut value = value;
         loop {
@@ -785,6 +790,14 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             self.stats.record_help();
         }
     }
+
+    /// Counts one completed operation of `kind` (used by the public entry
+    /// points; per-shard sums of these are the hot-shard load signal).
+    pub(crate) fn note_op(&self, kind: OpKind) {
+        if self.record_stats() {
+            self.stats.record_op(kind);
+        }
+    }
 }
 
 /// The set-flavoured entry points, available on the `LfBst<K>` alias
@@ -803,7 +816,9 @@ impl<K: Ord> LfBst<K> {
     /// [`insert`](Self::insert) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
     pub fn insert_with(&self, key: K, guard: &Guard) -> bool {
-        matches!(self.insert_core(key, (), guard), InsertOutcome::Inserted)
+        let inserted = matches!(self.insert_core(key, (), guard), InsertOutcome::Inserted);
+        self.note_op(OpKind::Insert);
+        inserted
     }
 }
 

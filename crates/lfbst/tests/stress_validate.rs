@@ -1,6 +1,12 @@
 //! Repeated short concurrent workloads followed by full structural validation,
 //! used to hunt rare protocol races (ignored by default: run with
 //! `cargo test -p lfbst --test stress_validate -- --ignored`).
+//!
+//! Built with `--features trace`, every failure (a worker panic inside the
+//! remove protocol, a validation error such as `SizeMismatch`, or an op-count
+//! mismatch) dumps the flight-recorder rings of **all** threads beside the
+//! failing seed, so the interleaving that produced the bug is part of the
+//! artifact instead of being lost with the process.
 
 use std::sync::Arc;
 
@@ -8,7 +14,26 @@ use lfbst::LfBst;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The per-thread remove-protocol event rings, formatted for a panic message
+/// (a pointer at the rebuild flag when the recorder is compiled out).
+fn flight_recorder_report() -> String {
+    #[cfg(feature = "trace")]
+    {
+        lfbst::trace::dump_report(64)
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        "(flight recorder disabled: rebuild with `--features trace` to capture \
+         remove-protocol interleavings)"
+            .to_string()
+    }
+}
+
 fn one_round(seed: u64, threads: usize, ops: usize, range: u64) {
+    // Drop rings recorded by previous rounds' (now dead) threads so a dump
+    // only shows the failing round.
+    #[cfg(feature = "trace")]
+    lfbst::trace::reset();
     let tree = Arc::new(LfBst::new());
     let handles: Vec<_> = (0..threads as u64)
         .map(|t| {
@@ -32,12 +57,32 @@ fn one_round(seed: u64, threads: usize, ops: usize, range: u64) {
         .collect();
     let mut net_total = 0i64;
     for h in handles {
-        net_total += h.join().unwrap();
+        match h.join() {
+            Ok(net) => net_total += net,
+            Err(payload) => {
+                // A panic inside the protocol (e.g. the flag_parent invariant
+                // check): the ring of the dying thread plus its peers is the
+                // whole point of the recorder.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                panic!("seed {seed}: worker panicked: {msg}\n{}", flight_recorder_report());
+            }
+        }
     }
-    let report = lfbst::validate::validate(&*tree)
-        .unwrap_or_else(|e| panic!("seed {seed}: validation failed: {e}"));
-    assert_eq!(report.nodes as i64, net_total, "seed {seed}: node count vs op accounting");
-    assert_eq!(tree.len() as i64, net_total, "seed {seed}: len() vs op accounting");
+    let report = lfbst::validate::validate(&*tree).unwrap_or_else(|e| {
+        panic!("seed {seed}: validation failed: {e}\n{}", flight_recorder_report())
+    });
+    if report.nodes as i64 != net_total || tree.len() as i64 != net_total {
+        panic!(
+            "seed {seed}: nodes {} / len {} vs op accounting {net_total}\n{}",
+            report.nodes,
+            tree.len(),
+            flight_recorder_report()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,407 @@
+//! Log-bucketed latency histograms (HdrHistogram shape).
+//!
+//! ## Bucketing math
+//!
+//! A recorded value (nanoseconds, but the histogram is unit-agnostic) is
+//! mapped to one of [`BUCKETS`] fixed buckets organised as a log-linear grid:
+//!
+//! * **group 0** holds the values `0 .. 2^SUB_BUCKET_BITS` exactly, one value
+//!   per bucket;
+//! * **group g ≥ 1** covers the binary order of magnitude
+//!   `[2^(e), 2^(e+1))` with `e = SUB_BUCKET_BITS + g - 1`, split into
+//!   [`SUB_BUCKETS`] equal sub-buckets of width `2^(g-1)`.
+//!
+//! Every group re-uses the top `SUB_BUCKET_BITS` bits below the leading one as
+//! the sub-bucket index, so the **relative** bucket width is bounded by
+//! `2^-SUB_BUCKET_BITS` (≈ 3.1% with 5 bits) across the whole `u64` range —
+//! the classic HdrHistogram trade: fixed memory (a flat array, no allocation
+//! on the record path), bounded relative error, `O(1)` record.
+//!
+//! Percentile queries report the **inclusive upper edge** of the bucket that
+//! holds the requested rank (clamped to the exact observed maximum), so a
+//! reported percentile `r` for a true rank value `v` satisfies
+//! `v <= r <= v * (1 + 2^-SUB_BUCKET_BITS)` — the conformance bound the test
+//! suite checks against a sorted-sample oracle.
+//!
+//! ## Concurrency
+//!
+//! [`Histogram`] buckets are relaxed atomics: `record` is a single
+//! `fetch_add` plus a `fetch_max`, safe to share across threads.  The intended
+//! high-throughput shape, though, is **per-thread sharded recording**: each
+//! worker owns a private `Histogram` (no cache-line ping-pong at all) and the
+//! reporter merges the per-thread [`HistogramSnapshot`]s at the end
+//! ([`HistogramSnapshot::merge`]).  Merging is exact because every bucket is a
+//! monotone counter — the same aggregation contract as
+//! `cset::StatsSnapshot::merge`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of value bits used for the sub-bucket index within a group.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+/// Sub-buckets per group (`2^SUB_BUCKET_BITS`); also the worst-case relative
+/// error denominator.
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Number of groups: group 0 (exact small values) plus one group per binary
+/// order of magnitude from `2^SUB_BUCKET_BITS` up to `2^63`.
+pub const GROUPS: usize = 64 - SUB_BUCKET_BITS as usize + 1;
+
+/// Total bucket count of the fixed grid (`GROUPS * SUB_BUCKETS`; 15 KiB of
+/// `u64` counters with the default parameters).
+pub const BUCKETS: usize = GROUPS * SUB_BUCKETS;
+
+/// Maps a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // >= SUB_BUCKET_BITS
+    let group = (e - SUB_BUCKET_BITS + 1) as usize;
+    let sub = ((v >> (e - SUB_BUCKET_BITS)) as usize) & (SUB_BUCKETS - 1);
+    group * SUB_BUCKETS + sub
+}
+
+/// Lowest value mapped to bucket `i`.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    let group = i / SUB_BUCKETS;
+    let sub = (i % SUB_BUCKETS) as u64;
+    if group == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS as u64 + sub) << (group as u32 - 1)
+    }
+}
+
+/// Highest value mapped to bucket `i` (inclusive).
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    let group = i / SUB_BUCKETS;
+    if group == 0 {
+        bucket_low(i)
+    } else {
+        // Sub-bucket width in group g >= 1 is 2^(g-1); saturate at the top of
+        // the u64 range for the final bucket.
+        bucket_low(i).saturating_add((1u64 << (group as u32 - 1)) - 1)
+    }
+}
+
+/// A fixed-size, mergeable, thread-safe latency histogram.
+///
+/// `record` is wait-free (one relaxed `fetch_add` + one relaxed `fetch_max`);
+/// the histogram never allocates after construction.  Values are `u64` in the
+/// caller's unit (the workload layer records nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use obs::Histogram;
+/// let h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count(), 1000);
+/// assert_eq!(s.max(), 1000);
+/// // p50 of 1..=1000 is 500, reported within one bucket's relative error.
+/// let p50 = s.percentile(50.0);
+/// assert!((500..=516).contains(&p50), "p50 = {p50}");
+/// ```
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram (allocates its fixed bucket array once).
+    pub fn new() -> Histogram {
+        let counts: Box<[AtomicU64]> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Takes a plain-value snapshot (relaxed loads; exact at quiescence,
+    /// bucket-wise monotone under concurrent recording).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every bucket to zero.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plain-value copy of a [`Histogram`], convenient to merge, query and
+/// store in results.
+///
+/// An empty (zero-count) snapshot reports `0` for every percentile and the
+/// max; callers that distinguish "unmeasured" from "zero latency" should check
+/// [`count`](Self::count) first.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (what a sampling-disabled run reports).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { counts: vec![0; BUCKETS].into_boxed_slice(), count: 0, sum: 0, max: 0 }
+    }
+
+    /// Total number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (for the mean; saturating on overflow is
+    /// the recorder's problem — 2^64 ns is ~584 years).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The exact maximum observed value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at percentile `p` (in `[0, 100]`): the inclusive upper edge
+    /// of the bucket holding the rank-`ceil(p/100 * count)` observation,
+    /// clamped to the exact observed maximum.  Returns `0` when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Merges `other` into `self` (bucket-wise sum, max of maxes).  Exact for
+    /// quiescent inputs: merging per-thread snapshots equals recording every
+    /// observation into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_edges_are_consistent() {
+        // Every bucket's [low, high] range maps back to that bucket, and the
+        // grid tiles the u64 range without gaps or overlaps.
+        for i in 0..BUCKETS {
+            let lo = bucket_low(i);
+            let hi = bucket_high(i);
+            assert!(lo <= hi, "bucket {i}");
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "gap after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Group 0 and group 1 have width-1 buckets: values below 2 * SUB_BUCKETS
+        // are recorded exactly.
+        let h = Histogram::new();
+        for v in 0..(2 * SUB_BUCKETS as u64) {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for v in 0..(2 * SUB_BUCKETS as u64) {
+            let i = bucket_index(v);
+            assert_eq!(bucket_low(i), v);
+            assert_eq!(bucket_high(i), v);
+        }
+        assert_eq!(s.count(), 2 * SUB_BUCKETS as u64);
+    }
+
+    #[test]
+    fn relative_error_bound_holds() {
+        // For any value, the containing bucket's width is at most
+        // value / SUB_BUCKETS (0 for exact buckets).
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v.saturating_mul(2) - 1] {
+                let i = bucket_index(probe);
+                let width = bucket_high(i) - bucket_low(i);
+                assert!(width <= probe / SUB_BUCKETS as u64 + 1, "probe {probe}: width {width}");
+            }
+            v = v.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn max_is_exact_and_clamps_percentiles() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        let s = h.snapshot();
+        assert_eq!(s.max(), 1_000_003);
+        // A single sample: every percentile is that sample, exactly (the
+        // bucket upper edge is clamped to the observed max).
+        assert_eq!(s.percentile(50.0), 1_000_003);
+        assert_eq!(s.percentile(99.9), 1_000_003);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(500);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in 0..4096u64 {
+            if v % 2 == 0 {
+                a.record(v * 37);
+            } else {
+                b.record(v * 37);
+            }
+            both.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+}

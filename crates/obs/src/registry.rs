@@ -1,0 +1,243 @@
+//! A tiny registry of named counters and gauges.
+//!
+//! The registry is the report-time glue between subsystem-local counters
+//! (ebr's reclamation health, per-shard op counts, workload totals) and a
+//! single named, sorted, machine-readable listing.  Handles are `Arc`-backed
+//! relaxed atomics: cheap to clone into worker threads, safe to update from
+//! any of them, and snapshot at quiescence is exact.
+//!
+//! Two metric kinds, Prometheus-style:
+//!
+//! * **counter** — monotone event total (`add`);
+//! * **gauge** — instantaneous level that can move both ways (`set`/`add_i`).
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::Registry;
+//! let reg = Registry::new();
+//! reg.counter("ops_total").add(3);
+//! reg.gauge("garbage_bag_depth").set(17);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.get("ops_total"), Some(3));
+//! assert_eq!(snap.get("garbage_bag_depth"), Some(17));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone event counter handle (clone freely; all clones share the cell).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous-level gauge handle (clone freely; all clones share the
+/// cell).  Signed, because levels (e.g. net size deltas) can go negative.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+/// A registry of named metrics.
+///
+/// Registration takes a lock (cold path: once per metric name); updates
+/// through the returned handles are lock-free.  Asking for the same name
+/// twice returns handles to the same cell, so independent subsystems can
+/// share a metric by name.
+///
+/// # Panics
+///
+/// Asking for a name previously registered as the *other* kind panics: a
+/// counter/gauge mix-up is a programming error, not a runtime condition.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.clone(),
+            Metric::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            Metric::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+        }
+    }
+
+    /// Takes a point-in-time reading of every registered metric, sorted by
+    /// name (counters as-is, gauges widened to `i64`).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let m = self.metrics.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            values: m
+                .iter()
+                .map(|(name, metric)| {
+                    let v = match metric {
+                        Metric::Counter(c) => c.get() as i64,
+                        Metric::Gauge(g) => g.get(),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").field("metrics", &self.snapshot()).finish()
+    }
+}
+
+/// A sorted name → value reading of a [`Registry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    values: Vec<(String, i64)>,
+}
+
+impl RegistrySnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("events");
+        c.inc();
+        c.add(4);
+        let g = reg.gauge("level");
+        g.set(10);
+        g.add(-3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("events"), Some(5));
+        assert_eq!(snap.get("level"), Some(7));
+        assert_eq!(snap.get("missing"), None);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn same_name_shares_cell() {
+        let reg = Registry::new();
+        reg.counter("x").add(1);
+        reg.counter("x").add(2);
+        assert_eq!(reg.snapshot().get("x"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("zeta");
+        reg.counter("alpha");
+        reg.gauge("mid");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.values.iter().map(|(n, _)| n.as_str()).collect();
+        let sorted: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(sorted, names);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a gauge")]
+    fn kind_mixup_panics() {
+        let reg = Registry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = reg.counter("shared");
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().get("shared"), Some(40_000));
+    }
+}

@@ -1,0 +1,373 @@
+//! Flight-recorder trace ring (feature `trace`, default off).
+//!
+//! A per-thread bounded ring buffer of protocol step events, built for one
+//! job: when a stress test catches a rare interleaving bug (the
+//! `SizeMismatch` race hunt in ROADMAP), dump **what every thread actually
+//! did last** instead of just the failing seed.  Brown's methodology point —
+//! validating helping protocols requires visibility into operation
+//! interleavings — is exactly this artifact.
+//!
+//! ## Design
+//!
+//! * Each recording thread lazily registers one fixed-size ring
+//!   ([`RING_CAPACITY`] slots) in a global registry and appends with two
+//!   relaxed atomic stores per field — no locks on the record path, no
+//!   allocation after registration, bounded memory per thread.
+//! * Events carry a global sequence number (one `fetch_add` on a shared
+//!   counter).  That shared counter *is* a serialization point — acceptable
+//!   because it is what makes post-mortem cross-thread ordering trustworthy,
+//!   and the feature is off in every production build.
+//! * [`dump_all`] walks the registry and reconstructs each ring oldest-first.
+//!   It is meant to run at quiescence (after workers have panicked or
+//!   joined); a dump racing live writers can observe torn slots, which is
+//!   acceptable for a diagnostic artifact and noted in the output ordering
+//!   guarantees below.
+//!
+//! ## Zero cost when disabled
+//!
+//! Without the `trace` feature every function here is an empty `#[inline]`
+//! stub, [`ThreadRing`] is a zero-sized type, and instrumented call sites
+//! compile to nothing — the same contract as `lfbst`'s `stats` feature, and
+//! checked by a compile-time assertion test in `tests/trace_cost.rs`.
+
+use std::fmt;
+
+/// Remove-protocol step vocabulary (see `DESIGN.md` "Observability" for the
+/// mapping to paper steps I–VII and the helper escape hatches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceStep {
+    /// Step I: flag CAS on the order-link succeeded (removal owned).
+    FlagOrder = 0,
+    /// Step I: flag CAS on the order-link lost a race.
+    FlagOrderLost = 1,
+    /// Observed a foreign flag+thread on the order-link and helped it.
+    HelpForeignFlag = 2,
+    /// Step III: mark CAS on the victim's right link succeeded (the logical
+    /// removal point).
+    MarkRight = 3,
+    /// The working flag was consumed by a shift of the victim
+    /// (`FinishOutcome::Invalidated`): the removal restarts.
+    FlagInvalidated = 4,
+    /// `order_node_of` found no threaded link into the victim (helper escape:
+    /// the order-link swing already happened).
+    OrderEscape = 5,
+    /// `clean_mark_right` returned through the null-order escape hatch.
+    CleanMarkEscape = 6,
+    /// Category 2 / step VI: mark CAS on a left link succeeded.
+    MarkLeft = 7,
+    /// Step V: the victim's parent link was flagged.
+    FlagParent = 8,
+    /// Step IV: the order node's parent link was flagged (category 3).
+    FlagOrderParent = 9,
+    /// Step IV ABA mitigation rolled a spurious flag back (category 3).
+    Cat3Rollback = 10,
+    /// Category 3 observed a category change and re-dispatched.
+    Cat3Reexamine = 11,
+    /// The final parent-link swing succeeded: victim physically unlinked and
+    /// retired.
+    Retire = 12,
+    /// `help_node` dispatched on an obstructing node.
+    HelpNode = 13,
+}
+
+impl TraceStep {
+    /// Stable short label for dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceStep::FlagOrder => "flag-order",
+            TraceStep::FlagOrderLost => "flag-order-lost",
+            TraceStep::HelpForeignFlag => "help-foreign-flag",
+            TraceStep::MarkRight => "mark-right",
+            TraceStep::FlagInvalidated => "flag-invalidated",
+            TraceStep::OrderEscape => "order-escape",
+            TraceStep::CleanMarkEscape => "clean-mark-escape",
+            TraceStep::MarkLeft => "mark-left",
+            TraceStep::FlagParent => "flag-parent",
+            TraceStep::FlagOrderParent => "flag-order-parent",
+            TraceStep::Cat3Rollback => "cat3-rollback",
+            TraceStep::Cat3Reexamine => "cat3-reexamine",
+            TraceStep::Retire => "retire",
+            TraceStep::HelpNode => "help-node",
+        }
+    }
+
+    // Only the trace-on drain path (and the unit tests) decode; without the
+    // feature the decoder would otherwise trip dead-code lints downstream.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    fn from_u8(v: u8) -> Option<TraceStep> {
+        Some(match v {
+            0 => TraceStep::FlagOrder,
+            1 => TraceStep::FlagOrderLost,
+            2 => TraceStep::HelpForeignFlag,
+            3 => TraceStep::MarkRight,
+            4 => TraceStep::FlagInvalidated,
+            5 => TraceStep::OrderEscape,
+            6 => TraceStep::CleanMarkEscape,
+            7 => TraceStep::MarkLeft,
+            8 => TraceStep::FlagParent,
+            9 => TraceStep::FlagOrderParent,
+            10 => TraceStep::Cat3Rollback,
+            11 => TraceStep::Cat3Reexamine,
+            12 => TraceStep::Retire,
+            13 => TraceStep::HelpNode,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event: a globally sequenced protocol step plus two raw words
+/// (typically the node addresses involved, so a dump can correlate the
+/// threads' views of the same node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Which protocol step this was.
+    pub step: TraceStep,
+    /// First operand (e.g. the order node's address).
+    pub a: usize,
+    /// Second operand (e.g. the victim node's address).
+    pub b: usize,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<8} {:<18} a={:#x} b={:#x}", self.seq, self.step.label(), self.a, self.b)
+    }
+}
+
+/// The events one thread's ring held at dump time, oldest first.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    /// Small sequential id assigned at ring registration.
+    pub thread: usize,
+    /// Ring contents, oldest to newest (at most [`RING_CAPACITY`]).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Slots per thread ring; older events are overwritten (flight-recorder
+/// semantics).
+pub const RING_CAPACITY: usize = 1024;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{ThreadTrace, TraceEvent, TraceStep, RING_CAPACITY};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Global event sequencer; slot `seq` fields store `seq + 1` so zero
+    /// means "never written".
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    static RINGS: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+    struct Slot {
+        seq1: AtomicU64,
+        step: AtomicU64,
+        a: AtomicU64,
+        b: AtomicU64,
+    }
+
+    /// One thread's ring buffer (the real thing; a ZST when `trace` is off).
+    pub struct ThreadRing {
+        thread: usize,
+        write: AtomicU64,
+        slots: Box<[Slot]>,
+    }
+
+    impl ThreadRing {
+        fn register() -> Arc<ThreadRing> {
+            let ring = Arc::new(ThreadRing {
+                thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                write: AtomicU64::new(0),
+                slots: (0..RING_CAPACITY)
+                    .map(|_| Slot {
+                        seq1: AtomicU64::new(0),
+                        step: AtomicU64::new(0),
+                        a: AtomicU64::new(0),
+                        b: AtomicU64::new(0),
+                    })
+                    .collect(),
+            });
+            RINGS.lock().expect("trace registry poisoned").push(Arc::clone(&ring));
+            ring
+        }
+
+        fn push(&self, step: TraceStep, a: usize, b: usize) {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let idx = (self.write.fetch_add(1, Ordering::Relaxed) as usize) % RING_CAPACITY;
+            let slot = &self.slots[idx];
+            slot.step.store(step as u8 as u64, Ordering::Relaxed);
+            slot.a.store(a as u64, Ordering::Relaxed);
+            slot.b.store(b as u64, Ordering::Relaxed);
+            // The seq is published last (release) so a racing dump that sees
+            // it also sees the fields of *some* complete write of this slot.
+            slot.seq1.store(seq + 1, Ordering::Release);
+        }
+
+        fn drain(&self) -> ThreadTrace {
+            let written = self.write.load(Ordering::Acquire);
+            let held = (written as usize).min(RING_CAPACITY);
+            let oldest = written - held as u64;
+            let mut events = Vec::with_capacity(held);
+            for pos in oldest..written {
+                let slot = &self.slots[(pos as usize) % RING_CAPACITY];
+                let seq1 = slot.seq1.load(Ordering::Acquire);
+                if seq1 == 0 {
+                    continue;
+                }
+                let Some(step) = TraceStep::from_u8(slot.step.load(Ordering::Relaxed) as u8) else {
+                    continue;
+                };
+                events.push(TraceEvent {
+                    seq: seq1 - 1,
+                    step,
+                    a: slot.a.load(Ordering::Relaxed) as usize,
+                    b: slot.b.load(Ordering::Relaxed) as usize,
+                });
+            }
+            // Overwrites racing the drain can leave a newer event in an older
+            // logical position; restore the global order.
+            events.sort_by_key(|e| e.seq);
+            ThreadTrace { thread: self.thread, events }
+        }
+    }
+
+    thread_local! {
+        static RING: Arc<ThreadRing> = ThreadRing::register();
+    }
+
+    #[inline]
+    pub fn record(step: TraceStep, a: usize, b: usize) {
+        RING.with(|ring| ring.push(step, a, b));
+    }
+
+    pub fn dump_all() -> Vec<ThreadTrace> {
+        let rings = RINGS.lock().expect("trace registry poisoned");
+        rings.iter().map(|r| r.drain()).collect()
+    }
+
+    pub fn reset() {
+        // Unregister every ring: threads that recorded before keep their
+        // (now unlisted) ring until they exit, so `reset` belongs *between*
+        // stress rounds, before the next round's threads first record.
+        RINGS.lock().expect("trace registry poisoned").clear();
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::{ThreadTrace, TraceStep};
+
+    /// Zero-sized stand-in for the per-thread ring; guarantees (and lets the
+    /// test suite assert at compile time) that trace-off builds carry no
+    /// per-thread recorder state.
+    pub struct ThreadRing;
+
+    #[inline(always)]
+    pub fn record(_step: TraceStep, _a: usize, _b: usize) {}
+
+    #[inline(always)]
+    pub fn dump_all() -> Vec<ThreadTrace> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use imp::ThreadRing;
+
+/// Records one event into the calling thread's ring.
+///
+/// With the `trace` feature off this is an empty inline function: the call
+/// (and its argument computation, when the operands are existing locals)
+/// compiles away entirely.
+#[inline]
+pub fn record(step: TraceStep, a: usize, b: usize) {
+    imp::record(step, a, b)
+}
+
+/// Drains every registered ring, oldest events first per thread.
+///
+/// Returns an empty vector when the `trace` feature is off.  Meant to run at
+/// quiescence (workers joined or dead); racing writers cannot corrupt memory
+/// but can tear individual slots.
+pub fn dump_all() -> Vec<ThreadTrace> {
+    imp::dump_all()
+}
+
+/// Unregisters every ring so the next dump only covers threads that record
+/// after this call (stress harnesses call it between rounds).
+pub fn reset() {
+    imp::reset()
+}
+
+/// Returns `true` if this build compiles the flight recorder in.
+pub const fn trace_compiled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Formats the last `last_n` events of every thread's ring as a printable
+/// report (the artifact stress tests dump beside a failing seed).
+pub fn dump_report(last_n: usize) -> String {
+    if !trace_compiled() {
+        return "(flight recorder disabled: rebuild with `--features trace` \
+                to capture remove-protocol interleavings)\n"
+            .to_string();
+    }
+    let mut out = String::new();
+    let mut traces = dump_all();
+    traces.sort_by_key(|t| t.thread);
+    for t in &traces {
+        let skip = t.events.len().saturating_sub(last_n);
+        out.push_str(&format!(
+            "--- thread {} ({} events, showing last {}) ---\n",
+            t.thread,
+            t.events.len(),
+            t.events.len() - skip
+        ));
+        for e in &t.events[skip..] {
+            out.push_str(&format!("{e}\n"));
+        }
+    }
+    if traces.is_empty() {
+        out.push_str("(no trace rings registered)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_labels_roundtrip() {
+        for v in 0u8..32 {
+            if let Some(step) = TraceStep::from_u8(v) {
+                assert_eq!(step as u8, v);
+                assert!(!step.label().is_empty());
+            }
+        }
+        assert_eq!(TraceStep::from_u8(200), None);
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        let e = TraceEvent { seq: 7, step: TraceStep::MarkRight, a: 0x10, b: 0x20 };
+        let s = e.to_string();
+        assert!(s.contains("#7"));
+        assert!(s.contains("mark-right"));
+        assert!(s.contains("a=0x10"));
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn disabled_stubs_are_inert() {
+        record(TraceStep::FlagOrder, 1, 2);
+        assert!(dump_all().is_empty());
+        assert!(dump_report(8).contains("disabled"));
+        reset();
+    }
+}

@@ -1,0 +1,113 @@
+//! Histogram conformance against a sorted-sample oracle, and concurrent
+//! record/merge determinism.
+
+use obs::{Histogram, HistogramSnapshot, SUB_BUCKETS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Exact-rank percentile on a sorted sample: the rank-`ceil(p/100 * n)`
+/// element (1-based), matching the histogram's definition.
+fn oracle_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Checks `reported` against the oracle value within one bucket's relative
+/// error: `oracle <= reported <= oracle * (1 + 1/SUB_BUCKETS) + 1`.
+fn assert_within_bucket_error(reported: u64, oracle: u64, what: &str) {
+    assert!(reported >= oracle, "{what}: reported {reported} < oracle {oracle}");
+    let bound = oracle + oracle / SUB_BUCKETS as u64 + 1;
+    assert!(reported <= bound, "{what}: reported {reported} > bound {bound} (oracle {oracle})");
+}
+
+fn check_distribution(name: &str, samples: &[u64]) {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), samples.len() as u64);
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(snap.max(), *sorted.last().unwrap());
+
+    for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+        let oracle = oracle_percentile(&sorted, p);
+        let reported = snap.percentile(p);
+        assert_within_bucket_error(reported, oracle, &format!("{name} p{p}"));
+    }
+}
+
+#[test]
+fn percentiles_match_sorted_oracle_uniform() {
+    let mut rng = StdRng::seed_from_u64(0xb5e1);
+    let samples: Vec<u64> = (0..100_000).map(|_| rng.gen_range(1u64..5_000_000)).collect();
+    check_distribution("uniform", &samples);
+}
+
+#[test]
+fn percentiles_match_sorted_oracle_heavy_tail() {
+    // Latency-shaped: most ops fast, a long multiplicative tail.
+    let mut rng = StdRng::seed_from_u64(0xb5e2);
+    let samples: Vec<u64> = (0..100_000)
+        .map(|_| {
+            let base = rng.gen_range(50u64..400);
+            let shift = rng.gen_range(0u32..20);
+            base << shift
+        })
+        .collect();
+    check_distribution("heavy-tail", &samples);
+}
+
+#[test]
+fn percentiles_match_sorted_oracle_tiny_sample() {
+    check_distribution("tiny", &[7, 7, 9, 1_000_000]);
+    check_distribution("single", &[42]);
+}
+
+#[test]
+fn concurrent_record_then_merge_is_deterministic() {
+    // N threads record disjoint deterministic streams two ways: into one
+    // shared histogram, and into per-thread histograms merged afterwards.
+    // Both must equal a serial reference exactly — merging per-thread shards
+    // loses nothing.
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+
+    let sample = |t: u64, i: u64| {
+        let mut rng = StdRng::seed_from_u64(t * 1000 + i / 1024);
+        rng.gen_range(1u64..10_000_000)
+    };
+
+    let shared = Arc::new(Histogram::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let private = Histogram::new();
+            for i in 0..PER_THREAD {
+                let v = sample(t, i);
+                shared.record(v);
+                private.record(v);
+            }
+            private.snapshot()
+        }));
+    }
+    let mut merged = HistogramSnapshot::empty();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+
+    let reference = Histogram::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            reference.record(sample(t, i));
+        }
+    }
+
+    assert_eq!(merged, reference.snapshot());
+    assert_eq!(shared.snapshot(), reference.snapshot());
+}

@@ -1,0 +1,90 @@
+//! Flight-recorder tests: zero-cost assertions for trace-off builds, and
+//! ring wraparound + drain-order behaviour when the feature is on.
+
+#[cfg(not(feature = "trace"))]
+mod trace_off {
+    use obs::trace::{self, ThreadRing, TraceStep};
+
+    // Compile-time proof that disabling the feature removes the per-thread
+    // recorder state entirely: the hook type is zero-sized.
+    const _: () = assert!(std::mem::size_of::<ThreadRing>() == 0);
+
+    #[test]
+    fn hooks_are_zero_sized_and_inert() {
+        assert!(!obs::trace_compiled());
+        assert_eq!(std::mem::size_of::<ThreadRing>(), 0);
+        trace::record(TraceStep::MarkRight, 0xdead, 0xbeef);
+        assert!(trace::dump_all().is_empty());
+        assert!(trace::dump_report(16).contains("disabled"));
+        trace::reset();
+    }
+}
+
+#[cfg(feature = "trace")]
+mod trace_on {
+    use obs::trace::{self, TraceStep, RING_CAPACITY};
+    use std::mem::size_of;
+
+    // With the feature on the ring is real per-thread state, not a ZST.
+    const _: () = assert!(size_of::<trace::ThreadRing>() > 0);
+
+    /// All trace tests share one process (and trace state is global), so run
+    /// them as one sequenced test body.
+    #[test]
+    fn ring_records_wraps_and_drains_in_order() {
+        assert!(obs::trace_compiled());
+        trace::reset();
+
+        // Phase 1: fewer events than capacity — all retained, in order.
+        let first = 10usize;
+        for i in 0..first {
+            trace::record(TraceStep::FlagOrder, i, i + 1);
+        }
+        let dump = trace::dump_all();
+        assert_eq!(dump.len(), 1, "exactly this thread's ring");
+        let events = &dump[0].events;
+        assert_eq!(events.len(), first);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.step, TraceStep::FlagOrder);
+            assert_eq!(e.a, k, "drain must be oldest-first");
+            assert_eq!(e.b, k + 1);
+        }
+        // Global sequence numbers are strictly increasing within the ring.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+
+        // Phase 2: overflow the ring; only the newest RING_CAPACITY survive.
+        let total = RING_CAPACITY + 137;
+        for i in 0..total {
+            trace::record(TraceStep::MarkRight, i, 0);
+        }
+        let dump = trace::dump_all();
+        let events = &dump[0].events;
+        assert_eq!(events.len(), RING_CAPACITY, "flight recorder keeps the newest window");
+        // The retained window is exactly the last RING_CAPACITY events of
+        // phase 2, oldest first.
+        let expect_first = total - RING_CAPACITY;
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.step, TraceStep::MarkRight, "phase-1 events were overwritten");
+            assert_eq!(e.a, expect_first + k);
+        }
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+
+        // Phase 3: a second thread gets its own ring; the dump carries both,
+        // and reset() forgets them.
+        std::thread::spawn(|| trace::record(TraceStep::Retire, 7, 8)).join().unwrap();
+        let dump = trace::dump_all();
+        assert_eq!(dump.len(), 2);
+        let other = dump.iter().find(|t| t.events.len() == 1).expect("second thread's ring");
+        assert_eq!(other.events[0].step, TraceStep::Retire);
+        let report = trace::dump_report(4);
+        assert!(report.contains("retire"), "report: {report}");
+        assert!(report.contains("mark-right"), "report: {report}");
+
+        trace::reset();
+        assert!(trace::dump_all().is_empty());
+    }
+}

@@ -35,7 +35,7 @@ pub use runner::{
     prefill_map, run_map_workload, run_scan_workload, run_workload, Measurement, ScanMode,
     ThreadStats,
 };
-pub use spec::{MapSpec, OperationMix, WorkloadSpec, DEFAULT_SCAN_LEN};
+pub use spec::{MapSpec, OperationMix, WorkloadSpec, DEFAULT_SAMPLE_EVERY, DEFAULT_SCAN_LEN};
 
 /// Formats a series of labelled measurements as a GitHub-flavoured markdown table.
 ///

@@ -8,6 +8,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use cset::{ConcurrentMap, ConcurrentSet, OrderedSet};
+use obs::{Histogram, HistogramSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,6 +92,12 @@ pub struct Measurement {
     pub final_size: usize,
     /// Structure size after prefill, before the run.
     pub prefill_size: usize,
+    /// Merged per-operation latency histogram (nanoseconds), built from every
+    /// [`WorkloadSpec::sample_rate`]-th operation on each thread.  Empty when
+    /// sampling was disabled (`sample_every(0)`).
+    pub latency: HistogramSnapshot,
+    /// The sampling rate the run used (`0` = latency sampling disabled).
+    pub sample_rate: u64,
 }
 
 impl Measurement {
@@ -178,10 +185,14 @@ where
         let barrier = Arc::clone(&barrier);
         let sampler = sampler.clone();
         let mix = spec.mix();
+        let sample_every = spec.sample_rate();
         let seed = spec.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut stats = ThreadStats::default();
+            // Thread-private, so record() never contends; merged after join.
+            let hist = Histogram::new();
+            let mut op_idx = 0u64;
             barrier.wait();
             while !stop.load(Ordering::Relaxed) {
                 // Issue a small batch between stop-flag checks to keep the
@@ -189,6 +200,8 @@ where
                 for _ in 0..64 {
                     let key = sampler.sample(&mut rng);
                     let op = rng.gen_range(0..100u8);
+                    let t0 = (sample_every != 0 && op_idx % sample_every == 0).then(Instant::now);
+                    op_idx = op_idx.wrapping_add(1);
                     if op < mix.contains_pct() {
                         stats.contains += 1;
                         if set.contains(&key) {
@@ -205,17 +218,19 @@ where
                             stats.remove_hits += 1;
                         }
                     }
+                    if let Some(t0) = t0 {
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
-            stats
+            (stats, hist.snapshot())
         }));
     }
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let per_thread: Vec<ThreadStats> =
-        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect();
+    let (per_thread, latency) = join_workers(handles, "workload thread panicked");
     let elapsed = start.elapsed();
 
     Measurement {
@@ -225,7 +240,25 @@ where
         per_thread,
         final_size: set.len(),
         prefill_size,
+        latency,
+        sample_rate: spec.sample_rate(),
     }
+}
+
+/// Joins worker threads, collecting their op counts and merging their
+/// per-thread latency snapshots into one histogram.
+fn join_workers(
+    handles: Vec<std::thread::JoinHandle<(ThreadStats, HistogramSnapshot)>>,
+    panic_msg: &str,
+) -> (Vec<ThreadStats>, HistogramSnapshot) {
+    let mut per_thread = Vec::with_capacity(handles.len());
+    let mut latency = HistogramSnapshot::empty();
+    for h in handles {
+        let (stats, hist) = h.join().expect(panic_msg);
+        per_thread.push(stats);
+        latency.merge(&hist);
+    }
+    (per_thread, latency)
 }
 
 /// Prefills `set` to the spec's target size and then runs a scan-carrying
@@ -286,10 +319,13 @@ where
         let barrier = Arc::clone(&barrier);
         let sampler = sampler.clone();
         let mix = spec.mix();
+        let sample_every = spec.sample_rate();
         let seed = spec.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut stats = ThreadStats::default();
+            let hist = Histogram::new();
+            let mut op_idx = 0u64;
             barrier.wait();
             while !stop.load(Ordering::Relaxed) {
                 // Scans are orders of magnitude heavier than point ops, so the
@@ -298,6 +334,8 @@ where
                 for _ in 0..8 {
                     let key = sampler.sample(&mut rng);
                     let op = rng.gen_range(0..100u8);
+                    let t0 = (sample_every != 0 && op_idx % sample_every == 0).then(Instant::now);
+                    op_idx = op_idx.wrapping_add(1);
                     if op < mix.contains_pct() {
                         stats.contains += 1;
                         if set.contains(&key) {
@@ -333,17 +371,19 @@ where
                             }
                         }
                     }
+                    if let Some(t0) = t0 {
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
-            stats
+            (stats, hist.snapshot())
         }));
     }
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let per_thread: Vec<ThreadStats> =
-        handles.into_iter().map(|h| h.join().expect("scan workload thread panicked")).collect();
+    let (per_thread, latency) = join_workers(handles, "scan workload thread panicked");
     let elapsed = start.elapsed();
 
     Measurement {
@@ -353,6 +393,8 @@ where
         per_thread,
         final_size: set.len(),
         prefill_size,
+        latency,
+        sample_rate: spec.sample_rate(),
     }
 }
 
@@ -432,16 +474,21 @@ where
         let sampler = sampler.clone();
         let spec = *spec;
         let mix = base.mix();
+        let sample_every = base.sample_rate();
         let seed = base.rng_seed() ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut stats = ThreadStats::default();
+            let hist = Histogram::new();
+            let mut op_idx = 0u64;
             barrier.wait();
             while !stop.load(Ordering::Relaxed) {
                 // Same batched stop-flag cadence as the set runner.
                 for _ in 0..64 {
                     let key = sampler.sample(&mut rng);
                     let op = rng.gen_range(0..100u8);
+                    let t0 = (sample_every != 0 && op_idx % sample_every == 0).then(Instant::now);
+                    op_idx = op_idx.wrapping_add(1);
                     if op < mix.contains_pct() {
                         stats.contains += 1;
                         if map.get(&key).is_some() {
@@ -458,17 +505,19 @@ where
                             stats.remove_hits += 1;
                         }
                     }
+                    if let Some(t0) = t0 {
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
-            stats
+            (stats, hist.snapshot())
         }));
     }
     barrier.wait();
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let per_thread: Vec<ThreadStats> =
-        handles.into_iter().map(|h| h.join().expect("map workload thread panicked")).collect();
+    let (per_thread, latency) = join_workers(handles, "map workload thread panicked");
     let elapsed = start.elapsed();
 
     Measurement {
@@ -478,6 +527,8 @@ where
         per_thread,
         final_size: map.len(),
         prefill_size,
+        latency,
+        sample_rate: spec.base().sample_rate(),
     }
 }
 
@@ -512,6 +563,23 @@ mod tests {
         assert_eq!(m.final_size, m.prefill_size);
         let issued_updates: u64 = m.per_thread.iter().map(|t| t.inserts + t.removes).sum();
         assert_eq!(issued_updates, 0);
+    }
+
+    #[test]
+    fn latency_sampling_records_and_can_be_disabled() {
+        let set = Arc::new(CoarseLockBst::new());
+        let spec = WorkloadSpec::new(256, OperationMix::updates(20)).seed(5).sample_every(8);
+        let m = run_workload(Arc::clone(&set), &spec, 2, Duration::from_millis(40));
+        assert_eq!(m.sample_rate, 8);
+        assert!(m.latency.count() > 0, "sampling on but histogram empty");
+        assert!(m.latency.max() > 0);
+        assert!(m.latency.p50() <= m.latency.p99());
+        // Each thread samples every 8th op, so the merged count is about a
+        // 1/8 of the total (each thread may round up by one).
+        assert!(m.latency.count() <= m.total_ops() / 8 + m.threads as u64);
+        let off = run_workload(set, &spec.sample_every(0), 2, Duration::from_millis(30));
+        assert_eq!(off.sample_rate, 0);
+        assert_eq!(off.latency.count(), 0, "sampling off but histogram non-empty");
     }
 
     #[test]

@@ -122,11 +122,20 @@ pub struct WorkloadSpec {
     prefill_fraction: f64,
     seed: u64,
     scan_len: usize,
+    sample_every: u64,
 }
 
 /// Default number of keys a scan operation reads (see
 /// [`WorkloadSpec::scan_len`]).
 pub const DEFAULT_SCAN_LEN: usize = 64;
+
+/// Default latency sampling rate: one operation in every
+/// `DEFAULT_SAMPLE_EVERY` is timed (see [`WorkloadSpec::sample_every`]).
+///
+/// Chosen so sampling overhead stays in the noise (two `Instant` reads per
+/// sampled op, amortised over 64 ops) while a multi-second run still collects
+/// hundreds of thousands of samples per thread.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
 
 impl WorkloadSpec {
     /// Creates a spec over `[0, key_range)` with the given operation mix,
@@ -140,6 +149,7 @@ impl WorkloadSpec {
             prefill_fraction: 0.5,
             seed: 0xBAD5EED,
             scan_len: DEFAULT_SCAN_LEN,
+            sample_every: DEFAULT_SAMPLE_EVERY,
         }
     }
 
@@ -181,6 +191,19 @@ impl WorkloadSpec {
     /// Number of keys each scan operation reads.
     pub fn scan_length(&self) -> usize {
         self.scan_len
+    }
+
+    /// Sets the latency sampling rate: every `n`-th operation per thread is
+    /// timed and recorded in the run's latency histogram.  `0` disables
+    /// latency sampling entirely (no clock reads on the hot path).
+    pub fn sample_every(mut self, n: u64) -> Self {
+        self.sample_every = n;
+        self
+    }
+
+    /// The latency sampling rate (`0` = sampling disabled).
+    pub fn sample_rate(&self) -> u64 {
+        self.sample_every
     }
 
     /// The key range `[0, key_range)`.
@@ -335,6 +358,14 @@ mod tests {
     #[should_panic(expected = "prefill")]
     fn prefill_fraction_validated() {
         let _ = WorkloadSpec::new(10, OperationMix::default()).prefill_fraction(1.5);
+    }
+
+    #[test]
+    fn sample_every_roundtrip() {
+        let s = WorkloadSpec::new(10, OperationMix::default());
+        assert_eq!(s.sample_rate(), DEFAULT_SAMPLE_EVERY);
+        assert_eq!(s.sample_every(7).sample_rate(), 7);
+        assert_eq!(s.sample_every(0).sample_rate(), 0);
     }
 
     #[test]
