@@ -1,0 +1,264 @@
+//! The CHESS-style explorer: iterative deepening over preemption count, plus
+//! a seeded random mode for deep nightly hunts.
+
+use std::collections::VecDeque;
+
+use crate::runtime::{
+    children, run_with_budget, Outcome, RunReport, Scenario, DEFAULT_STEP_BUDGET,
+};
+use crate::schedule::Schedule;
+
+/// Options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Stop after enumerating schedules with this many preemptions.
+    pub max_preemptions: usize,
+    /// Hard cap on the number of runs (schedules executed); the frontier at
+    /// depth *d* grows roughly as `(steps × threads)^d`, so a budget keeps CI
+    /// smoke runs bounded.  Overridable via the `DST_BUDGET` env var in the
+    /// harnesses that use this crate.
+    pub max_runs: usize,
+    /// Per-run step budget (the livelock bound).
+    pub step_budget: u32,
+    /// Treat [`Outcome::Livelock`] as a violation and stop.  On by default:
+    /// for the protocols under test every interleaving must be lock-free, so
+    /// a schedule that exhausts the step budget *is* the bug.
+    pub stop_on_livelock: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            max_preemptions: 2,
+            max_runs: 10_000,
+            step_budget: DEFAULT_STEP_BUDGET,
+            stop_on_livelock: true,
+        }
+    }
+}
+
+/// The result of an [`explore`] (or [`explore_random`]) sweep.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// The first failing run found, if any.  Because [`explore`] enumerates
+    /// by ascending preemption count, this is automatically minimal in the
+    /// preemption dimension: no schedule with fewer context switches fails.
+    pub violation: Option<RunReport>,
+    /// Total schedules executed.
+    pub runs: usize,
+    /// True if the sweep stopped because `max_runs` was reached rather than
+    /// because the frontier was exhausted or a violation was found.
+    pub budget_exhausted: bool,
+}
+
+fn is_failure(outcome: &Outcome, stop_on_livelock: bool) -> bool {
+    match outcome {
+        Outcome::Pass => false,
+        Outcome::Violation(_) | Outcome::Panic { .. } => true,
+        Outcome::Livelock => stop_on_livelock,
+    }
+}
+
+/// Exhaustively enumerates interleavings of the scenario in order of
+/// preemption count (0, then 1, then 2, …) up to `opts.max_preemptions`,
+/// stopping at the first failure.
+///
+/// `scenario` is a *factory*: each run gets fresh state.  The factory must be
+/// deterministic — the same sequence of yield decisions must follow from the
+/// same schedule — or replay ids will not reproduce.
+pub fn explore(mut scenario: impl FnMut() -> Scenario, opts: ExploreOpts) -> ExploreResult {
+    let mut runs = 0usize;
+    let mut queue: VecDeque<Schedule> = VecDeque::new();
+    // Depth 0: the empty schedule.  Its thread count comes from the scenario.
+    let threads = {
+        let probe = scenario();
+        let threads = probe.bodies.len();
+        // Run the probe rather than discarding it: it *is* depth 0.
+        let report = run_with_budget(probe, &Schedule::empty(threads), opts.step_budget);
+        runs += 1;
+        if is_failure(&report.outcome, opts.stop_on_livelock) {
+            return ExploreResult { violation: Some(report), runs, budget_exhausted: false };
+        }
+        if opts.max_preemptions > 0 {
+            queue.extend(children(&report));
+        }
+        threads
+    };
+    debug_assert!(threads > 0);
+
+    while let Some(sched) = queue.pop_front() {
+        if runs >= opts.max_runs {
+            return ExploreResult { violation: None, runs, budget_exhausted: true };
+        }
+        let report = run_with_budget(scenario(), &sched, opts.step_budget);
+        runs += 1;
+        if is_failure(&report.outcome, opts.stop_on_livelock) {
+            return ExploreResult { violation: Some(report), runs, budget_exhausted: false };
+        }
+        if sched.switches.len() < opts.max_preemptions {
+            queue.extend(children(&report));
+        }
+    }
+    ExploreResult { violation: None, runs, budget_exhausted: false }
+}
+
+/// Options for [`explore_random`].
+#[derive(Debug, Clone)]
+pub struct RandomOpts {
+    /// PRNG seed; the whole sweep is a pure function of it.
+    pub seed: u64,
+    /// Number of random schedules to run.
+    pub runs: usize,
+    /// Number of preemptions per schedule.
+    pub preemptions: usize,
+    /// Per-run step budget (the livelock bound).
+    pub step_budget: u32,
+    /// Treat [`Outcome::Livelock`] as a violation (see [`ExploreOpts`]).
+    pub stop_on_livelock: bool,
+}
+
+impl Default for RandomOpts {
+    fn default() -> RandomOpts {
+        RandomOpts {
+            seed: 1,
+            runs: 1_000,
+            preemptions: 4,
+            step_budget: DEFAULT_STEP_BUDGET,
+            stop_on_livelock: true,
+        }
+    }
+}
+
+/// splitmix64 — tiny, seedable, good enough for schedule sampling, and
+/// dependency-free (this crate must not pull in `xrand`, which depends on
+/// nothing either but lives on the other side of the dep graph).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples random deep schedules instead of enumerating: for nightly hunts
+/// where the exhaustive frontier at the interesting depth is too large.
+///
+/// Each iteration grows a schedule one preemption at a time, re-running the
+/// scenario after each extension and picking the next `(step, thread)`
+/// uniformly from the branch points the extended run actually exposed — so
+/// every sampled preemption lands on a real decision, never on a dead step.
+pub fn explore_random(mut scenario: impl FnMut() -> Scenario, opts: RandomOpts) -> ExploreResult {
+    let mut rng = opts.seed;
+    let mut runs = 0usize;
+    for _ in 0..opts.runs {
+        let probe = scenario();
+        let threads = probe.bodies.len();
+        let mut report = run_with_budget(probe, &Schedule::empty(threads), opts.step_budget);
+        runs += 1;
+        for _ in 0..opts.preemptions {
+            if is_failure(&report.outcome, opts.stop_on_livelock) {
+                break;
+            }
+            let kids = children(&report);
+            if kids.is_empty() {
+                break;
+            }
+            let pick = (splitmix64(&mut rng) % kids.len() as u64) as usize;
+            report = run_with_budget(scenario(), &kids[pick], opts.step_budget);
+            runs += 1;
+        }
+        if is_failure(&report.outcome, opts.stop_on_livelock) {
+            return ExploreResult { violation: Some(report), runs, budget_exhausted: false };
+        }
+    }
+    ExploreResult { violation: None, runs, budget_exhausted: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::yield_point;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn racy_counter() -> Scenario {
+        let x = Arc::new(AtomicU64::new(0));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+            .map(|_| {
+                let x = Arc::clone(&x);
+                Box::new(move || {
+                    let v = x.load(Ordering::SeqCst);
+                    yield_point();
+                    x.store(v + 1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let check = Box::new(move || {
+            if x.load(Ordering::SeqCst) == 2 {
+                Ok(())
+            } else {
+                Err("lost update".to_string())
+            }
+        });
+        Scenario { bodies, check }
+    }
+
+    fn correct_counter() -> Scenario {
+        let x = Arc::new(AtomicU64::new(0));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+            .map(|_| {
+                let x = Arc::clone(&x);
+                Box::new(move || {
+                    yield_point();
+                    x.fetch_add(1, Ordering::SeqCst);
+                    yield_point();
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let check = Box::new(move || {
+            if x.load(Ordering::SeqCst) == 2 {
+                Ok(())
+            } else {
+                Err("lost update".to_string())
+            }
+        });
+        Scenario { bodies, check }
+    }
+
+    #[test]
+    fn finds_the_lost_update_with_one_preemption() {
+        let result = explore(racy_counter, ExploreOpts::default());
+        let found = result.violation.expect("explorer should find the race");
+        assert_eq!(found.schedule.switches.len(), 1, "minimal: one preemption suffices");
+        assert!(matches!(found.outcome, Outcome::Violation(_)));
+        // And the schedule replays.
+        let replay = crate::run(racy_counter(), &found.schedule);
+        assert!(matches!(replay.outcome, Outcome::Violation(_)));
+    }
+
+    #[test]
+    fn clean_scenario_exhausts_without_violation() {
+        let result = explore(correct_counter, ExploreOpts::default());
+        assert!(result.violation.is_none());
+        assert!(!result.budget_exhausted);
+        assert!(result.runs > 1, "actually explored: {} runs", result.runs);
+    }
+
+    #[test]
+    fn run_budget_is_respected() {
+        let result = explore(racy_counter, ExploreOpts { max_runs: 1, ..ExploreOpts::default() });
+        // Depth 0 passes, budget exhausted before any preemption is tried.
+        assert!(result.violation.is_none());
+        assert!(result.budget_exhausted);
+        assert_eq!(result.runs, 1);
+    }
+
+    #[test]
+    fn random_mode_finds_the_race_and_is_seed_deterministic() {
+        let opts = RandomOpts { seed: 7, runs: 50, preemptions: 2, ..RandomOpts::default() };
+        let a = explore_random(racy_counter, opts.clone());
+        let b = explore_random(racy_counter, opts);
+        let (a, b) = (a.violation.expect("seed 7 finds it"), b.violation.expect("same"));
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,92 @@
+//! # dst — deterministic-schedule testing
+//!
+//! A hand-rolled, loom-shaped model-checking harness for the workspace's
+//! lock-free protocols (the registry is offline, so this is an in-tree shim in
+//! the same spirit as `ebr`/`xrand`): run a small concurrent scenario under a
+//! **controllable scheduler** that serializes the threads — exactly one thread
+//! executes at any moment, and control only transfers at explicit *yield
+//! points* compiled into the code under test (see `lfbst`'s `dst` cargo
+//! feature, which piggybacks yield points on the flight-recorder trace sites
+//! plus the load→CAS windows of the remove protocol).
+//!
+//! Because every context switch happens at an instrumented point, an execution
+//! is fully described by its [`Schedule`] — a bounded set of *preemptions*
+//! `(step, thread)` layered over a deterministic default policy (keep running
+//! the current thread; on exit, the lowest-index live thread).  That gives the
+//! two operations wall-clock fuzzing cannot offer:
+//!
+//! * **exhaustive enumeration** ([`explore`]): CHESS-style iterative
+//!   deepening over the number of preemptions — all executions with 0, then
+//!   1, then 2… preemptions, which in practice covers the interleavings that
+//!   matter for helper/descriptor protocols (most such bugs need very few
+//!   context switches, they just need them in exactly the wrong place);
+//! * **replay** ([`run`]): any execution, including a failing one found by
+//!   the explorer or printed by a stress harness, reproduces from its
+//!   printable schedule id (e.g. `s3:12-1.47-0`), forever, as a regression
+//!   test.
+//!
+//! ## Mechanics
+//!
+//! Virtual threads are real OS threads gated on a shared condition variable:
+//! only the thread whose index equals the scheduler's `current` may run, so
+//! the interleaving of the *instrumented* code is sequentially consistent and
+//! deterministic for a given schedule.  The harness therefore model-checks
+//! the protocol's *logic* (interleavings of protocol steps), not the memory
+//! model — the right tool for the removal-protocol race hunted in ROADMAP,
+//! which is an interleaving bug, while `lfbst`'s ordering argument is
+//! documented separately in DESIGN.md.
+//!
+//! Scenarios that stop making progress are caught by a step budget: a run
+//! that exceeds it is reported as [`Outcome::Livelock`] with the schedule
+//! that produced it, turning the "multi-minute stall" symptom into a
+//! deterministic artifact.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dst::{explore, run, ExploreOpts, Schedule, Scenario, Outcome};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // A scenario builds fresh state + thread bodies + a post-run verdict.
+//! let scenario = || {
+//!     let x = Arc::new(AtomicU64::new(0));
+//!     let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+//!         .map(|_| {
+//!             let x = Arc::clone(&x);
+//!             Box::new(move || {
+//!                 // Classic lost update: read, yield, write.
+//!                 let v = x.load(Ordering::SeqCst);
+//!                 dst::yield_point();
+//!                 x.store(v + 1, Ordering::SeqCst);
+//!             }) as Box<dyn FnOnce() + Send>
+//!         })
+//!         .collect();
+//!     let check = Box::new(move || {
+//!         if x.load(Ordering::SeqCst) == 2 { Ok(()) } else { Err("lost update".into()) }
+//!     });
+//!     Scenario { bodies, check }
+//! };
+//!
+//! // Sequential schedule passes…
+//! assert!(matches!(run(scenario(), &Schedule::empty(2)).outcome, Outcome::Pass));
+//! // …but the explorer finds the 1-preemption interleaving that loses an update.
+//! let found = explore(scenario, ExploreOpts::default()).violation.unwrap();
+//! assert!(matches!(found.outcome, Outcome::Violation(_)));
+//! // And the failing schedule replays deterministically from its id.
+//! let replay = Schedule::parse(&found.schedule.id()).unwrap();
+//! assert!(matches!(run(scenario(), &replay).outcome, Outcome::Violation(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod explore;
+mod runtime;
+mod schedule;
+
+pub use explore::{explore, explore_random, ExploreOpts, ExploreResult, RandomOpts};
+pub use runtime::{
+    current_schedule_id, run, run_with_budget, yield_point, Outcome, RunReport, Scenario,
+    DEFAULT_STEP_BUDGET,
+};
+pub use schedule::Schedule;

@@ -1,0 +1,484 @@
+//! The cooperative scheduler: virtual threads as condvar-gated OS threads,
+//! yield points as decision steps, deterministic replay of a [`Schedule`].
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::schedule::Schedule;
+
+/// Default per-run step budget: a run that reaches this many yield points
+/// without finishing is reported as [`Outcome::Livelock`].  Small scenarios
+/// (a handful of operations over 2–4 keys) finish in well under a thousand
+/// steps; a protocol that spins on a link nobody will ever clean runs away
+/// towards the budget instead of hanging the harness.
+pub const DEFAULT_STEP_BUDGET: u32 = 100_000;
+
+/// Marker panic payload used to unwind workers out of an aborted run; never
+/// surfaced as a scenario panic.
+const ABORT_PAYLOAD: &str = "dst-internal: run aborted";
+
+/// One concurrent test case: fresh state per run.
+pub struct Scenario {
+    /// The virtual thread bodies, index = virtual thread id.
+    pub bodies: Vec<Box<dyn FnOnce() + Send>>,
+    /// Quiescent verdict, run on the controlling thread after every body has
+    /// finished.  `Err` is an invariant violation and carries the evidence.
+    ///
+    /// On a [`Outcome::Livelock`] or [`Outcome::Panic`] run the check is
+    /// **leaked, not run**: the shared state it captures may be mid-protocol
+    /// (or mid-unwind), and dropping e.g. a tree with a half-finished removal
+    /// can itself crash; leaking keeps the harness alive to report the
+    /// schedule.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario").field("threads", &self.bodies.len()).finish_non_exhaustive()
+    }
+}
+
+/// How a scheduled run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All bodies finished and the check passed.
+    Pass,
+    /// All bodies finished but the check reported a violated invariant.
+    Violation(String),
+    /// A body panicked (e.g. a protocol invariant assertion fired); the
+    /// payload and the panicking virtual thread are attached.
+    Panic {
+        /// Virtual thread index that panicked.
+        thread: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The step budget was exhausted: under this schedule the scenario stops
+    /// making progress (a livelock or unbounded helping loop).
+    Livelock,
+}
+
+/// The full result of one scheduled run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The schedule that produced this run (replay with [`run`]).
+    pub schedule: Schedule,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Total decision steps taken.
+    pub steps: u32,
+    /// For every decision step at which more than one thread was live, the
+    /// set of live threads at that step — the explorer's branching points.
+    /// Recorded as `(step, live_threads)`.
+    pub branch_points: Vec<(u32, Vec<u8>)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Live,
+    Finished,
+}
+
+struct Inner {
+    /// Whose turn it is; `usize::MAX` once the run is aborted.
+    current: usize,
+    status: Vec<Status>,
+    /// Global decision step counter.
+    step: u32,
+    step_budget: u32,
+    /// Pending preemptions, consumed front to back.
+    switches: Vec<(u32, u8)>,
+    next_switch: usize,
+    /// Steps with >1 live thread (dense in practice; recorded for the explorer).
+    branch_points: Vec<(u32, Vec<u8>)>,
+    aborted: bool,
+    panic: Option<(usize, String)>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    schedule_id: String,
+}
+
+thread_local! {
+    /// The session the current OS thread participates in, if any.  Checked by
+    /// every `yield_point`; `None` (the common case outside dst runs) makes
+    /// the instrumented build usable for ordinary tests too.
+    static SESSION: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// A potential context switch.  Called by instrumented code under test; a
+/// no-op on threads that are not part of a dst run.
+pub fn yield_point() {
+    let session = SESSION.with(|s| s.borrow().clone());
+    let Some((shared, me)) = session else { return };
+    let mut inner = shared.inner.lock().expect("dst scheduler poisoned");
+    debug_assert_eq!(inner.current, me, "a thread yielded while it was not scheduled");
+    decide(&mut inner, me);
+    if inner.current != me {
+        shared.cv.notify_all();
+        while inner.current != me {
+            if inner.aborted {
+                drop(inner);
+                std::panic::panic_any(ABORT_PAYLOAD);
+            }
+            inner = shared.cv.wait(inner).expect("dst scheduler poisoned");
+        }
+    }
+    if inner.aborted {
+        drop(inner);
+        std::panic::panic_any(ABORT_PAYLOAD);
+    }
+}
+
+/// Returns the schedule id of the dst run the calling thread participates in,
+/// if any — stress harnesses print it beside their own seed so a failure
+/// under the deterministic scheduler is replayable.
+pub fn current_schedule_id() -> Option<String> {
+    SESSION.with(|s| s.borrow().as_ref().map(|(shared, _)| shared.schedule_id.clone()))
+}
+
+/// One scheduling decision by thread `me` (which currently holds the token).
+fn decide(inner: &mut Inner, me: usize) {
+    let step = inner.step;
+    inner.step += 1;
+    if inner.step >= inner.step_budget {
+        inner.aborted = true;
+        inner.current = usize::MAX;
+        return;
+    }
+    let live: Vec<u8> = (0..inner.status.len())
+        .filter(|&t| inner.status[t] == Status::Live)
+        .map(|t| t as u8)
+        .collect();
+    if live.len() > 1 {
+        inner.branch_points.push((step, live.clone()));
+    }
+    // Consume a preemption scheduled for this step, if its target is live.
+    let mut next = me;
+    if let Some(&(s, t)) = inner.switches.get(inner.next_switch) {
+        if s == step {
+            inner.next_switch += 1;
+            if inner.status.get(t as usize) == Some(&Status::Live) {
+                next = t as usize;
+            }
+        }
+    }
+    inner.current = next;
+}
+
+/// Thread `me` finished (or unwound): hand the token to the lowest-index live
+/// thread, or to nobody if the run is over.
+fn finish(shared: &Shared, me: usize, panic: Option<String>) {
+    let mut inner = shared.inner.lock().expect("dst scheduler poisoned");
+    inner.status[me] = Status::Finished;
+    if let Some(msg) = panic {
+        if inner.panic.is_none() {
+            inner.panic = Some((me, msg));
+        }
+        // A real panic ends the run: release every other thread.
+        inner.aborted = true;
+        inner.current = usize::MAX;
+    } else if !inner.aborted {
+        inner.current = (0..inner.status.len())
+            .find(|&t| inner.status[t] == Status::Live)
+            .unwrap_or(usize::MAX);
+    }
+    drop(inner);
+    shared.cv.notify_all();
+}
+
+/// Executes `scenario` under `schedule` and returns the full report.
+///
+/// Deterministic: the same scenario constructor and schedule produce the same
+/// interleaving of instrumented steps on every call.
+pub fn run(scenario: Scenario, schedule: &Schedule) -> RunReport {
+    run_with_budget(scenario, schedule, DEFAULT_STEP_BUDGET)
+}
+
+/// [`run`] with an explicit step budget (the livelock bound).
+pub fn run_with_budget(scenario: Scenario, schedule: &Schedule, step_budget: u32) -> RunReport {
+    let threads = scenario.bodies.len();
+    assert!(threads > 0, "scenario needs at least one thread");
+    assert_eq!(
+        schedule.threads, threads,
+        "schedule is for {} threads but the scenario has {threads}",
+        schedule.threads
+    );
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            current: 0,
+            status: vec![Status::Live; threads],
+            step: 0,
+            step_budget,
+            switches: schedule.switches.clone(),
+            next_switch: 0,
+            branch_points: Vec::new(),
+            aborted: false,
+            panic: None,
+        }),
+        cv: Condvar::new(),
+        schedule_id: schedule.id(),
+    });
+
+    let handles: Vec<_> = scenario
+        .bodies
+        .into_iter()
+        .enumerate()
+        .map(|(idx, body)| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                SESSION.with(|s| *s.borrow_mut() = Some((Arc::clone(&shared), idx)));
+                // Wait for the first turn (thread 0 starts; others wait).
+                {
+                    let mut inner = shared.inner.lock().expect("dst scheduler poisoned");
+                    while inner.current != idx && !inner.aborted {
+                        inner = shared.cv.wait(inner).expect("dst scheduler poisoned");
+                    }
+                    let aborted = inner.aborted;
+                    drop(inner);
+                    if aborted {
+                        SESSION.with(|s| *s.borrow_mut() = None);
+                        finish(&shared, idx, None);
+                        return;
+                    }
+                }
+                // The implicit entry yield: makes "start with thread 1" a
+                // schedulable decision like any other.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    yield_point();
+                    body();
+                }));
+                SESSION.with(|s| *s.borrow_mut() = None);
+                let panic = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        if msg == ABORT_PAYLOAD {
+                            None
+                        } else {
+                            Some(msg)
+                        }
+                    }
+                };
+                finish(&shared, idx, panic);
+            })
+        })
+        .collect();
+
+    for h in handles {
+        // Workers never propagate panics (they are caught and recorded).
+        let _ = h.join();
+    }
+
+    let inner = shared.inner.lock().expect("dst scheduler poisoned");
+    let steps = inner.step;
+    let branch_points = inner.branch_points.clone();
+    let (aborted, panic) = (inner.aborted, inner.panic.clone());
+    drop(inner);
+
+    let outcome = if let Some((thread, message)) = panic {
+        std::mem::forget(scenario.check);
+        Outcome::Panic { thread, message }
+    } else if aborted {
+        std::mem::forget(scenario.check);
+        Outcome::Livelock
+    } else {
+        match (scenario.check)() {
+            Ok(()) => Outcome::Pass,
+            Err(evidence) => Outcome::Violation(evidence),
+        }
+    };
+    RunReport { schedule: schedule.clone(), outcome, steps, branch_points }
+}
+
+/// Returns the child schedules of a completed run: for every branch point at
+/// or after the parent's last preemption, one schedule per alternative live
+/// thread.  This is the CHESS-style frontier expansion used by
+/// [`explore`](crate::explore).
+pub(crate) fn children(report: &RunReport) -> Vec<Schedule> {
+    let parent = &report.schedule;
+    let after = parent.switches.last().map(|&(s, _)| s).map_or(0, |s| s + 1);
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for &(step, ref live) in &report.branch_points {
+        if step < after {
+            continue;
+        }
+        for &t in live {
+            let child = parent.with_switch(step, t);
+            if seen.insert(child.id()) {
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counter_scenario(threads: usize, yields: usize) -> Scenario {
+        // Each thread does `yields` racy increments (load, yield, store).
+        let x = Arc::new(AtomicU64::new(0));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..threads)
+            .map(|_| {
+                let x = Arc::clone(&x);
+                Box::new(move || {
+                    for _ in 0..yields {
+                        let v = x.load(Ordering::SeqCst);
+                        yield_point();
+                        x.store(v + 1, Ordering::SeqCst);
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let expect = (threads * yields) as u64;
+        let check = Box::new(move || {
+            let got = x.load(Ordering::SeqCst);
+            if got == expect {
+                Ok(())
+            } else {
+                Err(format!("lost updates: {got} != {expect}"))
+            }
+        });
+        Scenario { bodies, check }
+    }
+
+    #[test]
+    fn empty_schedule_runs_threads_in_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..3usize)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move || {
+                    yield_point();
+                    order.lock().unwrap().push(i);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let order2 = Arc::clone(&order);
+        let check = Box::new(move || {
+            let got = order2.lock().unwrap().clone();
+            if got == vec![0, 1, 2] {
+                Ok(())
+            } else {
+                Err(format!("order {got:?}"))
+            }
+        });
+        let report = run(Scenario { bodies, check }, &Schedule::empty(3));
+        assert_eq!(report.outcome, Outcome::Pass);
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn preemption_switches_threads_at_the_named_step() {
+        // With a switch at the first yield of thread 0, thread 1 runs first.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2usize)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move || {
+                    order.lock().unwrap().push(i);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let order2 = Arc::clone(&order);
+        let check = Box::new(move || {
+            let got = order2.lock().unwrap().clone();
+            if got == vec![1, 0] {
+                Ok(())
+            } else {
+                Err(format!("order {got:?}"))
+            }
+        });
+        let report = run(Scenario { bodies, check }, &Schedule::empty(2).with_switch(0, 1));
+        assert_eq!(report.outcome, Outcome::Pass, "outcome {:?}", report.outcome);
+    }
+
+    #[test]
+    fn racy_counter_loses_updates_under_the_right_schedule() {
+        // Thread 0 loads, is preempted at its yield (step 1: step 0 is the
+        // entry yield), thread 1 runs fully, thread 0 overwrites.
+        let report = run(counter_scenario(2, 1), &Schedule::empty(2).with_switch(1, 1));
+        match report.outcome {
+            Outcome::Violation(e) => assert!(e.contains("lost updates"), "{e}"),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        // The sequential schedule passes.
+        let report = run(counter_scenario(2, 1), &Schedule::empty(2));
+        assert_eq!(report.outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let sched = Schedule::empty(3).with_switch(2, 2).with_switch(5, 1);
+        let a = run(counter_scenario(3, 2), &sched);
+        let b = run(counter_scenario(3, 2), &sched);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.branch_points, b.branch_points);
+    }
+
+    #[test]
+    fn panics_are_captured_with_the_thread_index() {
+        let bodies: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| {}), Box::new(|| panic!("protocol invariant violated"))];
+        let check = Box::new(|| Ok(()));
+        let report = run(Scenario { bodies, check }, &Schedule::empty(2));
+        match report.outcome {
+            Outcome::Panic { thread, message } => {
+                assert_eq!(thread, 1);
+                assert!(message.contains("protocol invariant"), "{message}");
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn livelock_hits_the_step_budget() {
+        let flag = Arc::new(AtomicU64::new(0));
+        let flag2 = Arc::clone(&flag);
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(move || {
+            while flag2.load(Ordering::SeqCst) == 0 {
+                yield_point();
+            }
+        })];
+        let check = Box::new(|| Ok(()));
+        let report = run_with_budget(Scenario { bodies, check }, &Schedule::empty(1), 500);
+        assert_eq!(report.outcome, Outcome::Livelock);
+        assert_eq!(report.steps, 500);
+    }
+
+    #[test]
+    fn yield_point_outside_a_session_is_a_noop() {
+        yield_point();
+        assert_eq!(current_schedule_id(), None);
+    }
+
+    #[test]
+    fn children_expand_after_the_last_preemption_only() {
+        let report = run(counter_scenario(2, 1), &Schedule::empty(2));
+        let kids = children(&report);
+        assert!(!kids.is_empty());
+        for k in &kids {
+            assert_eq!(k.switches.len(), 1);
+        }
+        // Child of a child never branches before its parent's switch.
+        let child = kids[0].clone();
+        let report2 = run(counter_scenario(2, 1), &child);
+        for k in children(&report2) {
+            assert!(k.switches[1].0 > child.switches[0].0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Schedules: a bounded preemption set over the deterministic default policy,
+//! with a printable, parseable id for replay.
+
+use std::fmt;
+
+/// A deterministic execution recipe for [`run`](crate::run).
+///
+/// The scheduler's default policy is fixed: the current thread keeps running
+/// until it exits (then the lowest-index live thread takes over).  A schedule
+/// perturbs that policy with an ordered list of **preemptions**: at global
+/// decision step `step` (the `step`-th yield point of the whole run, counting
+/// from 0), switch to thread `thread`.  Two runs of the same scenario under
+/// the same schedule execute identically, so a schedule id is a permanent
+/// reproduction recipe for whatever that run did.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Number of virtual threads the schedule addresses.
+    pub threads: usize,
+    /// `(step, thread)` preemptions, strictly increasing by step.
+    pub switches: Vec<(u32, u8)>,
+}
+
+impl Schedule {
+    /// The schedule with no preemptions: thread 0 runs to completion, then
+    /// thread 1, and so on.
+    pub fn empty(threads: usize) -> Schedule {
+        Schedule { threads, switches: Vec::new() }
+    }
+
+    /// Extends this schedule with one more preemption (which must be at a
+    /// later step than every existing one).
+    pub fn with_switch(&self, step: u32, thread: u8) -> Schedule {
+        debug_assert!(self.switches.last().map_or(true, |&(s, _)| s < step));
+        let mut switches = self.switches.clone();
+        switches.push((step, thread));
+        Schedule { threads: self.threads, switches }
+    }
+
+    /// The printable id, e.g. `s3:12-1.47-0` (three threads; at step 12
+    /// switch to thread 1, at step 47 switch to thread 0).  `s3:` is the
+    /// empty schedule.
+    pub fn id(&self) -> String {
+        let mut out = format!("s{}:", self.threads);
+        for (i, (step, thread)) in self.switches.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(&format!("{step}-{thread}"));
+        }
+        out
+    }
+
+    /// Parses an id produced by [`id`](Schedule::id).
+    ///
+    /// Returns `None` on any malformed input (wrong prefix, non-numeric
+    /// fields, steps out of order, thread index out of range).
+    pub fn parse(id: &str) -> Option<Schedule> {
+        let rest = id.strip_prefix('s')?;
+        let (threads_str, switches_str) = rest.split_once(':')?;
+        let threads: usize = threads_str.parse().ok()?;
+        if threads == 0 || threads > u8::MAX as usize {
+            return None;
+        }
+        let mut switches = Vec::new();
+        if !switches_str.is_empty() {
+            for part in switches_str.split('.') {
+                let (step_str, thread_str) = part.split_once('-')?;
+                let step: u32 = step_str.parse().ok()?;
+                let thread: u8 = thread_str.parse().ok()?;
+                if (thread as usize) >= threads {
+                    return None;
+                }
+                if switches.last().is_some_and(|&(s, _)| s >= step) {
+                    return None;
+                }
+                switches.push((step, thread));
+            }
+        }
+        Some(Schedule { threads, switches })
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for sched in [
+            Schedule::empty(2),
+            Schedule::empty(3).with_switch(12, 1).with_switch(47, 0),
+            Schedule { threads: 8, switches: vec![(0, 7), (1, 0), (1000, 3)] },
+        ] {
+            let id = sched.id();
+            assert_eq!(Schedule::parse(&id), Some(sched.clone()), "id {id}");
+            assert_eq!(sched.to_string(), id);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "3:1-0",
+            "s:1-0",
+            "sx:",
+            "s0:",
+            "s2:5",
+            "s2:5-",
+            "s2:5-2",     // thread 2 of 2
+            "s2:5-1.5-0", // steps must strictly increase
+            "s2:9-1.5-0",
+        ] {
+            assert!(Schedule::parse(bad).is_none(), "should reject {bad:?}");
+        }
+        assert!(Schedule::parse("s2:").is_some());
+        assert!(Schedule::parse("s2:5-1.6-0").is_some());
+    }
+}

@@ -343,13 +343,32 @@ impl Guard {
         }
         let deferred = Deferred { ptr: raw.cast(), drop_fn: drop_box::<T> };
         let stamp = GLOBAL_EPOCH.load(Ordering::SeqCst);
-        health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
-        let len = {
+        let (len, duplicate) = {
             let mut bag = GARBAGE.lock().expect("ebr garbage poisoned");
-            bag.items.push((stamp, deferred));
-            bag.min_stamp = bag.min_stamp.min(stamp);
-            bag.items.len()
+            // Double-retire audit: a node retired twice sits in the bag twice
+            // and is freed twice — silent UB whose crash surfaces arbitrarily
+            // far from the bug.  In debug builds (and release builds with the
+            // `retire-audit` feature) scan the bag for the pointer and turn
+            // the UB into a panic at the second retirement site, where the
+            // offending stack is still on the call stack.  The scan is O(bag)
+            // per retirement, which is why it is not always on.
+            let duplicate = cfg!(any(feature = "retire-audit", debug_assertions))
+                && bag.items.iter().any(|(_, d)| std::ptr::eq(d.ptr, raw.cast::<u8>()));
+            if !duplicate {
+                bag.items.push((stamp, deferred));
+                bag.min_stamp = bag.min_stamp.min(stamp);
+            }
+            (bag.items.len(), duplicate)
         };
+        // Panic outside the lock scope so the bag is not poisoned for every
+        // other thread by our unwinding.
+        if duplicate {
+            panic!(
+                "ebr: double retire of {raw:p} — the node is already in the garbage bag \
+                 awaiting reclamation, so a second `defer_destroy` would double-free it"
+            );
+        }
+        health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
         if len >= GARBAGE_HIGH_WATER {
             try_collect();
         }
@@ -846,6 +865,26 @@ mod tests {
         assert!(now.nodes_freed <= now.nodes_retired);
         assert_eq!(now.bag_depth(), now.nodes_retired - now.nodes_freed);
         let _ = global_epoch();
+    }
+
+    /// The audit must catch the second retirement of one pointer (and must
+    /// not have queued it, so nothing double-frees after the panic is caught).
+    #[test]
+    #[cfg(any(feature = "retire-audit", debug_assertions))]
+    fn double_retire_panics_under_audit() {
+        let guard = pin();
+        let p = Owned::new(9u64).into_shared(&guard);
+        unsafe { guard.defer_destroy(p) };
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            guard.defer_destroy(p)
+        }));
+        let msg = *second.expect_err("double retire must panic").downcast::<String>().unwrap();
+        assert!(msg.contains("double retire"), "unexpected panic message: {msg}");
+        // The first retirement stays queued and frees exactly once.
+        drop(guard);
+        for _ in 0..6 * PINS_PER_COLLECT {
+            drop(pin());
+        }
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub(crate) const MARK: usize = 0b010;
 /// Flag bit: the link is held by a pending removal of its target node.
 pub(crate) const FLAG: usize = 0b100;
 
+/// Claim bit, used on the `prelink` word only (never on child links): set by
+/// the one `remove` call that gets to report this node's logical removal as
+/// its own success.  A node's right link is marked at most once in its
+/// lifetime (marked nodes are only ever retired, never revived), so a
+/// once-ever bit on the node arbitrates success attribution exactly — see
+/// `remove.rs::try_claim_removal` and DESIGN.md §7 (bug 7).
+pub(crate) const CLAIMED: usize = 0b001;
+
 /// Returns `true` if the link carries the thread bit.
 #[inline]
 pub(crate) fn is_thread<T>(s: Shared<'_, T>) -> bool {

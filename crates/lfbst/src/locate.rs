@@ -16,6 +16,7 @@ use crossbeam_epoch::{Guard, Shared};
 
 use crate::link::{is_mark, is_thread, same_node};
 use crate::node::Node;
+use crate::trace_hooks::{dst_point, SpinBound};
 use crate::tree::ord::LOAD;
 use crate::tree::LfBst;
 use crate::value::MapValue;
@@ -53,7 +54,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         // below folds away.
         let record = self.record_stats();
         let mut links: u64 = 0;
+        let mut spin = SpinBound::new("locate_from");
         loop {
+            spin.tick();
             let curr_ref = unsafe { curr.deref() };
             // Sentinel-free comparison: root dummies by pointer, real keys via
             // `K::cmp` (see `LfBst::cmp_node_key`).
@@ -74,6 +77,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             if eager && dir == 1 && is_mark(link) {
                 let new_prev = unsafe { prev.deref() }.backlink.load(LOAD, guard).with_tag(0);
                 self.note_help();
+                dst_point!();
                 self.clean_mark_right(curr, guard);
                 prev = new_prev;
                 curr = new_prev;
@@ -129,7 +133,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     ) -> Location<'g, K, V> {
         let record = self.record_stats();
         let mut links: u64 = 0;
+        let mut spin = SpinBound::new("locate_order_from");
         loop {
+            spin.tick();
             let curr_ref = unsafe { curr.deref() };
             // "go left on equal": searching for key - epsilon.
             let dir = match self.cmp_node_key(curr, key) {
@@ -141,6 +147,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             if eager && dir == 1 && is_mark(link) {
                 let new_prev = unsafe { prev.deref() }.backlink.load(LOAD, guard).with_tag(0);
                 self.note_help();
+                dst_point!();
                 self.clean_mark_right(curr, guard);
                 prev = new_prev;
                 curr = new_prev;

@@ -30,10 +30,10 @@ use crossbeam_epoch::{self as epoch, Guard, Shared};
 
 use cset::OpKind;
 
-use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, FLAG, MARK, THREAD};
+use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, CLAIMED, FLAG, MARK, THREAD};
 use crate::node::Node;
-use crate::trace_hooks::trace_ev;
-use crate::tree::ord::{CAS, CAS_ERR, LOAD, STORE};
+use crate::trace_hooks::{dst_point, trace_ev, SpinBound};
+use crate::tree::ord::{CAS, CAS_ERR, LOAD};
 use crate::tree::LfBst;
 use crate::value::MapValue;
 
@@ -86,7 +86,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         self.note_op(OpKind::Remove);
         let mut prev = self.root1();
         let mut curr = self.root0();
+        let mut spin = SpinBound::new("remove_node_with");
         loop {
+            spin.tick();
+            dst_point!();
             let loc = self.locate_order_from(prev, curr, key, self.eager_help(), guard);
             let link = loc.link;
             let victim = link.with_tag(0);
@@ -99,6 +102,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 
             if is_clean(link) {
                 // Step I: try to flag the order-link.
+                dst_point!();
                 match order_ref.child[loc.dir].compare_exchange(
                     victim.with_tag(THREAD),
                     victim.with_tag(THREAD | FLAG),
@@ -111,7 +115,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                             self.stats.record_cas(true);
                         }
                         trace_ev!(FlagOrder, order, victim);
-                        match self.clean_flag_threaded(order, loc.dir, victim, guard) {
+                        match self.clean_flag_threaded(order, loc.dir, victim, true, guard) {
                             FinishOutcome::Done => {
                                 self.note_removal();
                                 return Some(victim);
@@ -153,7 +157,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 // owner's).
                 self.note_help();
                 trace_ev!(HelpForeignFlag, order, victim);
-                let _ = self.clean_flag_threaded(order, loc.dir, victim, guard);
+                let _ = self.clean_flag_threaded(order, loc.dir, victim, false, guard);
                 return None;
             }
             if same_node(observed, victim) && is_mark(observed) {
@@ -189,12 +193,27 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// flagged (and threaded) at `victim`: performs steps II and III and then
     /// the category-specific completion.
     ///
+    /// `claimant` is `true` only for the one caller that flagged the order
+    /// link itself and intends to report the removal as its own success (the
+    /// owner path in [`remove_node_with`]).  Helpers pass `false`: they drive the
+    /// protocol but never compete for success attribution.  An owner that
+    /// reaches a success exit must additionally win the once-ever claim bit
+    /// on the victim's `prelink` word ([`try_claim_removal`]) — without it, a
+    /// category-1 flag can recur bit-identically after a shift-and-drain of
+    /// the victim and two owners of *different* removal epochs would each see
+    /// "marked under my flag" and both report success for a single key
+    /// presence (DESIGN.md §7, bug 7).
+    ///
     /// Paper: `CleanFlag` with a threaded link (lines 72–88).
+    ///
+    /// [`remove_node_with`]: Self::remove_node_with
+    /// [`try_claim_removal`]: Self::try_claim_removal
     pub(crate) fn clean_flag_threaded<'g>(
         &self,
         order: Shared<'g, Node<K, V>>,
         dir: usize,
         victim: Shared<'g, Node<K, V>>,
+        claimant: bool,
         guard: &'g Guard,
     ) -> FinishOutcome {
         let victim_ref = unsafe { victim.deref() };
@@ -212,15 +231,37 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         // this removal counted that mark as its own, both removals would
         // report success for a single key presence.  So for `dir == 0` a mark
         // only counts while the flag is still in place.
+        let mut spin = SpinBound::new("clean_flag_threaded");
         loop {
+            spin.tick();
+            dst_point!();
             let r = victim_ref.child[1].load(LOAD, guard);
             if is_mark(r) {
                 if dir == 1 {
+                    if claimant && !self.try_claim_removal(victim_ref, guard) {
+                        self.clean_mark_right(victim, guard);
+                        trace_ev!(ClaimLost, order, victim);
+                        return FinishOutcome::Invalidated;
+                    }
                     break;
                 }
                 let ol = order_ref.child[dir].load(LOAD, guard);
                 if same_node(ol, victim) && is_flag(ol) && is_thread(ol) {
-                    // Marked under our still-standing flag: our logical point.
+                    // Marked under a standing flag that is bit-identical to
+                    // ours.  For an owner that is *almost always* proof the
+                    // logical point is ours — but a category-1 flag is
+                    // self-referential (`THREAD|FLAG → victim` on the victim's
+                    // own left link), so after a shift consumes our flag and
+                    // the inherited left subtree drains, a second removal of
+                    // the same key re-flags with the very same word and this
+                    // check cannot tell the two epochs apart.  The once-ever
+                    // claim bit can: whichever owner sets it first owns the
+                    // (single) success.
+                    if claimant && !self.try_claim_removal(victim_ref, guard) {
+                        self.clean_mark_right(victim, guard);
+                        trace_ev!(ClaimLost, order, victim);
+                        return FinishOutcome::Invalidated;
+                    }
                     break;
                 }
                 // Our flag was consumed by a shift and the mark belongs to a
@@ -236,7 +277,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 //    has flagged this parent link: help it.
                 self.note_help();
                 if is_thread(r) {
-                    let _ = self.clean_flag_threaded(victim, 1, r.with_tag(0), guard);
+                    let _ = self.clean_flag_threaded(victim, 1, r.with_tag(0), false, guard);
                 } else {
                     self.help_node(r.with_tag(0), guard);
                 }
@@ -255,6 +296,11 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     // whoever performed the swing.
                     let r2 = victim_ref.child[1].load(LOAD, guard);
                     if is_mark(r2) {
+                        if claimant && !self.try_claim_removal(victim_ref, guard) {
+                            self.clean_mark_right(victim, guard);
+                            trace_ev!(ClaimLost, order, victim);
+                            return FinishOutcome::Invalidated;
+                        }
                         break;
                     }
                 }
@@ -264,12 +310,35 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 trace_ev!(FlagInvalidated, order, victim);
                 return FinishOutcome::Invalidated;
             }
-            // Step II: record the order node for later helpers (validated hint).
+            // Step II: record the order node for later helpers (validated
+            // hint).  This must be a CAS on the value read *after* the flag
+            // re-validation above, not a blind store: a thread can pass the
+            // validation, get descheduled for a whole removal epoch, and wake
+            // to find its flag consumed and the victim shifted into a new
+            // category — a blind store would then clobber the live removal's
+            // hint with a stale order node (PR 7, found by `chain-shift`: the
+            // poisoned hint made `finish_unlink` install the victim as its own
+            // replacement, which both rolled the step-V flag back off the
+            // parent link and retired the still-linked victim).  With a CAS,
+            // any late write either expects a value that predates the live
+            // removal's (it fails) or writes the same order node (harmless);
+            // a stale write that does land pre-III is cured here by the thread
+            // that goes on to perform step III, before the hint is ever used.
             let pre = victim_ref.prelink.load(LOAD, guard);
             if !same_node(pre, order) {
-                victim_ref.prelink.store(order.with_tag(0), STORE);
+                dst_point!();
+                // Preserve the claim bit: the hint CAS must never erase a
+                // success claim already recorded on this word.
+                let _ = victim_ref.prelink.compare_exchange(
+                    pre,
+                    order.with_tag(pre.tag() & CLAIMED),
+                    CAS,
+                    CAS_ERR,
+                    guard,
+                );
             }
             // Step III: mark the right link (the logical removal point).
+            dst_point!();
             match victim_ref.child[1].compare_exchange(
                 r,
                 r.with_tag(r.tag() | MARK),
@@ -282,6 +351,15 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                         self.stats.record_cas(true);
                     }
                     trace_ev!(MarkRight, victim, order);
+                    // Winning the mark CAS does not by itself win the success:
+                    // a stale owner of an earlier, bit-identical category-1
+                    // flag epoch may concurrently observe this mark under
+                    // "its" flag and race us for the claim.
+                    if claimant && !self.try_claim_removal(victim_ref, guard) {
+                        self.clean_mark_right(victim, guard);
+                        trace_ev!(ClaimLost, order, victim);
+                        return FinishOutcome::Invalidated;
+                    }
                     break;
                 }
                 Err(_) => {
@@ -295,20 +373,68 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         FinishOutcome::Done
     }
 
+    /// Attempts to claim the success of `victim`'s logical removal by setting
+    /// the once-ever [`CLAIMED`] bit on its `prelink` word.  Returns `true`
+    /// iff this call's CAS set the bit (i.e. this owner gets to report the
+    /// removal); `false` if some other owner already holds the claim.
+    ///
+    /// Soundness rests on two lifetime facts: a node's right link is marked at
+    /// most once (marked nodes only ever retire, never revive — a reinserted
+    /// key gets a fresh node), so there is exactly one logical removal per
+    /// node; and the bit is only ever set, never cleared (the step-II hint CAS
+    /// preserves it), so the CAS here arbitrates exactly one winner.  Owners
+    /// reach this point only after passing the mark/flag evidence checks in
+    /// [`clean_flag_threaded`], and every marked node's standing category-1
+    /// flag (if any) survives until retirement, so the rightful owner always
+    /// gets a chance to claim: at most one `true` per node, and at least one
+    /// among the owners that pass those checks.
+    ///
+    /// [`clean_flag_threaded`]: Self::clean_flag_threaded
+    fn try_claim_removal(&self, victim_ref: &Node<K, V>, guard: &Guard) -> bool {
+        let mut spin = SpinBound::new("try_claim_removal");
+        loop {
+            spin.tick();
+            dst_point!();
+            let pre = victim_ref.prelink.load(LOAD, guard);
+            if pre.tag() & CLAIMED != 0 {
+                return false;
+            }
+            dst_point!();
+            if victim_ref
+                .prelink
+                .compare_exchange(pre, pre.with_tag(pre.tag() | CLAIMED), CAS, CAS_ERR, guard)
+                .is_ok()
+            {
+                return true;
+            }
+            // Lost to a concurrent claim or a concurrent hint CAS: re-read and
+            // decide again.
+        }
+    }
+
     /// Completes the removal of a node whose right link is marked.
     ///
     /// Paper: `CleanMark` with `markDir == 1` (lines 122–140) plus the final
     /// pointer swings of `CleanFlag`/`CleanMark`.
     pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         let victim_ref = unsafe { victim.deref() };
+        let mut spin = SpinBound::new("clean_mark_right");
         loop {
+            spin.tick();
+            dst_point!();
             let left = victim_ref.child[0].load(LOAD, guard);
             let order = self.order_node_of(victim, guard);
             if order.is_null() {
-                // No threaded link points at the victim any more: the order-link
-                // swing of this removal has already happened, so the remaining
-                // (straight-line) swings are being driven by the thread that
-                // performed it; there is nothing left for a late helper to do.
+                // No threaded link points at the victim any more: the
+                // order-link swing of this removal has already happened.  The
+                // remaining unlinking (the parent swing) may still be pending
+                // if the thread that performed the order-link swing stalled
+                // between the two — so drive it to completion here instead of
+                // assuming that thread is still running (PR 7: the old
+                // early-return here let a single descheduled thread wedge
+                // every helper in a `flag_parent` -> `help_node` spin and let
+                // owners report success with the victim still linked).
+                self.finish_unlink(victim, guard);
                 trace_ev!(CleanMarkEscape, victim, victim);
                 return;
             }
@@ -366,7 +492,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             }
             // Walk the right spine of the left subtree.
             let mut n = left.with_tag(0);
+            let mut spin = SpinBound::new("order_node_of");
             loop {
+                spin.tick();
                 if self.is_order_node_of(n, victim, guard) {
                     return n;
                 }
@@ -423,7 +551,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             // DESIGN.md deviation 7: freeze the victim's left link so that a
             // reader holding a stale backlink to the (soon physically removed)
             // victim can recognise it as dead instead of flagging its links.
+            let mut spin = SpinBound::new("remove_cat12");
             loop {
+                spin.tick();
+                dst_point!();
                 let vl = victim_ref.child[0].load(LOAD, guard);
                 if is_mark(vl) {
                     break;
@@ -439,6 +570,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     self.help_node(order, guard);
                     continue;
                 }
+                dst_point!();
                 if victim_ref.child[0]
                     .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                     .is_ok()
@@ -479,6 +611,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 );
             }
             let pl = parent_ref.child[pdir].load(LOAD, guard);
+            dst_point!();
             if same_node(pl, victim)
                 && is_flag(pl)
                 && parent_ref.child[pdir]
@@ -501,6 +634,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 );
             }
             let orl = order_ref.child[1].load(LOAD, guard);
+            dst_point!();
             if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
                 let _ = order_ref.child[1].compare_exchange(orl, new_right, CAS, CAS_ERR, guard);
             }
@@ -512,6 +646,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 guard,
             );
             let pl = parent_ref.child[pdir].load(LOAD, guard);
+            dst_point!();
             if same_node(pl, victim)
                 && is_flag(pl)
                 && parent_ref.child[pdir]
@@ -537,7 +672,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         let order_ref = unsafe { order.deref() };
 
         // ---- Step IV: flag the parent link of the order node. -----------------
+        let mut spin = SpinBound::new("remove_cat3/step-iv");
         loop {
+            spin.tick();
+            dst_point!();
             // Category re-check: if the order node became the victim's left
             // child, the victim is now category 2.
             let vl = victim_ref.child[0].load(LOAD, guard);
@@ -556,10 +694,38 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 break;
             }
             // Find the order node's current parent (backlink fast path with a
-            // traversal fallback).  Reaching this point means step VII has not
-            // happened yet, so the splice (s1) has not either and the order
-            // node is still reachable; a `None` can only be a transient miss.
+            // traversal fallback).
             let Some((opar, odir)) = self.find_parent_of(order, guard) else {
+                // A live node with no unthreaded parent is not a transient
+                // miss: it is the mid-shift state — s1 already spliced the
+                // order node out of its old position (consuming the step-IV
+                // flag), and only s3/s4 can still be pending.  Retrying the
+                // parent search here spun forever (PR 7, found by
+                // `cat3-three-way`): nothing downstream would ever restore a
+                // parent, because finishing the shift is *this* removal's own
+                // job.  Skip ahead to the (individually guarded, idempotent)
+                // swings instead.
+                // First distinguish "mid-shift" from "this removal finished
+                // long ago".  The order node's right link holds
+                // `THREAD|FLAG→victim` continuously from step I until s3, and
+                // the value can never recur (the victim is retired and never
+                // re-linked), so its absence is an instance-unique witness
+                // that a helper already drove the removal past the swings —
+                // possibly so far past that the shifted order node has since
+                // been removed *itself*, in which case both searches below
+                // would miss forever (PR 7, found by the depth-3 hunt on
+                // `cat3-three-way`).
+                let orl = order_ref.child[1].load(LOAD, guard);
+                if !(same_node(orl, victim) && is_flag(orl) && is_thread(orl)) {
+                    break;
+                }
+                let okey = order_ref
+                    .key
+                    .as_key()
+                    .expect("sentinel nodes are never order nodes of a category-3 removal");
+                if self.find_exact(okey, order, guard) {
+                    break;
+                }
                 continue;
             };
             let opar_ref = unsafe { opar.deref() };
@@ -585,6 +751,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 Ok(_) => {
                     // ABA mitigation (DESIGN.md): confirm the removal is still
                     // pre-swing; if not, our flag is spurious — roll it back.
+                    dst_point!();
                     let live = {
                         let orl = order_ref.child[1].load(LOAD, guard);
                         same_node(orl, victim) && is_flag(orl) && is_thread(orl)
@@ -619,7 +786,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         let parent_ref = unsafe { parent.deref() };
 
         // ---- Step VI: mark the victim's left link. -----------------------------
+        let mut spin = SpinBound::new("remove_cat3/step-vii");
         loop {
+            spin.tick();
+            dst_point!();
             let vl = victim_ref.child[0].load(LOAD, guard);
             if is_mark(vl) {
                 break;
@@ -637,6 +807,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 self.help_child_of_flagged_parent(vl.with_tag(0), guard);
                 continue;
             }
+            dst_point!();
             if victim_ref.child[0]
                 .compare_exchange(vl, vl.with_tag(vl.tag() | MARK), CAS, CAS_ERR, guard)
                 .is_ok()
@@ -648,7 +819,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 
         // ---- Step VII: mark the order node's left link. ------------------------
         let vl_frozen = victim_ref.child[0].load(LOAD, guard);
+        let mut spin = SpinBound::new("remove_cat3/swing");
         loop {
+            spin.tick();
+            dst_point!();
             let ocl = order_ref.child[0].load(LOAD, guard);
             if is_mark(ocl) {
                 break;
@@ -667,6 +841,41 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             // A flagged *threaded* left link (the order node's own pending
             // removal, blocked behind ours) is marked in place, preserving the
             // flag (Lemma 8 allows flag+mark on threaded left links).
+            dst_point!();
+            // The mark is only ever needed while the step-IV flag stands: s1
+            // both requires the mark and consumes that flag, and s2 (the only
+            // step that clears the mark) acts on the mark s1 witnessed.  If
+            // the order node's parent link is no longer a flagged unthreaded
+            // link at it, the splice already happened and a late mark here
+            // would tag a link that belongs to the node's post-shift life
+            // (PR 7: after the splice, a *new* removal can legitimately have
+            // rewritten `order.child[0]`, and re-marking it would let s2
+            // resurrect a retired subtree).
+            let iv_standing = match self.find_parent_of(order, guard) {
+                Some((op2, od2)) => {
+                    let ol2 = unsafe { op2.deref() }.child[od2].load(LOAD, guard);
+                    same_node(ol2, order) && is_flag(ol2) && !is_thread(ol2)
+                }
+                None => false,
+            };
+            if !iv_standing {
+                break;
+            }
+            // Stale-straggler guard (PR 7): unlike every other removal CAS,
+            // step VII's expected value lives on a node that *stays live* (the
+            // order node), so the value can legitimately recur after a helper
+            // completes this removal — a descheduled owner waking up here
+            // would then mark a bystander's link.  The parent link is a
+            // one-way latch: it holds FLAG→victim continuously from step V
+            // until s4 and can never hold that value again (the victim is
+            // never re-linked and the guard pins its address), so observing
+            // it proves `ocl` is a pending-window value.
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
+            if !(same_node(pl, victim) && is_flag(pl) && !is_thread(pl)) {
+                // s4 already happened: a helper finished this removal while we
+                // were descheduled.  Nothing here is ours to touch any more.
+                return Cat3Outcome::Done;
+            }
             if order_ref.child[0]
                 .compare_exchange(ocl, ocl.with_tag(ocl.tag() | MARK), CAS, CAS_ERR, guard)
                 .is_ok()
@@ -687,6 +896,21 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         // s1: splice the order node out of its old position (its parent adopts
         // the order node's left link value); the left child's backlink is fixed
         // first.
+        dst_point!();
+        // Pending latch (PR 7): `FLAG→order` on a parent link is *not*
+        // instance-unique — after this removal completes, the shifted (live)
+        // order node can be the target of a step-V flag of its own removal,
+        // sitting on a link its re-read backlink points at.  A descheduled
+        // thread waking up here would mistake that flag for its own step-IV
+        // flag and splice a live node out of the tree.  The victim's parent
+        // link, by contrast, holds FLAG→victim exactly until s4 and never
+        // again; if it no longer does, every swing below belongs to the past.
+        {
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
+            if !(same_node(pl, victim) && is_flag(pl) && !is_thread(pl)) {
+                return Cat3Outcome::Done;
+            }
+        }
         let opar = order_ref.backlink.load(LOAD, guard).with_tag(0);
         if !opar.is_null() {
             let opar_ref = unsafe { opar.deref() };
@@ -706,6 +930,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                         );
                     }
                     let new_val = ofl.with_tag(if is_thread(ofl) { THREAD } else { 0 });
+                    dst_point!();
                     let _ = opar_ref.child[odir].compare_exchange(ol, new_val, CAS, CAS_ERR, guard);
                 }
             }
@@ -720,6 +945,15 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             guard,
         );
         let ocl = order_ref.child[0].load(LOAD, guard);
+        dst_point!();
+        // Same stale-straggler guard as step VII: a marked left link on the
+        // (live) order node can recur via a later removal that elects it as
+        // order node again, so prove `ocl` belongs to *this* removal's pending
+        // window before swinging it to the victim's left subtree.
+        let pl = parent_ref.child[pdir].load(LOAD, guard);
+        if !(same_node(pl, victim) && is_flag(pl) && !is_thread(pl)) {
+            return Cat3Outcome::Done;
+        }
         if is_mark(ocl) {
             let _ =
                 order_ref.child[0].compare_exchange(ocl, lstar.with_tag(0), CAS, CAS_ERR, guard);
@@ -736,6 +970,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             );
         }
         let orl = order_ref.child[1].load(LOAD, guard);
+        dst_point!();
         if same_node(orl, victim) && is_flag(orl) && is_thread(orl) {
             let new_right = rtarget.with_tag(if rt { THREAD } else { 0 });
             let _ = order_ref.child[1].compare_exchange(orl, new_right, CAS, CAS_ERR, guard);
@@ -752,6 +987,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             );
         }
         let pl = parent_ref.child[pdir].load(LOAD, guard);
+        dst_point!();
         if same_node(pl, victim)
             && is_flag(pl)
             && parent_ref.child[pdir]
@@ -763,6 +999,133 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         Cat3Outcome::Done
     }
 
+    /// Completes the physical unlinking of a marked victim whose order link
+    /// has already been swung (the `order_node_of` escape): if the victim's
+    /// parent link is still flagged at it, perform the pending parent swing
+    /// and retire the victim.
+    ///
+    /// Safety of the re-derived swing value: once the victim's right link is
+    /// marked (step III), its left link and `prelink` *target* are frozen for
+    /// the rest of the removal (the prelink's `CLAIMED` tag bit may still be
+    /// set by the success-claim CAS, but readers here strip tags) — every
+    /// step-II writer stored the same order node while
+    /// the order-link flag stood, and no new threaded link into the victim can
+    /// form (inserts refuse tagged links).  So a marked left link means the
+    /// order node (`prelink`) replaces the victim (categories 2/3, the same
+    /// value `remove_cat12`/`remove_cat3` install), and a flagged self-thread
+    /// means category 1 (the parent adopts the victim's frozen right-link
+    /// value).  The swing itself is the usual CAS on the flagged parent link,
+    /// so it still happens exactly once no matter how many threads race here
+    /// with the stalled swinger — and only the winner retires.
+    fn finish_unlink<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        let victim_ref = unsafe { victim.deref() };
+        let mut spin = SpinBound::new("finish_unlink");
+        loop {
+            spin.tick();
+            dst_point!();
+            let r = victim_ref.child[1].load(LOAD, guard);
+            if !is_mark(r) {
+                // Not logically removed: nothing pending.
+                return;
+            }
+            let vl = victim_ref.child[0].load(LOAD, guard);
+            let order = if is_thread(vl) {
+                if !is_flag(vl) {
+                    // A clean self-thread: no removal owns this node.
+                    return;
+                }
+                // Category 1: no replacement node, the parent adopts the
+                // victim's right-link value directly.
+                Shared::null()
+            } else {
+                if !is_mark(vl) {
+                    // The left link is not frozen yet (pre-VI): the driving
+                    // thread is still mid-protocol and the order link must
+                    // still exist; leave this to the normal path.
+                    return;
+                }
+                let o = victim_ref.prelink.load(LOAD, guard).with_tag(0);
+                if o.is_null() || self.is_order_node_of(o, victim, guard) {
+                    // The order link still stands: the normal (re-derived)
+                    // completion path owns this removal.
+                    return;
+                }
+                // A category-2/3 order node is a strict predecessor, never the
+                // victim itself; the step-II CAS discipline keeps the hint
+                // exact once the right link is marked.  Guard anyway: swinging
+                // the parent link to the victim itself would silently undo
+                // step V and retire a node that is still linked.
+                if same_node(o, victim) {
+                    return;
+                }
+                o
+            };
+
+            let Some((parent, pdir)) = self.find_parent_of(victim, guard) else {
+                // Confirm the victim is really unlinked (same guard as
+                // `flag_parent`): a transient miss must not abandon the swing.
+                let key = unsafe { victim.deref() }
+                    .key
+                    .as_key()
+                    .expect("sentinel nodes are never removed");
+                if self.find_exact(key, victim, guard) {
+                    self.help_shift_path(key, guard);
+                    continue;
+                }
+                return;
+            };
+            let parent_ref = unsafe { parent.deref() };
+            let pl = parent_ref.child[pdir].load(LOAD, guard);
+            if !same_node(pl, victim) || is_thread(pl) {
+                // Raced with the swing (or a stale parent): re-derive.
+                continue;
+            }
+            if is_mark(pl) {
+                // The parent is itself logically removed; completing it
+                // rewires the victim's incoming link.
+                self.note_help();
+                self.help_node(parent, guard);
+                continue;
+            }
+            if !is_flag(pl) {
+                // Step V has not happened: the order link must still stand
+                // (the swings only start after V), so the state we derived is
+                // stale; re-derive.
+                continue;
+            }
+
+            let new_val = if order.is_null() {
+                let vr = victim_ref.child[1].load(LOAD, guard);
+                let rtarget = vr.with_tag(0);
+                if !is_thread(vr) {
+                    let _ = unsafe { rtarget.deref() }.backlink.compare_exchange(
+                        victim.with_tag(0),
+                        parent.with_tag(0),
+                        CAS,
+                        CAS_ERR,
+                        guard,
+                    );
+                }
+                rtarget.with_tag(if is_thread(vr) { THREAD } else { 0 })
+            } else {
+                let _ = unsafe { order.deref() }.backlink.compare_exchange(
+                    victim.with_tag(0),
+                    parent.with_tag(0),
+                    CAS,
+                    CAS_ERR,
+                    guard,
+                );
+                order.with_tag(0)
+            };
+            dst_point!();
+            if parent_ref.child[pdir].compare_exchange(pl, new_val, CAS, CAS_ERR, guard).is_ok() {
+                trace_ev!(FinishUnlink, victim, parent);
+                self.retire(victim, guard);
+            }
+            return;
+        }
+    }
+
     /// Step V (and the category 1/2 flag): flags the link from the victim's
     /// current parent to the victim.
     ///
@@ -772,7 +1135,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         victim: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> Option<(Shared<'g, Node<K, V>>, usize)> {
+        let mut spin = SpinBound::new("flag_parent");
         loop {
+            spin.tick();
+            dst_point!();
             let Some((parent, pdir)) = self.find_parent_of(victim, guard) else {
                 // The descent did not find the victim; confirm with a key
                 // search before concluding that it has been unlinked (a
@@ -782,6 +1148,13 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     .as_key()
                     .expect("sentinel nodes are never removed");
                 if self.find_exact(key, victim, guard) {
+                    // Reachable but with no unthreaded parent: the victim is
+                    // an order node mid-shift, between the s1 splice and the
+                    // s4 parent swing of the removal it replaces.  Retrying
+                    // alone would spin until the shifting thread resumes
+                    // (PR 7); the pending s4's flagged link lies on the
+                    // victim's own search path, so help it forward first.
+                    self.help_shift_path(key, guard);
                     continue;
                 }
                 return None;
@@ -802,6 +1175,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 self.help_node(parent, guard);
                 continue;
             }
+            dst_point!();
             match parent_ref.child[pdir].compare_exchange(
                 pl,
                 pl.with_tag(pl.tag() | FLAG),
@@ -847,7 +1221,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         // Two passes guard against a transient miss caused by an in-flight swing.
         for _ in 0..2 {
             let mut curr = self.root1();
+            let mut spin = SpinBound::new("find_parent_of");
             loop {
+                spin.tick();
                 let curr_ref = unsafe { curr.deref() };
                 let dir = match curr_ref.key.cmp(&node_ref.key) {
                     std::cmp::Ordering::Greater => 0,
@@ -868,6 +1244,51 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             }
         }
         None
+    }
+
+    /// Drives forward whatever pending removal obstructs the search path from
+    /// the root toward `key`.
+    ///
+    /// Used when a node is reachable by key search yet has no unthreaded
+    /// parent: that is the mid-shift window of a category-3 removal — the
+    /// order node has been rewired as the replacement (s1–s3 done) but the
+    /// final parent swing (s4) is still pending, so the replacement hangs off
+    /// a flagged parent link somewhere on its own search path.  One descent
+    /// that helps the first tagged link it meets completes that swing (via
+    /// `clean_mark_right` → `finish_unlink` if the owner is descheduled),
+    /// after which the caller's `find_parent_of` retry can succeed.
+    fn help_shift_path(&self, key: &K, guard: &Guard) {
+        let mut curr = self.root1();
+        let mut spin = SpinBound::new("help_shift_path");
+        loop {
+            spin.tick();
+            let curr_ref = unsafe { curr.deref() };
+            let dir = match self.cmp_node_key(curr, key) {
+                std::cmp::Ordering::Greater => 0,
+                std::cmp::Ordering::Less => 1,
+                std::cmp::Ordering::Equal => {
+                    // A node with the key itself sits on the path; finish
+                    // whatever protocol state its links reveal.
+                    self.help_node(curr, guard);
+                    return;
+                }
+            };
+            let link = curr_ref.child[dir].load(LOAD, guard);
+            if is_thread(link) {
+                return;
+            }
+            if is_flag(link) {
+                // A pending parent swing: its target is a victim whose
+                // removal stalled after step V.
+                self.help_child_of_flagged_parent(link.with_tag(0), guard);
+                return;
+            }
+            if is_mark(link) {
+                self.help_node(curr, guard);
+                return;
+            }
+            curr = link.with_tag(0);
+        }
     }
 
     /// Helps the removal of `child`, which was discovered through a flagged
@@ -894,7 +1315,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         if is_flag(r) {
             if is_thread(r) {
                 // The node is the order node of its successor's removal.
-                let _ = self.clean_flag_threaded(node, 1, r.with_tag(0), guard);
+                let _ = self.clean_flag_threaded(node, 1, r.with_tag(0), false, guard);
             } else {
                 // The node's right child is under removal.
                 self.help_child_of_flagged_parent(r.with_tag(0), guard);
@@ -906,7 +1327,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             if is_thread(l) {
                 // The node's own order link is flagged: it is a category-1
                 // victim whose removal has not yet marked the right link.
-                let _ = self.clean_flag_threaded(node, 0, node, guard);
+                let _ = self.clean_flag_threaded(node, 0, node, false, guard);
             } else {
                 // The node's left child is under removal.
                 self.help_child_of_flagged_parent(l.with_tag(0), guard);

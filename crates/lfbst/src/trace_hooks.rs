@@ -1,29 +1,112 @@
-//! The `trace_ev!` hook macro bridging the remove protocol to the
-//! flight recorder in `obs::trace` (feature `trace`, default off).
+//! The `trace_ev!` / `dst_point!` hook macros bridging the remove protocol to
+//! the flight recorder in `obs::trace` (feature `trace`, default off) and to
+//! the deterministic scheduler in `dst` (feature `dst`, default off).
 //!
 //! Call shape: `trace_ev!(StepName, ptr_a, ptr_b)` where the pointers are
 //! `Shared<Node>` values — the macro lowers them to raw addresses so a dump
-//! can correlate different threads' views of the same node.
+//! can correlate different threads' views of the same node.  Every `trace_ev!`
+//! site is also a `dst_point!` site: the flight-recorder events were placed at
+//! exactly the protocol's decision points, which are exactly where a
+//! model-checking scheduler must be allowed to preempt.  A few extra bare
+//! `dst_point!()` sites cover load→CAS windows that the recorder does not log
+//! (it records outcomes; the scheduler needs the gap *before* the CAS).
 //!
-//! With the feature off the macro expands to an empty block that does not
-//! evaluate its arguments, so instrumented protocol code is byte-identical to
-//! an uninstrumented build (checked by `obs`'s zero-cost assertion test and
+//! With both features off the macros expand to empty blocks that do not
+//! evaluate their arguments, so instrumented protocol code is byte-identical
+//! to an uninstrumented build (checked by `obs`'s zero-cost assertion test and
 //! the trace-off CI job).
+
+/// A potential context switch for the deterministic scheduler.  No-op unless
+/// the `dst` feature is on *and* the calling thread is registered with a dst
+/// run session (so dst-feature builds still run normal tests unperturbed).
+#[cfg(feature = "dst")]
+macro_rules! dst_point {
+    () => {
+        dst::yield_point()
+    };
+}
+
+#[cfg(not(feature = "dst"))]
+macro_rules! dst_point {
+    () => {{}};
+}
 
 #[cfg(feature = "trace")]
 macro_rules! trace_ev {
-    ($step:ident, $a:expr, $b:expr) => {
+    ($step:ident, $a:expr, $b:expr) => {{
+        dst_point!();
         obs::trace::record(
             obs::trace::TraceStep::$step,
             $a.with_tag(0).as_raw() as usize,
             $b.with_tag(0).as_raw() as usize,
         )
-    };
+    }};
 }
 
 #[cfg(not(feature = "trace"))]
 macro_rules! trace_ev {
-    ($step:ident, $a:expr, $b:expr) => {{}};
+    ($step:ident, $a:expr, $b:expr) => {{
+        // Arguments are never evaluated without `trace`; only the (possibly
+        // empty) scheduler hook remains.
+        dst_point!();
+    }};
 }
 
+pub(crate) use dst_point;
 pub(crate) use trace_ev;
+
+/// Forensic iteration bound for the protocol's retry loops, compiled in only
+/// for instrumented builds (`trace`, `dst`, or debug).  A loop that exceeds
+/// the bound is a suspected livelock: panic with the site name instead of
+/// spinning silently.  Under native stress runs the harness catches the
+/// worker panic and dumps the seed plus the flight-recorder rings; under
+/// `dst` the panic becomes a `Panic` verdict tied to a replayable schedule
+/// id.  This exists because a wedged loop with no trace event and no yield
+/// point is otherwise invisible to both hunters: the flight recorder shows
+/// only the *last* events before the spin began, and the dst step budget
+/// counts yields, which a yield-free spin never performs.
+#[cfg(any(feature = "trace", feature = "dst", debug_assertions))]
+pub(crate) struct SpinBound {
+    site: &'static str,
+    left: u32,
+}
+
+#[cfg(any(feature = "trace", feature = "dst", debug_assertions))]
+impl SpinBound {
+    /// Generous by orders of magnitude: protocol loops retry a handful of
+    /// times per contended operation, and the trees under test are small.
+    const BOUND: u32 = 1 << 22;
+
+    #[inline]
+    pub(crate) fn new(site: &'static str) -> Self {
+        SpinBound { site, left: Self::BOUND }
+    }
+
+    /// Call once per loop iteration.
+    #[inline]
+    pub(crate) fn tick(&mut self) {
+        self.left -= 1;
+        if self.left == 0 {
+            panic!(
+                "suspected livelock: `{}` retried {} times without completing",
+                self.site,
+                Self::BOUND
+            );
+        }
+    }
+}
+
+/// Zero-cost stand-in for uninstrumented builds.
+#[cfg(not(any(feature = "trace", feature = "dst", debug_assertions)))]
+pub(crate) struct SpinBound;
+
+#[cfg(not(any(feature = "trace", feature = "dst", debug_assertions)))]
+impl SpinBound {
+    #[inline(always)]
+    pub(crate) fn new(_site: &'static str) -> Self {
+        SpinBound
+    }
+
+    #[inline(always)]
+    pub(crate) fn tick(&mut self) {}
+}

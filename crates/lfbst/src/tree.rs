@@ -15,6 +15,7 @@ use cset::{
 use crate::config::{Config, HelpPolicy, RestartPolicy};
 use crate::link::{is_clean, is_flag, is_mark, is_thread, same_node, THREAD};
 use crate::node::Node;
+use crate::trace_hooks::{dst_point, SpinBound};
 use crate::value::{MapValue, ValueCell};
 
 /// Per-site memory orderings, derived from the protocol's happens-before
@@ -41,9 +42,6 @@ pub(crate) mod ord {
     /// Traversal and protocol-state loads: pairs with `CAS` to make the
     /// pointed-to node (and the protocol steps preceding the store) visible.
     pub(crate) const LOAD: Ordering = Ordering::Acquire;
-    /// Stores of cross-thread hints on shared nodes (`prelink`): release the
-    /// hint value; readers validate it after an acquiring load.
-    pub(crate) const STORE: Ordering = Ordering::Release;
     /// Success ordering of every protocol CAS (inject, flag, mark, backlink
     /// fix, pointer swing): releases the steps performed so far and acquires
     /// the state being taken over.
@@ -322,7 +320,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 
         let mut prev = self.root1();
         let mut curr = self.root0();
+        let mut spin = SpinBound::new("insert_core");
         loop {
+            spin.tick();
+            dst_point!();
             let loc = self.locate_from(prev, curr, key_ref, self.eager_help(), guard);
             if loc.dir == 2 {
                 // Key already present: dismantle the unpublished node and hand
@@ -346,6 +347,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                 // (line 171) and point its backlink at the prospective parent.
                 new_ref.child[1].store(link.with_tag(THREAD), INIT);
                 new_ref.backlink.store(curr.with_tag(0), INIT);
+                dst_point!();
                 match curr_ref.child[loc.dir].compare_exchange(
                     link.with_tag(THREAD),
                     new.with_tag(0),
@@ -382,7 +384,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
                     } else if is_thread(observed) {
                         // A flagged threaded link: its target is under removal.
                         let victim = observed.with_tag(0);
-                        let _ = self.clean_flag_threaded(curr, loc.dir, victim, guard);
+                        let _ = self.clean_flag_threaded(curr, loc.dir, victim, false, guard);
                     } else {
                         self.help_node(observed.with_tag(0), guard);
                     }
@@ -482,7 +484,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         self.note_op(OpKind::Insert);
         let mut key = key;
         let mut value = value;
+        let mut spin = SpinBound::new("upsert");
         loop {
+            spin.tick();
             let loc = self.locate_from(self.root1(), self.root0(), &key, self.eager_help(), guard);
             if loc.dir == 2 {
                 let node_ref = unsafe { loc.curr.deref() };
@@ -711,7 +715,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             return None;
         }
         let mut curr = top.with_tag(0);
+        let mut spin = SpinBound::new("rightmost");
         loop {
+            spin.tick();
             let right = unsafe { curr.deref() }.child[1].load(LOAD, guard);
             if is_thread(right) {
                 return Some(unsafe { curr.deref() });
@@ -734,7 +740,9 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         }
         // Leftmost node of the right subtree.
         let mut curr = right.with_tag(0);
+        let mut spin = SpinBound::new("in_order_successor");
         loop {
+            spin.tick();
             let left = unsafe { curr.deref() }.child[0].load(LOAD, guard);
             if is_thread(left) {
                 return curr;

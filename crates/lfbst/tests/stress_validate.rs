@@ -8,7 +8,8 @@
 //! failing seed, so the interleaving that produced the bug is part of the
 //! artifact instead of being lost with the process.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use lfbst::LfBst;
 use rand::rngs::StdRng;
@@ -29,7 +30,80 @@ fn flight_recorder_report() -> String {
     }
 }
 
+/// The dst schedule id when the failing code runs under the deterministic
+/// scheduler, so the exact interleaving can be replayed with `DST_SCHEDULE`;
+/// native-thread stress rounds report the xrand seed as the only replay
+/// handle.
+fn schedule_id_report() -> String {
+    match dst::current_schedule_id() {
+        Some(id) => format!("dst schedule: {id}"),
+        None => "dst schedule: none (native threads; replay from the seed)".to_string(),
+    }
+}
+
+/// Aborts the process with a diagnostic dump if a round exceeds its wall-clock
+/// bound (default 30 s, `STRESS_ROUND_TIMEOUT_SECS` to override).  The stall
+/// symptom this guards against is a wedged helper spinning inside the remove
+/// protocol: the workers never join, so without the watchdog the hunt hangs
+/// CI for its full job timeout and the interleaving is lost.  Abort — not
+/// panic — because the wedged workers cannot be unwound; the dump carries the
+/// seed and the flight-recorder rings, which are the replay artifact.
+///
+/// Disarmed on drop (including during a panic unwind, so an ordinary round
+/// failure propagates as itself rather than racing the watchdog).
+struct RoundWatchdog {
+    done: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RoundWatchdog {
+    fn arm(seed: u64, threads: usize, ops: usize, range: u64) -> Self {
+        let timeout = Duration::from_secs(
+            std::env::var("STRESS_ROUND_TIMEOUT_SECS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(30),
+        );
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&done);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*shared;
+            let deadline = Instant::now() + timeout;
+            let mut finished = lock.lock().expect("watchdog lock poisoned");
+            while !*finished {
+                let now = Instant::now();
+                if now >= deadline {
+                    eprintln!(
+                        "stress watchdog: seed {seed} ({threads} threads × {ops} ops × \
+                         range {range}) made no progress in {}s — aborting\n{}\n{}",
+                        timeout.as_secs(),
+                        schedule_id_report(),
+                        flight_recorder_report()
+                    );
+                    std::process::abort();
+                }
+                let (guard, _) =
+                    cv.wait_timeout(finished, deadline - now).expect("watchdog lock poisoned");
+                finished = guard;
+            }
+        });
+        RoundWatchdog { done, handle: Some(handle) }
+    }
+}
+
+impl Drop for RoundWatchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.done;
+        *lock.lock().expect("watchdog lock poisoned") = true;
+        cv.notify_one();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 fn one_round(seed: u64, threads: usize, ops: usize, range: u64) {
+    let _watchdog = RoundWatchdog::arm(seed, threads, ops, range);
     // Drop rings recorded by previous rounds' (now dead) threads so a dump
     // only shows the failing round.
     #[cfg(feature = "trace")]
@@ -68,18 +142,27 @@ fn one_round(seed: u64, threads: usize, ops: usize, range: u64) {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                panic!("seed {seed}: worker panicked: {msg}\n{}", flight_recorder_report());
+                panic!(
+                    "seed {seed}: worker panicked: {msg}\n{}\n{}",
+                    schedule_id_report(),
+                    flight_recorder_report()
+                );
             }
         }
     }
     let report = lfbst::validate::validate(&*tree).unwrap_or_else(|e| {
-        panic!("seed {seed}: validation failed: {e}\n{}", flight_recorder_report())
+        panic!(
+            "seed {seed}: validation failed: {e}\n{}\n{}",
+            schedule_id_report(),
+            flight_recorder_report()
+        )
     });
     if report.nodes as i64 != net_total || tree.len() as i64 != net_total {
         panic!(
-            "seed {seed}: nodes {} / len {} vs op accounting {net_total}\n{}",
+            "seed {seed}: nodes {} / len {} vs op accounting {net_total}\n{}\n{}",
             report.nodes,
             tree.len(),
+            schedule_id_report(),
             flight_recorder_report()
         );
     }
@@ -111,6 +194,23 @@ fn stress_many_rounds() {
 ///
 /// Tuned to stay in the low seconds: 32 rounds of 4 oversubscribed threads
 /// on a small key range, the shape that reproduced the known `SizeMismatch`.
+/// Seeds that produced quiescent `SizeMismatch` failures in pre-PR 7 hunts,
+/// pinned at the exact round shape that reproduced them (8 threads × 2 000
+/// ops × range 2^6 — the `stress_many_rounds` default).  They run on every
+/// `cargo test` so a reintroduced removal race trips the cheapest known
+/// reproducer first.  The PR 6 heap-corruption seed was not recorded; its
+/// symptom (a double retire) is covered deterministically by the ebr
+/// `retire-audit` feature and the dst model schedules instead.
+#[test]
+fn regression_seed_4568() {
+    one_round(4568, 8, 2_000, 1 << 6);
+}
+
+#[test]
+fn regression_seed_26468() {
+    one_round(26468, 8, 2_000, 1 << 6);
+}
+
 #[test]
 fn stress_bounded_smoke() {
     let base: u64 =

@@ -69,6 +69,13 @@ pub enum TraceStep {
     Retire = 12,
     /// `help_node` dispatched on an obstructing node.
     HelpNode = 13,
+    /// A helper completed the pending parent swing of a victim whose order
+    /// link was already gone (`finish_unlink`) and retired it.
+    FinishUnlink = 14,
+    /// An owner passed the logical-removal checks but lost the success claim
+    /// to another `remove` of the same key (the once-ever claim bit was
+    /// already set): it helps finish and restarts.
+    ClaimLost = 15,
 }
 
 impl TraceStep {
@@ -89,6 +96,8 @@ impl TraceStep {
             TraceStep::Cat3Reexamine => "cat3-reexamine",
             TraceStep::Retire => "retire",
             TraceStep::HelpNode => "help-node",
+            TraceStep::FinishUnlink => "finish-unlink",
+            TraceStep::ClaimLost => "claim-lost",
         }
     }
 
@@ -111,6 +120,8 @@ impl TraceStep {
             11 => TraceStep::Cat3Reexamine,
             12 => TraceStep::Retire,
             13 => TraceStep::HelpNode,
+            14 => TraceStep::FinishUnlink,
+            15 => TraceStep::ClaimLost,
             _ => return None,
         })
     }
