@@ -1,0 +1,169 @@
+//! Uniform heap-block layout for every reclaimable allocation.
+//!
+//! Interval-based reclamation needs to know when a node was *born*, not just
+//! when it was retired: a stalled reader's reservation `[lo, hi]` lets the
+//! collector free any node whose `[birth, retire]` interval misses it, and
+//! without the birth bound the scheme degenerates back to epochs.  The stamp
+//! has to live somewhere the collector can find it from a type-erased pointer,
+//! so every allocation that can flow through reclamation — [`Owned::new`],
+//! [`Atomic::new`], and the [`alloc_raw`] escape hatch for structure roots —
+//! uses one layout: a `repr(C)` block with a `u64` birth-era header followed
+//! by the value, with all public pointers aimed at the value field.
+//!
+//! The corollary is an invariant the rest of the workspace must respect:
+//! **a pointer that reaches `defer_destroy`, `into_owned`, or [`dealloc_raw`]
+//! must have come from one of the block-aware constructors.**  Mixing in a
+//! bare `Box::into_raw` pointer would make the header recovery walk off the
+//! front of the allocation.
+//!
+//! [`Owned::new`]: crate::Owned::new
+//! [`Atomic::new`]: crate::Atomic::new
+
+use std::mem;
+
+/// The heap layout behind every reclaimable pointer.  `repr(C)` pins the
+/// field order so the value offset below is a compile-time constant.
+#[repr(C)]
+struct Block<T> {
+    /// Era at allocation (see [`crate::ibr`]).  Constant after construction;
+    /// read by collectors strictly after the retire fence, so a plain field
+    /// suffices.
+    birth: u64,
+    value: T,
+}
+
+/// Byte offset of `Block::value` from the block base.
+///
+/// `repr(C)` places the second field at `size_of::<u64>()` rounded up to
+/// `align_of::<T>()`; both are powers-of-two situations, so the offset is
+/// simply the larger of the two.  (`mem::offset_of!` would state this
+/// directly but is not available at the workspace's minimum rust version;
+/// `offsets_match_repr_c` below checks the computation against real
+/// allocations.)
+const fn value_offset<T>() -> usize {
+    let align = mem::align_of::<T>();
+    if align > 8 {
+        align
+    } else {
+        8
+    }
+}
+
+/// Recovers the block base from a value pointer.
+///
+/// # Safety
+///
+/// `value` must have come from [`alloc_block`] (or the public wrappers).
+unsafe fn block_of<T>(value: *mut T) -> *mut Block<T> {
+    value.cast::<u8>().sub(value_offset::<T>()).cast()
+}
+
+/// Allocates a block holding `value`, stamped with the current era, and
+/// returns the pointer to the value field.
+pub(crate) fn alloc_block<T>(value: T) -> *mut T {
+    let block = Box::into_raw(Box::new(Block { birth: crate::ibr::current_era(), value }));
+    let value_ptr = unsafe { std::ptr::addr_of_mut!((*block).value) };
+    debug_assert_eq!(
+        value_ptr as usize - block as usize,
+        value_offset::<T>(),
+        "repr(C) value offset does not match the hand computation"
+    );
+    value_ptr
+}
+
+/// Frees the block behind `value`, returning the value it held.
+///
+/// # Safety
+///
+/// `value` must have come from [`alloc_block`] and must not be referenced
+/// again (including by a queued retirement).
+pub(crate) unsafe fn dealloc_block<T>(value: *mut T) -> T {
+    let boxed = Box::from_raw(block_of(value));
+    boxed.value
+}
+
+/// Type-erased block destructor for deferred reclamation queues.
+///
+/// # Safety
+///
+/// `ptr` must be an `alloc_block::<T>` value pointer, consumed exactly once.
+pub(crate) unsafe fn drop_block_erased<T>(ptr: *mut u8) {
+    drop(Box::from_raw(block_of(ptr.cast::<T>())));
+}
+
+/// Reads the birth-era stamp of the block behind `value`.
+///
+/// # Safety
+///
+/// `value` must point into a live block from [`alloc_block`].
+pub(crate) unsafe fn birth_of<T>(value: *const T) -> u64 {
+    (*block_of(value as *mut T)).birth
+}
+
+/// Allocates `value` in the reclaimable block layout and leaks the pointer.
+///
+/// For structure roots and other long-lived cells that are stored as raw
+/// pointers: the result may later be wrapped in a [`crate::Shared`], retired
+/// with `defer_destroy`, or reclaimed with [`dealloc_raw`] — exactly like a
+/// pointer from [`crate::Owned::new`].  Do **not** pair it with
+/// `Box::from_raw`.
+pub fn alloc_raw<T>(value: T) -> *mut T {
+    alloc_block(value)
+}
+
+/// Frees a pointer from [`alloc_raw`] (or [`crate::Owned::new`]), returning
+/// the value.
+///
+/// # Safety
+///
+/// `ptr` must have come from a block-aware constructor in this crate, must be
+/// live, and must not be referenced again.  The caller must have exclusive
+/// access (no concurrent readers under any guard).
+pub unsafe fn dealloc_raw<T>(ptr: *mut T) -> T {
+    dealloc_block(ptr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[repr(align(64))]
+    struct Aligned64([u8; 64]);
+
+    fn roundtrip<T>(value: T) -> T {
+        let p = alloc_block(value);
+        // The value pointer must carry the value's own alignment (tag bits in
+        // `Shared` depend on it).
+        assert_eq!(p as usize % mem::align_of::<T>(), 0);
+        unsafe { dealloc_block(p) }
+    }
+
+    #[test]
+    fn offsets_match_repr_c() {
+        // The debug_assert inside alloc_block checks the computed offset
+        // against the real field address for each instantiation.
+        assert_eq!(roundtrip(7u8), 7);
+        assert_eq!(roundtrip(7u64), 7);
+        assert_eq!(roundtrip([1u64, 2, 3, 4]), [1, 2, 3, 4]);
+        let a = roundtrip(Aligned64([9; 64]));
+        assert_eq!(a.0[0], 9);
+        assert_eq!(value_offset::<u8>(), 8);
+        assert_eq!(value_offset::<u64>(), 8);
+        assert_eq!(value_offset::<Aligned64>(), 64);
+    }
+
+    #[test]
+    fn birth_is_stamped_and_recoverable() {
+        let p = alloc_block(42u32);
+        let birth = unsafe { birth_of(p) };
+        assert!(birth >= 1, "era counter starts at 1");
+        unsafe { dealloc_block(p) };
+    }
+
+    #[test]
+    fn raw_helpers_roundtrip() {
+        let p = alloc_raw(String::from("root"));
+        assert_eq!(unsafe { &*p }, "root");
+        assert_eq!(unsafe { dealloc_raw(p) }, "root");
+    }
+}

@@ -1,111 +1,161 @@
-//! # ebr — epoch-based memory reclamation
+//! # ebr — pluggable lock-free memory reclamation
 //!
-//! A self-contained implementation of epoch-based reclamation exposing the
-//! subset of the `crossbeam-epoch` API that this workspace uses.  The build
-//! environment is offline, so the workspace maps the dependency name
-//! `crossbeam-epoch` onto this crate (see the root `Cargo.toml`); swapping the
-//! real crate back in requires no source changes.
+//! A self-contained reclamation crate exposing the subset of the
+//! `crossbeam-epoch` API that this workspace uses (the build environment is
+//! offline, so the workspace maps the dependency name `crossbeam-epoch` onto
+//! this crate; see the root `Cargo.toml`), grown into a *pluggable* scheme:
 //!
-//! ## The scheme
+//! * the [`Reclaimer`] / [`ReclaimGuard`] trait pair abstracts
+//!   pin/retire/flush/collect/stats, so data structures are generic over the
+//!   backend;
+//! * [`Ebr`] (module [`epoch`](crate::pin)) is the historical epoch-based
+//!   backend and the default — the free functions [`pin`], [`unprotected`],
+//!   [`reclamation_stats`], and [`global_epoch`] keep their original
+//!   EBR-backed meaning, so existing code compiles unchanged;
+//! * [`Ibr`] is an interval-based backend: per-node birth/retire era stamps
+//!   and per-thread reservations mean a stalled reader only pins garbage
+//!   retired *inside* its reservation, instead of freezing reclamation
+//!   globally;
+//! * [`GarbageBound`] is a process-global garbage ceiling with a writer-side
+//!   escalation ladder, shared by both backends.
 //!
-//! The classic three-epoch scheme (Fraser 2004):
-//!
-//! * A global epoch counter advances one step at a time.
-//! * Every thread *pins* the current epoch before touching shared nodes
-//!   ([`pin`] returns a [`Guard`]; dropping the guard unpins).
-//! * Retired nodes ([`Guard::defer_destroy`]) are stamped with the epoch at
-//!   retirement and freed only once the global epoch has advanced **twice**
-//!   past that stamp.  Advancing requires every pinned thread to have observed
-//!   the current epoch, so two advancements form a grace period: no thread
-//!   that could still hold a reference to the node remains pinned.
-//!
-//! A node retired at epoch `e` was unlinked from its structure before being
-//! retired, therefore a thread that pins at epoch `e + 1` or later cannot
-//! reach it, and threads pinned at `e` or earlier block both advancements.
-//! Freeing at `e + 2` is safe.
-//!
-//! ## Pointer tagging
+//! Every reclaimable allocation shares one heap layout: a birth-era header
+//! in front of the value.  Pointers from [`Owned::new`], [`Atomic::new`],
+//! and [`alloc_raw`] are interchangeable across backends; pointers from a
+//! bare `Box` are **not** — a bare `Box::into_raw` pointer must never reach
+//! `defer_destroy`, `into_owned`, or [`dealloc_raw`].
 //!
 //! [`Shared`] packs a tag into the low bits of the pointer (as many bits as
 //! the pointee's alignment leaves free), which the lock-free structures use
 //! for link-level flag/mark/thread bits.
-//!
-//! ## Departures from crossbeam
-//!
-//! Garbage and the participant registry live behind mutexes taken with
-//! `try_lock` on a sampled cadence; a contended attempt skips collection
-//! rather than blocking, so set operations stay non-blocking.  Reclamation is
-//! amortized, not real-time — the same contract as crossbeam.
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
-use std::fmt;
-use std::marker::PhantomData;
-use std::mem;
-use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+mod block;
+mod bound;
+mod epoch;
+mod ibr;
+mod ptr;
 
-/// Sentinel slot value meaning "this participant is not currently pinned".
-const NOT_PINNED: usize = usize::MAX;
+pub use block::{alloc_raw, dealloc_raw};
+pub use bound::{garbage_bound, set_garbage_bound, GarbageBound};
+pub use epoch::{global_epoch, pin, reclamation_stats, unprotected, Ebr, Guard};
+pub use ibr::{ibr_reclamation_stats, pin_ibr, unprotected_ibr, Ibr, IbrGuard};
+pub use ptr::{Atomic, CompareExchangeError, Owned, Pointer, Shared};
 
-/// Pins between collection attempts (per thread).
+/// A pinned guard of some reclamation backend.
 ///
-/// Each attempt takes the registry lock (`try_lock`) and scans every slot, so
-/// the cadence is a direct tax on pin-heavy (read-mostly) workloads.  256
-/// keeps reclamation latency bounded by a few hundred pins while making the
-/// common pin a pure store + fence; the garbage high-water mark below still
-/// triggers eager collection under write bursts.
-const PINS_PER_COLLECT: u64 = 256;
+/// The methods mirror what the workspace's structures need from a guard;
+/// [`Guard`] (epoch) and [`IbrGuard`] (interval) implement them.  The two
+/// `protect_*` hooks exist for the interval backend and compile to plain
+/// loads / nothing under the epoch backend — see the pointer layer for where
+/// they are called.
+pub trait ReclaimGuard: Sized + 'static {
+    /// Retires the node behind `ptr`: its destructor runs once no reader can
+    /// still hold a reference.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from a block-aware constructor in this crate
+    /// ([`Owned::new`], [`Atomic::new`], [`alloc_raw`]), must already be
+    /// unreachable for threads that pin after this call, and must not be
+    /// retired twice.
+    unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>);
 
-/// Retired-node count that triggers an eager collection attempt.
-const GARBAGE_HIGH_WATER: usize = 1024;
+    /// Forces a collection attempt (best effort, non-blocking), including
+    /// garbage other threads retired.
+    fn flush(&self);
 
-/// The global epoch.  Monotonically increasing; advances only when every
-/// pinned participant has observed the current value.
-static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(0);
+    /// Momentarily unpins and re-pins so reclamation can progress while a
+    /// long-lived guard is held.  Any `Shared` pointers loaded before the
+    /// call must not be dereferenced afterwards.
+    fn repin(&mut self);
 
-/// Reclamation health counters (see [`ReclamationStats`]).  All updates sit on
-/// cold paths — collection attempts, retirement (which already takes the
-/// garbage lock), and explicit repins — so the counters are always on: the pin
-/// fast path is untouched.
-mod health {
-    use std::sync::atomic::AtomicU64;
+    /// Performs `load` under the backend's protection protocol and returns
+    /// the loaded word with a dereference license attached.
+    ///
+    /// The backend may call `load` more than once (the interval backend
+    /// retries until its reservation covers the load's era); `load` must be
+    /// a plain re-loadable read with no side effects.
+    fn protect_load<F: FnMut() -> usize>(&self, load: F) -> usize;
 
-    /// Successful global-epoch advancements.
-    pub static EPOCH_ADVANCES: AtomicU64 = AtomicU64::new(0);
-    /// Nodes pushed into the garbage bag by `defer_destroy`.
-    pub static NODES_RETIRED: AtomicU64 = AtomicU64::new(0);
-    /// Retired nodes whose destructor has run.
-    pub static NODES_FREED: AtomicU64 = AtomicU64::new(0);
-    /// Collection attempts that skipped the bag scan via the cached minimum
-    /// stamp (nothing old enough to free).
-    pub static MIN_STAMP_SKIPS: AtomicU64 = AtomicU64::new(0);
-    /// Explicit `Guard::repin` calls that actually cycled the slot.
-    pub static REPINS: AtomicU64 = AtomicU64::new(0);
+    /// Extends the backend's reservation over the current era, so an
+    /// allocation born moments ago may be dereferenced through this guard.
+    /// Called on the paths that publish fresh allocations.
+    fn protect_current_era(&self);
 }
 
-/// A point-in-time reading of the reclamation health counters.
+/// A reclamation backend, usable as a type parameter on the workspace's
+/// lock-free structures (e.g. `LfBst<K, V, R: Reclaimer>`).
+///
+/// Implementations are zero-sized markers ([`Ebr`], [`Ibr`]); all state is
+/// process-global and per-thread inside the backend.
+pub trait Reclaimer: Copy + Default + Send + Sync + 'static {
+    /// The backend's guard type.
+    type Guard: ReclaimGuard;
+
+    /// Short backend name for reports and experiment labels.
+    const NAME: &'static str;
+
+    /// Pins the current thread and returns a guard.
+    fn pin() -> Self::Guard;
+
+    /// Returns the backend's dummy guard for exclusive-access contexts
+    /// (constructors and destructors); deferred destructions run immediately.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread is accessing the data
+    /// structure concurrently.
+    unsafe fn unprotected() -> &'static Self::Guard;
+
+    /// Forces a global collection attempt (best effort, non-blocking).
+    fn collect();
+
+    /// Reads the backend's reclamation health counters.
+    fn stats() -> ReclamationStats;
+
+    /// Resets [`ReclamationStats::bag_depth_hwm`] to the *current* pending
+    /// depth, so a subsequent snapshot reports the peak of one run rather
+    /// than the peak since process start.
+    fn reset_bag_depth_hwm();
+}
+
+/// A point-in-time reading of a backend's reclamation health counters.
 ///
 /// The counters are process-global and monotone (free-running since process
 /// start); consumers that want per-run numbers subtract two snapshots with
 /// [`since`](ReclamationStats::since).  Exact at quiescence; under concurrent
 /// activity each field is individually accurate but the set is not a single
 /// atomic cut — fine for health reporting.
+///
+/// One schema serves both backends: for [`Ibr`], `epoch_advances` counts era
+/// advancements and `min_stamp_skips` is always 0 (interval collection has no
+/// min-stamp fast path).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReclamationStats {
-    /// Successful global-epoch advancements.
+    /// Successful global epoch (or era) advancements.
     pub epoch_advances: u64,
-    /// Nodes retired into the garbage bag (`defer_destroy` under a real pin).
+    /// Nodes retired into a garbage bag (`defer_destroy` under a real pin).
     pub nodes_retired: u64,
     /// Retired nodes actually freed.
     pub nodes_freed: u64,
     /// Bag scans skipped because the cached minimum stamp proved nothing was
-    /// old enough (the O(1) fast path of `try_collect`).
+    /// old enough (the O(1) fast path of the epoch backend's collect).
     pub min_stamp_skips: u64,
     /// Explicit guard repins.
     pub repins: u64,
+    /// Peak retired-but-not-yet-freed node count observed at retirement
+    /// time.  Monotone until explicitly lowered with
+    /// [`Reclaimer::reset_bag_depth_hwm`]; adversarial runs read this — the
+    /// peak, not the instantaneous depth, is what a stalled reader damages.
+    pub bag_depth_hwm: u64,
+    /// Retirements that found the pending depth over the configured
+    /// [`GarbageBound`].
+    pub bound_trips: u64,
+    /// Yield-then-collect escalation rounds spent while over the bound (the
+    /// ladder's step 3).
+    pub bound_escalations: u64,
 }
 
 impl ReclamationStats {
@@ -115,8 +165,12 @@ impl ReclamationStats {
         self.nodes_retired.saturating_sub(self.nodes_freed)
     }
 
-    /// Field-wise difference `self - earlier` (both from
-    /// [`reclamation_stats`]), for per-run deltas.
+    /// Field-wise difference `self - earlier` (both from the same backend's
+    /// stats reader), for per-run deltas.
+    ///
+    /// `bag_depth_hwm` is a level, not a counter: the later snapshot's value
+    /// is reported as-is (pair with [`Reclaimer::reset_bag_depth_hwm`] at
+    /// run start for a per-run peak).
     pub fn since(&self, earlier: &ReclamationStats) -> ReclamationStats {
         ReclamationStats {
             epoch_advances: self.epoch_advances.wrapping_sub(earlier.epoch_advances),
@@ -124,585 +178,22 @@ impl ReclamationStats {
             nodes_freed: self.nodes_freed.wrapping_sub(earlier.nodes_freed),
             min_stamp_skips: self.min_stamp_skips.wrapping_sub(earlier.min_stamp_skips),
             repins: self.repins.wrapping_sub(earlier.repins),
+            bag_depth_hwm: self.bag_depth_hwm,
+            bound_trips: self.bound_trips.wrapping_sub(earlier.bound_trips),
+            bound_escalations: self.bound_escalations.wrapping_sub(earlier.bound_escalations),
         }
-    }
-}
-
-/// Reads the process-global reclamation health counters.
-pub fn reclamation_stats() -> ReclamationStats {
-    ReclamationStats {
-        epoch_advances: health::EPOCH_ADVANCES.load(Ordering::Relaxed),
-        nodes_retired: health::NODES_RETIRED.load(Ordering::Relaxed),
-        nodes_freed: health::NODES_FREED.load(Ordering::Relaxed),
-        min_stamp_skips: health::MIN_STAMP_SKIPS.load(Ordering::Relaxed),
-        repins: health::REPINS.load(Ordering::Relaxed),
-    }
-}
-
-/// The current global epoch (diagnostic; free-running since process start).
-pub fn global_epoch() -> usize {
-    GLOBAL_EPOCH.load(Ordering::Relaxed)
-}
-
-/// One registered thread: the epoch it is pinned at, or [`NOT_PINNED`].
-struct Slot {
-    state: AtomicUsize,
-}
-
-/// All registered threads.  Locked only to register/deregister a thread and
-/// to scan during collection.
-static REGISTRY: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
-
-/// A type-erased deferred destruction: `Box::from_raw(ptr as *mut T)`.
-struct Deferred {
-    ptr: *mut u8,
-    drop_fn: unsafe fn(*mut u8),
-}
-
-// Deferred items are only created from owned boxes and only consumed once.
-unsafe impl Send for Deferred {}
-
-/// Retired nodes, stamped with the global epoch at retirement, plus the
-/// smallest stamp present: a collection attempt first checks the cached
-/// minimum and returns in O(1) when no entry can be freed yet, so a burst of
-/// retirements during a stalled epoch (pinned readers) does not degenerate
-/// into an O(n) scan per retirement.
-struct GarbageBag {
-    items: Vec<(usize, Deferred)>,
-    min_stamp: usize,
-}
-
-static GARBAGE: Mutex<GarbageBag> =
-    Mutex::new(GarbageBag { items: Vec::new(), min_stamp: usize::MAX });
-
-unsafe fn drop_box<T>(ptr: *mut u8) {
-    drop(Box::from_raw(ptr.cast::<T>()));
-}
-
-/// Per-thread participant state.
-struct Local {
-    slot: Arc<Slot>,
-    /// Re-entrant pin depth; the slot is written only at depth 0 -> 1.
-    pin_depth: Cell<usize>,
-    /// Total pins, used to sample collection attempts.
-    pin_count: Cell<u64>,
-}
-
-impl Local {
-    fn register() -> Local {
-        let slot = Arc::new(Slot { state: AtomicUsize::new(NOT_PINNED) });
-        REGISTRY.lock().expect("ebr registry poisoned").push(Arc::clone(&slot));
-        Local { slot, pin_depth: Cell::new(0), pin_count: Cell::new(0) }
-    }
-
-    fn pin(&self) {
-        if self.pin_depth.get() == 0 {
-            // Publish the epoch we claim to have observed, then re-check that
-            // it is still current: if an advancement raced with the store, the
-            // stale claim could otherwise let a second advancement free nodes
-            // this thread is about to read.
-            //
-            // The store and the loads are relaxed; the SeqCst fence between
-            // them is what matters.  It places the slot publication before the
-            // re-check load in the fence total order, and the collector's
-            // SeqCst slot scans order against the same fence — so a collector
-            // that advances past this pin must have scanned the slot after the
-            // publication (crossbeam's scheme).
-            loop {
-                let e = GLOBAL_EPOCH.load(Ordering::Relaxed);
-                self.slot.state.store(e, Ordering::Relaxed);
-                fence(Ordering::SeqCst);
-                if GLOBAL_EPOCH.load(Ordering::Relaxed) == e {
-                    break;
-                }
-            }
-            let c = self.pin_count.get().wrapping_add(1);
-            self.pin_count.set(c);
-            if c % PINS_PER_COLLECT == 0 {
-                try_collect();
-            }
-        }
-        self.pin_depth.set(self.pin_depth.get() + 1);
-    }
-
-    fn unpin(&self) {
-        let d = self.pin_depth.get();
-        debug_assert!(d > 0, "unpin without matching pin");
-        self.pin_depth.set(d - 1);
-        if d == 1 {
-            // Release: everything this thread read/wrote while pinned happens
-            // before a collector that observes the slot as unpinned.
-            self.slot.state.store(NOT_PINNED, Ordering::Release);
-        }
-    }
-}
-
-impl Drop for Local {
-    fn drop(&mut self) {
-        // Thread exit: withdraw from the registry so a dead thread cannot
-        // block epoch advancement forever.
-        if let Ok(mut reg) = REGISTRY.lock() {
-            reg.retain(|s| !Arc::ptr_eq(s, &self.slot));
-        }
-    }
-}
-
-thread_local! {
-    static LOCAL: Local = Local::register();
-}
-
-/// Attempts one epoch advancement and frees sufficiently old garbage.
-///
-/// Uses `try_lock` throughout: a contended attempt is simply skipped, so the
-/// caller never blocks on another thread's collection.
-fn try_collect() {
-    let e = GLOBAL_EPOCH.load(Ordering::SeqCst);
-    let can_advance = {
-        let Ok(registry) = REGISTRY.try_lock() else { return };
-        registry.iter().all(|s| {
-            let st = s.state.load(Ordering::SeqCst);
-            st == NOT_PINNED || st == e
-        })
-    };
-    if can_advance {
-        // A racing advance is fine; the epoch only needs to be monotonic.
-        if GLOBAL_EPOCH.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
-            health::EPOCH_ADVANCES.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    let now = GLOBAL_EPOCH.load(Ordering::SeqCst);
-    if let Ok(mut bag) = GARBAGE.try_lock() {
-        if bag.min_stamp.saturating_add(2) > now {
-            // Nothing is old enough yet: skip the scan entirely.
-            health::MIN_STAMP_SKIPS.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let mut new_min = usize::MAX;
-        let mut freed = 0u64;
-        let mut i = 0;
-        while i < bag.items.len() {
-            if bag.items[i].0 + 2 <= now {
-                let (_, d) = bag.items.swap_remove(i);
-                unsafe { (d.drop_fn)(d.ptr) };
-                freed += 1;
-            } else {
-                new_min = new_min.min(bag.items[i].0);
-                i += 1;
-            }
-        }
-        bag.min_stamp = new_min;
-        if freed > 0 {
-            health::NODES_FREED.fetch_add(freed, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Pins the current thread and returns a guard; shared nodes may be read for
-/// as long as the guard lives.
-pub fn pin() -> Guard {
-    LOCAL.with(Local::pin);
-    Guard { protected: true, _not_send: PhantomData }
-}
-
-/// Returns a dummy guard for contexts with exclusive access (constructors and
-/// destructors).  Deferred destructions on this guard run immediately.
-///
-/// # Safety
-///
-/// The caller must guarantee that no other thread is accessing the data
-/// structure concurrently.
-pub unsafe fn unprotected() -> &'static Guard {
-    struct SyncGuard(Guard);
-    unsafe impl Sync for SyncGuard {}
-    static UNPROTECTED: SyncGuard = SyncGuard(Guard { protected: false, _not_send: PhantomData });
-    &UNPROTECTED.0
-}
-
-/// A pinned-epoch guard.  Dropping it unpins the thread.
-pub struct Guard {
-    protected: bool,
-    /// Guards are tied to the pinning thread.
-    _not_send: PhantomData<*mut ()>,
-}
-
-impl Guard {
-    /// Retires the node behind `ptr`: its `Box` is dropped once no pinned
-    /// thread can still hold a reference to it.
-    ///
-    /// # Safety
-    ///
-    /// `ptr` must have been created from `Owned::new` (a `Box`), must already
-    /// be unreachable for threads that pin after this call, and must not be
-    /// retired twice.
-    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
-        let raw = ptr.as_raw() as *mut T;
-        debug_assert!(!raw.is_null(), "defer_destroy of null");
-        if !self.protected {
-            drop(Box::from_raw(raw));
-            return;
-        }
-        let deferred = Deferred { ptr: raw.cast(), drop_fn: drop_box::<T> };
-        let stamp = GLOBAL_EPOCH.load(Ordering::SeqCst);
-        let (len, duplicate) = {
-            let mut bag = GARBAGE.lock().expect("ebr garbage poisoned");
-            // Double-retire audit: a node retired twice sits in the bag twice
-            // and is freed twice — silent UB whose crash surfaces arbitrarily
-            // far from the bug.  In debug builds (and release builds with the
-            // `retire-audit` feature) scan the bag for the pointer and turn
-            // the UB into a panic at the second retirement site, where the
-            // offending stack is still on the call stack.  The scan is O(bag)
-            // per retirement, which is why it is not always on.
-            let duplicate = cfg!(any(feature = "retire-audit", debug_assertions))
-                && bag.items.iter().any(|(_, d)| std::ptr::eq(d.ptr, raw.cast::<u8>()));
-            if !duplicate {
-                bag.items.push((stamp, deferred));
-                bag.min_stamp = bag.min_stamp.min(stamp);
-            }
-            (bag.items.len(), duplicate)
-        };
-        // Panic outside the lock scope so the bag is not poisoned for every
-        // other thread by our unwinding.
-        if duplicate {
-            panic!(
-                "ebr: double retire of {raw:p} — the node is already in the garbage bag \
-                 awaiting reclamation, so a second `defer_destroy` would double-free it"
-            );
-        }
-        health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
-        if len >= GARBAGE_HIGH_WATER {
-            try_collect();
-        }
-    }
-
-    /// Forces a collection attempt (best effort, non-blocking).
-    pub fn flush(&self) {
-        try_collect();
-    }
-
-    /// Momentarily unpins and re-pins the guard's thread at the current epoch
-    /// so that epoch advancement (and therefore reclamation) can make progress
-    /// while a long-lived guard is held.
-    ///
-    /// Any `Shared` pointers loaded before the call must not be dereferenced
-    /// afterwards: the unpin window allows their nodes to be reclaimed.  On a
-    /// nested pin (another guard of the same thread is alive) this is a no-op,
-    /// matching `crossbeam-epoch`.
-    pub fn repin(&mut self) {
-        if self.protected {
-            health::REPINS.fetch_add(1, Ordering::Relaxed);
-            LOCAL.with(|local| {
-                local.unpin();
-                local.pin();
-            });
-        }
-    }
-}
-
-impl fmt::Debug for Guard {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Guard").field("protected", &self.protected).finish()
-    }
-}
-
-impl Drop for Guard {
-    fn drop(&mut self) {
-        if self.protected {
-            LOCAL.with(Local::unpin);
-        }
-    }
-}
-
-/// Low bits of a `*mut T` usable as a tag: everything below the alignment.
-#[inline]
-const fn low_bits<T>() -> usize {
-    mem::align_of::<T>() - 1
-}
-
-/// An atomic tagged pointer to `T`, readable only under a [`Guard`].
-pub struct Atomic<T> {
-    data: AtomicUsize,
-    _marker: PhantomData<*mut T>,
-}
-
-unsafe impl<T: Send + Sync> Send for Atomic<T> {}
-unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
-
-impl<T> Atomic<T> {
-    /// A null pointer with tag 0.
-    pub fn null() -> Atomic<T> {
-        Atomic { data: AtomicUsize::new(0), _marker: PhantomData }
-    }
-
-    /// Allocates `value` on the heap and stores the pointer.
-    pub fn new(value: T) -> Atomic<T> {
-        let ptr = Box::into_raw(Box::new(value));
-        Atomic { data: AtomicUsize::new(ptr as usize), _marker: PhantomData }
-    }
-
-    /// Loads the current pointer.
-    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
-        Shared { data: self.data.load(ord), _marker: PhantomData }
-    }
-
-    /// Stores `new`.
-    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
-        self.data.store(new.data, ord);
-    }
-
-    /// Single-word compare-and-swap on the full tagged word.
-    ///
-    /// `new` may be a [`Shared`] or an [`Owned`]; on failure an `Owned` is
-    /// handed back through [`CompareExchangeError::new`] so the caller can
-    /// retry without reallocating.
-    pub fn compare_exchange<'g, P: Pointer<T>>(
-        &self,
-        current: Shared<'_, T>,
-        new: P,
-        success: Ordering,
-        failure: Ordering,
-        _guard: &'g Guard,
-    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
-        let new_data = new.into_data();
-        match self.data.compare_exchange(current.data, new_data, success, failure) {
-            Ok(_) => Ok(Shared { data: new_data, _marker: PhantomData }),
-            Err(actual) => Err(CompareExchangeError {
-                current: Shared { data: actual, _marker: PhantomData },
-                new: unsafe { P::from_data(new_data) },
-            }),
-        }
-    }
-
-    /// Bitwise OR of `tag` into the tag bits; returns the previous value.
-    pub fn fetch_or<'g>(&self, tag: usize, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
-        let prev = self.data.fetch_or(tag & low_bits::<T>(), ord);
-        Shared { data: prev, _marker: PhantomData }
-    }
-
-    /// Unconditionally exchanges the stored word for `new`, returning the
-    /// previous value.
-    ///
-    /// The caller takes over responsibility for the returned pointer (typically
-    /// retiring it with [`Guard::defer_destroy`] once it is unreachable).
-    pub fn swap<'g, P: Pointer<T>>(
-        &self,
-        new: P,
-        ord: Ordering,
-        _guard: &'g Guard,
-    ) -> Shared<'g, T> {
-        let prev = self.data.swap(new.into_data(), ord);
-        Shared { data: prev, _marker: PhantomData }
-    }
-}
-
-impl<T> Default for Atomic<T> {
-    fn default() -> Self {
-        Atomic::null()
-    }
-}
-
-impl<T> fmt::Debug for Atomic<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let data = self.data.load(Ordering::Relaxed);
-        write!(
-            f,
-            "Atomic({:p}, tag {})",
-            (data & !low_bits::<T>()) as *const T,
-            data & low_bits::<T>()
-        )
-    }
-}
-
-/// A tagged pointer word convertible to and from its raw representation
-/// (implemented by [`Shared`] and [`Owned`]).
-pub trait Pointer<T> {
-    /// The raw tagged word.
-    fn into_data(self) -> usize;
-    /// Rebuilds the pointer from a raw tagged word.
-    ///
-    /// # Safety
-    ///
-    /// `data` must have come from `into_data` of the same pointer kind, and
-    /// ownership must transfer exactly once.
-    unsafe fn from_data(data: usize) -> Self;
-}
-
-impl<T> Pointer<T> for Shared<'_, T> {
-    fn into_data(self) -> usize {
-        self.data
-    }
-    unsafe fn from_data(data: usize) -> Self {
-        Shared { data, _marker: PhantomData }
-    }
-}
-
-impl<T> Pointer<T> for Owned<T> {
-    fn into_data(self) -> usize {
-        let data = self.ptr as usize;
-        mem::forget(self);
-        data
-    }
-    unsafe fn from_data(data: usize) -> Self {
-        Owned { ptr: (data & !low_bits::<T>()) as *mut T }
-    }
-}
-
-/// A failed [`Atomic::compare_exchange`]: the value actually found.
-pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
-    /// The value the atomic held at the time of the failed CAS.
-    pub current: Shared<'g, T>,
-    /// The proposed value, handed back to the caller.
-    pub new: P,
-}
-
-impl<T, P: Pointer<T>> fmt::Debug for CompareExchangeError<'_, T, P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CompareExchangeError")
-            .field("current", &self.current)
-            .finish_non_exhaustive()
-    }
-}
-
-/// A tagged shared pointer valid for the lifetime of a [`Guard`].
-pub struct Shared<'g, T> {
-    data: usize,
-    _marker: PhantomData<(&'g (), *const T)>,
-}
-
-impl<T> Clone for Shared<'_, T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for Shared<'_, T> {}
-
-impl<T> PartialEq for Shared<'_, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.data == other.data
-    }
-}
-impl<T> Eq for Shared<'_, T> {}
-
-impl<'g, T> Shared<'g, T> {
-    /// The null pointer with tag 0.
-    pub fn null() -> Shared<'g, T> {
-        Shared { data: 0, _marker: PhantomData }
-    }
-
-    /// The untagged raw pointer.
-    pub fn as_raw(&self) -> *const T {
-        (self.data & !low_bits::<T>()) as *const T
-    }
-
-    /// Returns `true` if the untagged pointer is null.
-    pub fn is_null(&self) -> bool {
-        self.as_raw().is_null()
-    }
-
-    /// The tag carried in the low bits.
-    pub fn tag(&self) -> usize {
-        self.data & low_bits::<T>()
-    }
-
-    /// The same pointer with the tag replaced by `tag`.
-    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
-        Shared {
-            data: (self.data & !low_bits::<T>()) | (tag & low_bits::<T>()),
-            _marker: PhantomData,
-        }
-    }
-
-    /// Dereferences the untagged pointer.
-    ///
-    /// # Safety
-    ///
-    /// The pointer must be non-null and point to a live `T` for `'g`.
-    pub unsafe fn deref(&self) -> &'g T {
-        &*self.as_raw()
-    }
-
-    /// Reclaims ownership of the allocation.
-    ///
-    /// # Safety
-    ///
-    /// The pointer must originate from `Owned::new` and no other reference to
-    /// it may remain.
-    pub unsafe fn into_owned(self) -> Owned<T> {
-        debug_assert!(!self.is_null(), "into_owned of null");
-        Owned { ptr: self.as_raw() as *mut T }
-    }
-}
-
-impl<T> From<*const T> for Shared<'_, T> {
-    fn from(ptr: *const T) -> Self {
-        Shared { data: ptr as usize, _marker: PhantomData }
-    }
-}
-
-impl<T> fmt::Debug for Shared<'_, T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Shared({:p}, tag {})", self.as_raw(), self.tag())
-    }
-}
-
-/// An owned, heap-allocated `T` not yet published to other threads.
-pub struct Owned<T> {
-    ptr: *mut T,
-}
-
-impl<T> Owned<T> {
-    /// Boxes `value`.
-    pub fn new(value: T) -> Owned<T> {
-        Owned { ptr: Box::into_raw(Box::new(value)) }
-    }
-
-    /// Converts into a [`Shared`], transferring ownership to the structure.
-    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
-        let data = self.ptr as usize;
-        mem::forget(self);
-        Shared { data, _marker: PhantomData }
-    }
-
-    /// Deallocates the box and returns the value it held.
-    pub fn into_inner(self) -> T {
-        let boxed = unsafe { Box::from_raw(self.ptr) };
-        mem::forget(self);
-        *boxed
-    }
-}
-
-impl<T> Deref for Owned<T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        unsafe { &*self.ptr }
-    }
-}
-
-impl<T> DerefMut for Owned<T> {
-    fn deref_mut(&mut self) -> &mut T {
-        unsafe { &mut *self.ptr }
-    }
-}
-
-impl<T> Drop for Owned<T> {
-    fn drop(&mut self) {
-        unsafe { drop(Box::from_raw(self.ptr)) };
-    }
-}
-
-impl<T: fmt::Debug> fmt::Debug for Owned<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("Owned").field(&**self).finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering;
 
-    #[test]
-    fn tag_roundtrip() {
-        let guard = pin();
+    /// The pointer-layer battery, run against both backends through the
+    /// trait boundary only — what a generic structure sees.
+    fn pointer_ops_roundtrip<R: Reclaimer>() {
+        let guard = R::pin();
         let p = Owned::new(7u64).into_shared(&guard);
         assert_eq!(p.tag(), 0);
         let t = p.with_tag(0b101);
@@ -711,22 +202,13 @@ mod tests {
         assert_eq!(t.with_tag(0), p);
         assert_eq!(unsafe { *t.deref() }, 7);
         unsafe { drop(t.with_tag(0).into_owned()) };
-    }
 
-    #[test]
-    fn null_handling() {
         let s: Shared<'_, u64> = Shared::null();
         assert!(s.is_null());
         assert_eq!(s.tag(), 0);
         let a: Atomic<u64> = Atomic::null();
-        let guard = pin();
         assert!(a.load(Ordering::SeqCst, &guard).is_null());
-    }
 
-    #[test]
-    fn cas_success_and_failure() {
-        let guard = pin();
-        let a: Atomic<u64> = Atomic::null();
         let one = Owned::new(1u64).into_shared(&guard);
         let two = Owned::new(2u64).into_shared(&guard);
         assert!(a
@@ -736,193 +218,72 @@ mod tests {
             .compare_exchange(Shared::null(), two, Ordering::SeqCst, Ordering::SeqCst, &guard)
             .unwrap_err();
         assert_eq!(err.current, one);
-        unsafe {
-            drop(two.into_owned());
-            drop(a.load(Ordering::SeqCst, &guard).into_owned());
-        }
-    }
-
-    #[test]
-    fn fetch_or_sets_tag_bits() {
-        let guard = pin();
-        let a = Atomic::new(3u64);
         let prev = a.fetch_or(0b10, Ordering::SeqCst, &guard);
         assert_eq!(prev.tag(), 0);
         assert_eq!(a.load(Ordering::SeqCst, &guard).tag(), 0b10);
-        unsafe { drop(a.load(Ordering::SeqCst, &guard).with_tag(0).into_owned()) };
-    }
-
-    #[test]
-    fn swap_exchanges_and_returns_previous() {
-        let guard = pin();
-        let a = Atomic::new(1u64);
-        let old = a.load(Ordering::SeqCst, &guard);
-        let prev = a.swap(Owned::new(2u64), Ordering::SeqCst, &guard);
-        assert_eq!(prev, old);
-        assert_eq!(unsafe { *a.load(Ordering::SeqCst, &guard).deref() }, 2);
+        let swapped = a.swap(Shared::null(), Ordering::SeqCst, &guard);
+        assert_eq!(swapped.with_tag(0), one);
         unsafe {
-            drop(prev.into_owned());
-            drop(a.load(Ordering::SeqCst, &guard).into_owned());
+            drop(two.into_owned());
+            drop(swapped.with_tag(0).into_owned());
         }
+
+        // Retire through the trait; the unprotected guard must run the
+        // destructor immediately.
+        let u = unsafe { R::unprotected() };
+        let p = Owned::new(5u64).into_shared(u);
+        unsafe { u.defer_destroy(p) };
+        R::collect();
+        let _ = R::stats();
     }
 
     #[test]
-    fn unprotected_defer_runs_immediately() {
-        struct NoteDrop(Arc<StdAtomicUsize>);
-        impl Drop for NoteDrop {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
-            }
-        }
-        let drops = Arc::new(StdAtomicUsize::new(0));
-        let guard = unsafe { unprotected() };
-        let p = Owned::new(NoteDrop(Arc::clone(&drops))).into_shared(guard);
-        unsafe { guard.defer_destroy(p) };
-        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    fn pointer_ops_roundtrip_under_ebr() {
+        pointer_ops_roundtrip::<Ebr>();
     }
 
     #[test]
-    fn deferred_destruction_eventually_runs() {
-        struct NoteDrop(Arc<StdAtomicUsize>);
-        impl Drop for NoteDrop {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
-            }
-        }
-        let drops = Arc::new(StdAtomicUsize::new(0));
-        {
-            let guard = pin();
-            let p = Owned::new(NoteDrop(Arc::clone(&drops))).into_shared(&guard);
-            unsafe { guard.defer_destroy(p) };
-            // Still pinned: must not run yet.
-            assert_eq!(drops.load(Ordering::SeqCst), 0);
-        }
-        // Epoch advancement needs a few unpinned collection attempts.
-        for _ in 0..6 * PINS_PER_COLLECT {
-            drop(pin());
-        }
-        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    fn pointer_ops_roundtrip_under_ibr() {
+        pointer_ops_roundtrip::<Ibr>();
     }
 
     #[test]
-    fn pinned_reader_blocks_reclamation() {
-        use std::sync::mpsc;
-        let a = Arc::new(Atomic::new(41u64));
-        let (ready_tx, ready_rx) = mpsc::channel();
-        let (done_tx, done_rx) = mpsc::channel::<()>();
-        let reader = {
-            let a = Arc::clone(&a);
-            std::thread::spawn(move || {
-                let guard = pin();
-                let p = a.load(Ordering::SeqCst, &guard);
-                ready_tx.send(()).unwrap();
-                done_rx.recv().unwrap();
-                // The node must still be readable: the writer retired it while
-                // this guard was live.
-                assert_eq!(unsafe { *p.deref() }, 41);
-            })
+    fn backend_names_differ() {
+        assert_eq!(Ebr::NAME, "ebr");
+        assert_eq!(Ibr::NAME, "ibr");
+    }
+
+    #[test]
+    fn stats_since_keeps_hwm_and_diffs_counters() {
+        let earlier = ReclamationStats {
+            epoch_advances: 1,
+            nodes_retired: 4,
+            nodes_freed: 2,
+            min_stamp_skips: 0,
+            repins: 0,
+            bag_depth_hwm: 9,
+            bound_trips: 1,
+            bound_escalations: 3,
         };
-        ready_rx.recv().unwrap();
-        {
-            let guard = pin();
-            let old = a.load(Ordering::SeqCst, &guard);
-            let new = Owned::new(42u64).into_shared(&guard);
-            a.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst, &guard).unwrap();
-            unsafe { guard.defer_destroy(old) };
-        }
-        for _ in 0..6 * PINS_PER_COLLECT {
-            drop(pin());
-        }
-        done_tx.send(()).unwrap();
-        reader.join().unwrap();
-        let guard = pin();
-        unsafe { drop(a.load(Ordering::SeqCst, &guard).into_owned()) };
-    }
-
-    #[test]
-    fn reclamation_stats_track_retire_free_cycle() {
-        // Counters are process-global and other tests run concurrently, so
-        // assert on deltas and lower bounds only.
-        let before = reclamation_stats();
-        {
-            let guard = pin();
-            let p = Owned::new(123u64).into_shared(&guard);
-            unsafe { guard.defer_destroy(p) };
-        }
-        for _ in 0..6 * PINS_PER_COLLECT {
-            drop(pin());
-        }
-        let mut guard = pin();
-        guard.repin();
-        drop(guard);
-        let delta = reclamation_stats().since(&before);
-        assert!(delta.nodes_retired >= 1, "retired: {delta:?}");
-        assert!(delta.nodes_freed >= 1, "freed: {delta:?}");
-        assert!(delta.epoch_advances >= 2, "advances: {delta:?}");
-        assert!(delta.repins >= 1, "repins: {delta:?}");
-        // Globally, frees never outrun retirements.
-        let now = reclamation_stats();
-        assert!(now.nodes_freed <= now.nodes_retired);
-        assert_eq!(now.bag_depth(), now.nodes_retired - now.nodes_freed);
-        let _ = global_epoch();
-    }
-
-    /// The audit must catch the second retirement of one pointer (and must
-    /// not have queued it, so nothing double-frees after the panic is caught).
-    #[test]
-    #[cfg(any(feature = "retire-audit", debug_assertions))]
-    fn double_retire_panics_under_audit() {
-        let guard = pin();
-        let p = Owned::new(9u64).into_shared(&guard);
-        unsafe { guard.defer_destroy(p) };
-        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-            guard.defer_destroy(p)
-        }));
-        let msg = *second.expect_err("double retire must panic").downcast::<String>().unwrap();
-        assert!(msg.contains("double retire"), "unexpected panic message: {msg}");
-        // The first retirement stays queued and frees exactly once.
-        drop(guard);
-        for _ in 0..6 * PINS_PER_COLLECT {
-            drop(pin());
-        }
-    }
-
-    #[test]
-    fn concurrent_churn_is_safe() {
-        // Hammer one atomic from several threads with swap + retire; run under
-        // the normal test battery this exercises advancement and reclamation.
-        let a = Arc::new(Atomic::new(0u64));
-        let threads: Vec<_> = (0..4)
-            .map(|t| {
-                let a = Arc::clone(&a);
-                std::thread::spawn(move || {
-                    for i in 0..20_000u64 {
-                        let guard = pin();
-                        let new = Owned::new(t * 1_000_000 + i).into_shared(&guard);
-                        loop {
-                            let old = a.load(Ordering::SeqCst, &guard);
-                            match a.compare_exchange(
-                                old,
-                                new,
-                                Ordering::SeqCst,
-                                Ordering::SeqCst,
-                                &guard,
-                            ) {
-                                Ok(_) => {
-                                    unsafe { guard.defer_destroy(old) };
-                                    break;
-                                }
-                                Err(_) => continue,
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        let guard = pin();
-        unsafe { drop(a.load(Ordering::SeqCst, &guard).into_owned()) };
+        let later = ReclamationStats {
+            epoch_advances: 3,
+            nodes_retired: 10,
+            nodes_freed: 9,
+            min_stamp_skips: 2,
+            repins: 1,
+            bag_depth_hwm: 12,
+            bound_trips: 2,
+            bound_escalations: 7,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.epoch_advances, 2);
+        assert_eq!(d.nodes_retired, 6);
+        assert_eq!(d.nodes_freed, 7);
+        assert_eq!(d.bag_depth(), 0);
+        // A level, not a counter: never subtracted.
+        assert_eq!(d.bag_depth_hwm, 12);
+        assert_eq!(d.bound_trips, 1);
+        assert_eq!(d.bound_escalations, 4);
+        assert_eq!(later.bag_depth(), 1);
     }
 }

@@ -136,9 +136,9 @@ struct EllenSearch<'g, K> {
 impl<K: Ord> EllenBst<K> {
     /// Creates an empty tree (root with key `Inf2` and two dummy leaves).
     pub fn new() -> Self {
-        let l1 = Box::into_raw(Box::new(ENode::leaf(EKey::Inf1)));
-        let l2 = Box::into_raw(Box::new(ENode::leaf(EKey::Inf2)));
-        let root = Box::into_raw(Box::new(ENode::internal(EKey::Inf2)));
+        let l1 = epoch::alloc_raw(ENode::leaf(EKey::Inf1));
+        let l2 = epoch::alloc_raw(ENode::leaf(EKey::Inf2));
+        let root = epoch::alloc_raw(ENode::internal(EKey::Inf2));
         unsafe {
             (*root).child[0].store(Shared::from(l1 as *const ENode<K>), ORD);
             (*root).child[1].store(Shared::from(l2 as *const ENode<K>), ORD);
@@ -210,14 +210,14 @@ impl<K: Ord> EllenBst<K> {
             }
             // Build: new internal whose children are a fresh leaf for `key`
             // and the existing leaf.
-            let new_leaf = Box::into_raw(Box::new(ENode::leaf(EKey::Key(key.clone()))));
+            let new_leaf = epoch::alloc_raw(ENode::leaf(EKey::Key(key.clone())));
             let (ikey, left, right): (EKey<K>, *const ENode<K>, *const ENode<K>) =
                 if l_ref.key.goes_left(&key) {
                     (clone_ekey(&l_ref.key), new_leaf, s.l.as_raw())
                 } else {
                     (EKey::Key(key.clone()), s.l.as_raw(), new_leaf)
                 };
-            let new_internal = Box::into_raw(Box::new(ENode::internal(ikey)));
+            let new_internal = epoch::alloc_raw(ENode::internal(ikey));
             unsafe {
                 (*new_internal).child[0].store(Shared::from(left), ORD);
                 (*new_internal).child[1].store(Shared::from(right), ORD);
@@ -241,8 +241,8 @@ impl<K: Ord> EllenBst<K> {
                 }
                 Err(e) => {
                     unsafe {
-                        drop(Box::from_raw(new_leaf));
-                        drop(Box::from_raw(new_internal));
+                        drop(epoch::dealloc_raw(new_leaf));
+                        drop(epoch::dealloc_raw(new_internal));
                         drop(op.into_owned());
                     }
                     self.help(e.current, guard);
@@ -551,7 +551,7 @@ impl<K> Drop for EllenBst<K> {
                         stack.push(c.with_tag(0).as_raw() as *mut ENode<K>);
                     }
                 }
-                drop(Box::from_raw(p));
+                drop(epoch::dealloc_raw(p));
             }
         }
     }

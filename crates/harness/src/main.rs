@@ -8,7 +8,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e15|all|e1,e15,...] [--quick] [--duration-ms N]
+//! experiments [e1|e2|...|e15|e17|all|e1,e17,...] [--quick] [--duration-ms N]
 //!             [--max-threads N] [--value-bytes N] [--sample-every N]
 //!             [--csv] [--json <path>]
 //! ```
@@ -32,7 +32,11 @@
 //! retired/freed, min-stamp skips, repins — see `ebr::ReclamationStats`).
 //! E15 sweeps those percentiles against thread count under two mixes, and a
 //! final reclamation-health table reports the process-wide gauges through
-//! `obs::Registry`.
+//! `obs::Registry`.  The reclamation appendix further carries the bag-depth
+//! high-water mark and the `GarbageBound` trip/escalation counters; E17 A/Bs
+//! the EBR and IBR backends under a fault-injection adversary
+//! (`workload::Adversary`) and reads its headline peak-garbage number from
+//! that high-water mark.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -46,8 +50,9 @@ use locked_bst::{CoarseLockBst, CoarseLockMap, RwLockBst};
 use natarajan_bst::NatarajanBst;
 use shard::{HashRouter, RangeRouter, Sharded, ShardedMap};
 use workload::{
-    format_csv, format_markdown_table, run_map_workload, run_scan_workload, run_workload, MapSpec,
-    Measurement, OperationMix, ScanMode, WorkloadSpec,
+    format_csv, format_markdown_table, run_adversarial_workload, run_map_workload,
+    run_scan_workload, run_workload, Adversary, KeyDistribution, MapSpec, Measurement,
+    OperationMix, ScanMode, WorkloadSpec,
 };
 
 /// Which implementations an experiment measures.
@@ -205,6 +210,9 @@ struct ReclamationFields {
     nodes_freed: u64,
     min_stamp_skips: u64,
     repins: u64,
+    bag_depth_hwm: u64,
+    bound_trips: u64,
+    bound_escalations: u64,
 }
 
 impl ReclamationFields {
@@ -215,6 +223,9 @@ impl ReclamationFields {
             nodes_freed: delta.nodes_freed,
             min_stamp_skips: delta.min_stamp_skips,
             repins: delta.repins,
+            bag_depth_hwm: delta.bag_depth_hwm,
+            bound_trips: delta.bound_trips,
+            bound_escalations: delta.bound_escalations,
         }
     }
 }
@@ -259,7 +270,7 @@ fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize)
         // v3 appends fields after `ops_per_sec`; everything a v2 consumer
         // read is still present under the same name at the same meaning.
         out.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"kind\": \"{}\", \"value_bytes\": {}, \"mops\": {:.6}, \"ops_per_sec\": {:.1}, \"schema_version\": 3, \"sample_rate\": {}, \"latency_samples\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"epoch_advances\": {}, \"nodes_retired\": {}, \"nodes_freed\": {}, \"min_stamp_skips\": {}, \"repins\": {}}}{}\n",
+            "    {{\"experiment\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"key_range\": {}, \"mix\": \"{}\", \"kind\": \"{}\", \"value_bytes\": {}, \"mops\": {:.6}, \"ops_per_sec\": {:.1}, \"schema_version\": 3, \"sample_rate\": {}, \"latency_samples\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"epoch_advances\": {}, \"nodes_retired\": {}, \"nodes_freed\": {}, \"min_stamp_skips\": {}, \"repins\": {}, \"bag_depth_hwm\": {}, \"bound_trips\": {}, \"bound_escalations\": {}}}{}\n",
             json_escape(&r.experiment),
             json_escape(&r.impl_name),
             r.threads,
@@ -281,6 +292,9 @@ fn json_document(records: &[JsonRecord], duration: Duration, max_threads: usize)
             r.reclamation.nodes_freed,
             r.reclamation.min_stamp_skips,
             r.reclamation.repins,
+            r.reclamation.bag_depth_hwm,
+            r.reclamation.bound_trips,
+            r.reclamation.bound_escalations,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -350,7 +364,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e15|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--sample-every N] [--csv] [--json <path>]"
+                        "usage: experiments [e1..e15,e17|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--sample-every N] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -1183,6 +1197,90 @@ fn e15(opts: &Options) {
     }
 }
 
+/// The garbage ceiling E17 configures for both backends, in nodes.
+///
+/// Sized so steady-state churn (a few thousand in-flight retirements at 8
+/// threads) never trips it, while a 250 ms stall under EBR strands far more
+/// than this — the ceiling separates "backpressure works" (IBR stays under)
+/// from "backpressure can't help" (EBR's epoch is stuck; its peak scales
+/// with stall duration regardless of collect effort).
+const E17_GARBAGE_BOUND: usize = 20_000;
+
+/// One E17 row: the adversarial workload over `LfBst<u64, (), R>`, reporting
+/// peak unreclaimed nodes (the backend's bag-depth high-water mark across the
+/// run), throughput, sampled p999 and the injected-fault counts.
+fn e17_backend<R: crossbeam_epoch::Reclaimer>(
+    opts: &Options,
+    spec: &WorkloadSpec,
+    threads: usize,
+    adv: Adversary,
+) -> (String, Vec<(String, f64)>) {
+    // Drain stragglers from earlier experiments, then reset the high-water
+    // mark so the peak attributes to this run alone.
+    R::collect();
+    R::reset_bag_depth_hwm();
+    let before = R::stats();
+    let set: Arc<LfBst<u64, (), R>> = Arc::new(LfBst::new_in());
+    let r = run_adversarial_workload::<R, _>(set, spec, threads, opts.duration, adv);
+    let delta = R::stats().since(&before);
+    let impl_name = format!("lfbst-{}", R::NAME);
+    opts.record_run(
+        "e17",
+        &impl_name,
+        spec.key_range(),
+        "50/25/25+adv",
+        "set",
+        0,
+        &r.measurement,
+        &delta,
+    );
+    (
+        R::NAME.to_string(),
+        vec![
+            ("peak_garbage".to_string(), delta.bag_depth_hwm as f64),
+            ("Mops".to_string(), r.measurement.mops()),
+            ("p999ns".to_string(), r.measurement.latency.p999() as f64),
+            ("bound_trips".to_string(), delta.bound_trips as f64),
+            ("stalls".to_string(), r.stalls as f64),
+            ("storms".to_string(), r.storms as f64),
+        ],
+    )
+}
+
+fn e17(opts: &Options) {
+    // Reclamation under adversity: the same fault-injected churn workload
+    // A/B'd between the EBR and IBR backends.  The headline number is
+    // peak_garbage: EBR's grows with the stall duration (a pinned reader
+    // freezes the global epoch, so *every* retirement in the domain piles
+    // up), IBR's stays bounded near the GarbageBound ceiling (a frozen
+    // reservation only pins garbage whose lifetime overlaps it; the
+    // escalation ladder can still free everything younger).
+    use crossbeam_epoch::{Ebr, GarbageBound, Ibr};
+    let key_range = 1u64 << 16;
+    let mix = OperationMix::updates(50);
+    let threads = opts.max_threads.clamp(2, 8);
+    let stall_ms: u64 = if opts.quick { 50 } else { 250 };
+    let adv = Adversary::default().stalls(stall_ms, 4);
+    let spec =
+        opts.spec(key_range, mix).distribution(KeyDistribution::Zipf { exponent: 0.99 }).seed(0x17);
+    let prev = crossbeam_epoch::garbage_bound();
+    crossbeam_epoch::set_garbage_bound(GarbageBound::nodes(E17_GARBAGE_BOUND));
+    let rows = vec![
+        e17_backend::<Ebr>(opts, &spec, threads, adv),
+        e17_backend::<Ibr>(opts, &spec, threads, adv),
+    ];
+    crossbeam_epoch::set_garbage_bound(prev);
+    opts.emit(
+        &format!(
+            "E17 — reclamation under adversity (EBR vs IBR, {stall_ms} ms stalled reader \
+             1-in-4 duty, 50/25/25 Zipf(0.99) mix, range 2^16, {threads} threads, \
+             GarbageBound {E17_GARBAGE_BOUND} nodes)"
+        ),
+        "backend",
+        &rows,
+    );
+}
+
 /// Prints the process-wide reclamation health gauges through the metrics
 /// registry (the `obs::Registry` wiring of the `ebr` counters).
 fn reclamation_report(opts: &Options) {
@@ -1195,9 +1293,24 @@ fn reclamation_report(opts: &Options) {
     registry.gauge("ebr.nodes_retired").set(stats.nodes_retired as i64);
     registry.gauge("ebr.nodes_freed").set(stats.nodes_freed as i64);
     registry.gauge("ebr.bag_depth").set(stats.bag_depth() as i64);
+    registry.gauge("ebr.bag_depth_hwm").set(stats.bag_depth_hwm as i64);
     registry.gauge("ebr.min_stamp_skips").set(stats.min_stamp_skips as i64);
     registry.gauge("ebr.repins").set(stats.repins as i64);
+    registry.gauge("ebr.bound_trips").set(stats.bound_trips as i64);
+    registry.gauge("ebr.bound_escalations").set(stats.bound_escalations as i64);
     registry.gauge("ebr.global_epoch").set(crossbeam_epoch::global_epoch() as i64);
+    // The IBR rows only appear when something ran on that backend (E17 or an
+    // explicitly `Ibr`-parameterised structure).
+    let ibr = crossbeam_epoch::ibr_reclamation_stats();
+    if ibr.nodes_retired > 0 || ibr.epoch_advances > 0 {
+        registry.gauge("ibr.era_advances").set(ibr.epoch_advances as i64);
+        registry.gauge("ibr.nodes_retired").set(ibr.nodes_retired as i64);
+        registry.gauge("ibr.nodes_freed").set(ibr.nodes_freed as i64);
+        registry.gauge("ibr.bag_depth").set(ibr.bag_depth() as i64);
+        registry.gauge("ibr.bag_depth_hwm").set(ibr.bag_depth_hwm as i64);
+        registry.gauge("ibr.bound_trips").set(ibr.bound_trips as i64);
+        registry.gauge("ibr.bound_escalations").set(ibr.bound_escalations as i64);
+    }
     let snap = registry.snapshot();
     let rows: Vec<(String, Vec<(String, f64)>)> = snap
         .iter()
@@ -1215,7 +1328,7 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
     type Experiment = (&'static str, fn(&Options));
-    let experiments: [Experiment; 15] = [
+    let experiments: [Experiment; 16] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1231,6 +1344,7 @@ fn main() {
         ("e13", e13),
         ("e14", e14),
         ("e15", e15),
+        ("e17", e17),
     ];
     for (name, run) in experiments {
         if opts.selected(name) {
@@ -1295,6 +1409,9 @@ mod tests {
                     nodes_freed: 90,
                     min_stamp_skips: 2,
                     repins: 0,
+                    bag_depth_hwm: 10,
+                    bound_trips: 1,
+                    bound_escalations: 0,
                 },
             },
             JsonRecord {
@@ -1356,6 +1473,9 @@ mod tests {
             nodes_freed: 4,
             min_stamp_skips: 0,
             repins: 0,
+            bag_depth_hwm: 2,
+            bound_trips: 0,
+            bound_escalations: 0,
         };
         opts.record_run("e13", "lfbst", 1 << 16, "70/20/10", "map", 256, &m, &rec);
         let records = opts.records.borrow();

@@ -6,9 +6,9 @@
 //! that property into a first-class streaming API instead of the historical
 //! collect-into-a-`Vec` scans:
 //!
-//! * [`Cursor`] — the zero-overhead form: borrows a caller-held epoch
-//!   [`Guard`], seeks once, and streams [`Entry`] items (references into the
-//!   live nodes) on demand.  Nothing is allocated and nothing beyond the
+//! * [`Cursor`] — the zero-overhead form: borrows a caller-held reclamation
+//!   guard ([`Reclaimer::Guard`]), seeks once, and streams [`Entry`] items
+//!   (references into the live nodes) on demand.  Nothing is allocated and nothing beyond the
 //!   current node is touched, so `take(k)`-style early exits pay O(log n + k).
 //! * [`RangeIter`] — the owning form: manages its own epoch guard and, every
 //!   [`REPIN_SCAN_EVERY`] items, momentarily unpins so a long scan cannot
@@ -25,7 +25,7 @@
 
 use std::ops::{Bound, RangeBounds};
 
-use crossbeam_epoch::{self as epoch, Guard, Shared};
+use crossbeam_epoch::{ReclaimGuard, Reclaimer, Shared};
 use cset::KeyBound;
 
 use crate::guard::REPIN_EVERY;
@@ -42,13 +42,13 @@ use crate::value::{MapValue, ValueCell};
 /// amortises to nothing over the window.
 pub const REPIN_SCAN_EVERY: u64 = REPIN_EVERY;
 
-impl<K: Ord, V: MapValue> LfBst<K, V> {
+impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
     /// Locates the first node whose key satisfies the lower bound `lo`
     /// (the seek step every range scan starts with).
     pub(crate) fn seek_lower_bound<'g>(
         &self,
         lo: Bound<&K>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Shared<'g, Node<K, V>> {
         match lo {
             Bound::Unbounded => self.in_order_successor(self.root0(), guard),
@@ -98,10 +98,10 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// // Early exit: the remaining keys are never touched.
     /// drop(cursor);
     /// ```
-    pub fn range_cursor<'g, R>(&'g self, range: R, guard: &'g Guard) -> Cursor<'g, K, V>
+    pub fn range_cursor<'g, B>(&'g self, range: B, guard: &'g R::Guard) -> Cursor<'g, K, V, R>
     where
         K: Clone,
-        R: RangeBounds<K>,
+        B: RangeBounds<K>,
     {
         let next = self.seek_lower_bound(range.start_bound(), guard);
         Cursor { tree: self, guard, next, end: range.end_bound().cloned(), finished: false }
@@ -128,14 +128,14 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// let entries: Vec<(u64, u64)> = map.range_iter(2..).collect();
     /// assert_eq!(entries, vec![(2, 20), (3, 30)]);
     /// ```
-    pub fn range_iter<R>(&self, range: R) -> RangeIter<'_, K, V>
+    pub fn range_iter<B>(&self, range: B) -> RangeIter<'_, K, V, R>
     where
         K: Clone,
-        R: RangeBounds<K>,
+        B: RangeBounds<K>,
     {
         RangeIter {
             tree: self,
-            guard: epoch::pin(),
+            guard: R::pin(),
             pos: std::ptr::null(),
             seeked: false,
             start: range.start_bound().cloned(),
@@ -165,7 +165,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         K: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor((Bound::Excluded(key.clone()), Bound::Unbounded), guard);
         cursor.next().map(|e| e.key().clone())
     }
@@ -178,7 +178,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         K: Clone,
         V: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor((Bound::Excluded(key.clone()), Bound::Unbounded), guard);
         cursor.next().map(|e| (e.key().clone(), e.value().clone()))
     }
@@ -191,12 +191,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 /// reclamation keeps the references valid until the guard is dropped (the
 /// usual weak-consistency caveat applies to what the entry *means*, not to
 /// its memory safety).
-pub struct Entry<'g, K, V: MapValue = ()> {
+pub struct Entry<'g, K, V: MapValue = (), R: Reclaimer = crossbeam_epoch::Ebr> {
     node: &'g Node<K, V>,
-    guard: &'g Guard,
+    guard: &'g R::Guard,
 }
 
-impl<'g, K, V: MapValue> Entry<'g, K, V> {
+impl<'g, K, V: MapValue, R: Reclaimer> Entry<'g, K, V, R> {
     /// The entry's key.
     pub fn key(&self) -> &'g K {
         match &self.node.key {
@@ -214,7 +214,7 @@ impl<'g, K, V: MapValue> Entry<'g, K, V> {
     }
 }
 
-impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for Entry<'_, K, V> {
+impl<K: std::fmt::Debug, V: MapValue, R: Reclaimer> std::fmt::Debug for Entry<'_, K, V, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Entry").field("key", self.key()).finish_non_exhaustive()
     }
@@ -228,16 +228,16 @@ impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for Entry<'_, K, V> {
 /// guard with lifetime `'g` rather than the cursor itself, which a
 /// `Iterator::next(&mut self)` signature cannot express losslessly — use
 /// [`LfBst::range_iter`] when an `Iterator` is needed.
-pub struct Cursor<'g, K, V: MapValue = ()> {
-    tree: &'g LfBst<K, V>,
-    guard: &'g Guard,
+pub struct Cursor<'g, K, V: MapValue = (), R: Reclaimer = crossbeam_epoch::Ebr> {
+    tree: &'g LfBst<K, V, R>,
+    guard: &'g R::Guard,
     /// The next node to consider (already at or past the lower bound).
     next: Shared<'g, Node<K, V>>,
     end: Bound<K>,
     finished: bool,
 }
 
-impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for Cursor<'_, K, V> {
+impl<K: std::fmt::Debug, V: MapValue, R: Reclaimer> std::fmt::Debug for Cursor<'_, K, V, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cursor")
             .field("end", &self.end)
@@ -246,11 +246,11 @@ impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for Cursor<'_, K, V> {
     }
 }
 
-impl<'g, K: Ord, V: MapValue> Cursor<'g, K, V> {
+impl<'g, K: Ord, V: MapValue, R: Reclaimer> Cursor<'g, K, V, R> {
     /// Advances to and returns the next in-range entry, or `None` once the
     /// range is exhausted (further calls keep returning `None`).
     #[allow(clippy::should_implement_trait)] // see the type docs: 'g outlives &mut self
-    pub fn next(&mut self) -> Option<Entry<'g, K, V>> {
+    pub fn next(&mut self) -> Option<Entry<'g, K, V, R>> {
         while !self.finished {
             let curr = self.next;
             if curr.is_null() || same_node(curr, self.tree.root1()) {
@@ -292,9 +292,9 @@ impl<'g, K: Ord, V: MapValue> Cursor<'g, K, V> {
 /// Yields owned `(key, value)` pairs in strictly ascending key order and
 /// repins its epoch guard every [`REPIN_SCAN_EVERY`] items (re-seeking past
 /// the last yielded key afterwards), so long scans do not stall reclamation.
-pub struct RangeIter<'t, K, V: MapValue = ()> {
-    tree: &'t LfBst<K, V>,
-    guard: Guard,
+pub struct RangeIter<'t, K, V: MapValue = (), R: Reclaimer = crossbeam_epoch::Ebr> {
+    tree: &'t LfBst<K, V, R>,
+    guard: R::Guard,
     /// The next node to consider.  Only valid while the current pin is held
     /// and `seeked` is `true`; cleared (and re-derived from `start`) after
     /// every repin.
@@ -308,7 +308,7 @@ pub struct RangeIter<'t, K, V: MapValue = ()> {
     finished: bool,
 }
 
-impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for RangeIter<'_, K, V> {
+impl<K: std::fmt::Debug, V: MapValue, R: Reclaimer> std::fmt::Debug for RangeIter<'_, K, V, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RangeIter")
             .field("start", &self.start)
@@ -318,10 +318,11 @@ impl<K: std::fmt::Debug, V: MapValue> std::fmt::Debug for RangeIter<'_, K, V> {
     }
 }
 
-impl<'t, K, V> RangeIter<'t, K, V>
+impl<'t, K, V, R> RangeIter<'t, K, V, R>
 where
     K: Ord + Clone,
     V: MapValue,
+    R: Reclaimer,
 {
     /// Strips the values, yielding keys only — the natural shape for the set
     /// alias (`V = ()`), where the iterator would otherwise yield `(K, ())`.
@@ -333,10 +334,11 @@ where
     }
 }
 
-impl<K, V> Iterator for RangeIter<'_, K, V>
+impl<K, V, R> Iterator for RangeIter<'_, K, V, R>
 where
     K: Ord + Clone,
     V: MapValue + Clone,
+    R: Reclaimer,
 {
     type Item = (K, V);
 
@@ -402,6 +404,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam_epoch as epoch;
 
     #[test]
     fn cursor_streams_in_range_ascending() {

@@ -13,7 +13,7 @@
 //! [`Pinned::refresh`] between batches (the batch entry points do this
 //! automatically every `REPIN_EVERY` operations).
 
-use crossbeam_epoch::{self as epoch, Guard};
+use crossbeam_epoch::{Ebr, ReclaimGuard, Reclaimer};
 
 use crate::tree::LfBst;
 use crate::value::MapValue;
@@ -57,25 +57,25 @@ pub(crate) const REPIN_EVERY: u64 = 1024;
 /// assert_eq!(pinned.get(&21), Some(42));
 /// assert_eq!(pinned.remove_entry(&21), Some(42));
 /// ```
-pub struct Pinned<'t, K, V: MapValue = ()> {
-    tree: &'t LfBst<K, V>,
-    guard: Guard,
+pub struct Pinned<'t, K, V: MapValue = (), R: Reclaimer = Ebr> {
+    tree: &'t LfBst<K, V, R>,
+    guard: R::Guard,
 }
 
-impl<K, V: MapValue> std::fmt::Debug for Pinned<'_, K, V> {
+impl<K, V: MapValue, R: Reclaimer> std::fmt::Debug for Pinned<'_, K, V, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pinned").field("tree", &"LfBst").finish_non_exhaustive()
     }
 }
 
-impl<K: Ord, V: MapValue> LfBst<K, V> {
-    /// Pins the current epoch once and returns a handle whose operations skip
-    /// the per-operation pin.
+impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
+    /// Pins the reclamation backend once and returns a handle whose
+    /// operations skip the per-operation pin.
     ///
     /// Dropping the handle unpins.  See the [module docs](crate::guard) for
     /// the reclamation caveat on long-lived handles.
-    pub fn pin(&self) -> Pinned<'_, K, V> {
-        Pinned { tree: self, guard: epoch::pin() }
+    pub fn pin(&self) -> Pinned<'_, K, V, R> {
+        Pinned { tree: self, guard: R::pin() }
     }
 
     /// Removes every key yielded by `keys` under a single (periodically
@@ -84,7 +84,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         K: 'a,
     {
-        let mut guard = epoch::pin();
+        let mut guard = R::pin();
         let mut removed = 0usize;
         let mut ops = 0u64;
         for key in keys {
@@ -105,7 +105,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         K: 'a,
     {
-        let mut guard = epoch::pin();
+        let mut guard = R::pin();
         let mut present = 0usize;
         let mut ops = 0u64;
         for key in keys {
@@ -136,7 +136,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         V: Clone,
     {
-        let mut guard = epoch::pin();
+        let mut guard = R::pin();
         let mut fresh = 0usize;
         let mut ops = 0u64;
         for (key, value) in entries {
@@ -152,7 +152,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     }
 }
 
-impl<K: Ord> LfBst<K> {
+impl<K: Ord, R: Reclaimer> LfBst<K, (), R> {
     /// Inserts every key from `keys` under a single (periodically refreshed)
     /// epoch pin; returns how many were newly inserted.
     ///
@@ -165,7 +165,7 @@ impl<K: Ord> LfBst<K> {
     /// assert_eq!(set.insert_all(5..15u64), 5);
     /// ```
     pub fn insert_all(&self, keys: impl IntoIterator<Item = K>) -> usize {
-        let mut guard = epoch::pin();
+        let mut guard = R::pin();
         let mut inserted = 0usize;
         let mut ops = 0u64;
         for key in keys {
@@ -181,14 +181,14 @@ impl<K: Ord> LfBst<K> {
     }
 }
 
-impl<K: Ord> Pinned<'_, K> {
+impl<K: Ord, R: Reclaimer> Pinned<'_, K, (), R> {
     /// [`LfBst::insert`] without the per-operation pin.
     pub fn insert(&self, key: K) -> bool {
         self.tree.insert_with(key, &self.guard)
     }
 }
 
-impl<K: Ord, V: MapValue> Pinned<'_, K, V> {
+impl<K: Ord, V: MapValue, R: Reclaimer> Pinned<'_, K, V, R> {
     /// [`LfBst::remove`] without the per-operation pin.
     pub fn remove(&self, key: &K) -> bool {
         self.tree.remove_with(key, &self.guard)
@@ -229,13 +229,13 @@ impl<K: Ord, V: MapValue> Pinned<'_, K, V> {
     }
 
     /// The tree this handle operates on.
-    pub fn tree(&self) -> &LfBst<K, V> {
+    pub fn tree(&self) -> &LfBst<K, V, R> {
         self.tree
     }
 
-    /// The underlying epoch guard, usable with the `*_with` entry points of
-    /// any tree (epoch pins are domain-wide, not per-tree).
-    pub fn guard(&self) -> &Guard {
+    /// The underlying guard, usable with the `*_with` entry points of any
+    /// tree on the same backend (pins are domain-wide, not per-tree).
+    pub fn guard(&self) -> &R::Guard {
         &self.guard
     }
 
@@ -254,25 +254,26 @@ impl<K: Ord, V: MapValue> Pinned<'_, K, V> {
 /// Epoch pins are domain-wide (one global epoch per process), so a guard
 /// obtained from any tree — or from `crossbeam_epoch::pin` directly — is valid
 /// for every tree, which is exactly the contract [`cset::PinnedOps`] requires.
-impl<K> cset::PinnedOps<K> for LfBst<K>
+impl<K, R> cset::PinnedOps<K> for LfBst<K, (), R>
 where
     K: Ord + Send + Sync,
+    R: Reclaimer,
 {
-    type OpGuard = Guard;
+    type OpGuard = R::Guard;
 
-    fn op_guard(&self) -> Guard {
-        epoch::pin()
+    fn op_guard(&self) -> R::Guard {
+        R::pin()
     }
 
-    fn insert_with(&self, key: K, guard: &Guard) -> bool {
+    fn insert_with(&self, key: K, guard: &R::Guard) -> bool {
         LfBst::insert_with(self, key, guard)
     }
 
-    fn remove_with(&self, key: &K, guard: &Guard) -> bool {
+    fn remove_with(&self, key: &K, guard: &R::Guard) -> bool {
         LfBst::remove_with(self, key, guard)
     }
 
-    fn contains_with(&self, key: &K, guard: &Guard) -> bool {
+    fn contains_with(&self, key: &K, guard: &R::Guard) -> bool {
         LfBst::contains_with(self, key, guard)
     }
 }

@@ -141,10 +141,15 @@ pub use guard::Pinned;
 pub use tree::LfBst;
 pub use value::{BoxedCell, MapValue, UnitCell, ValueCell};
 
-/// The epoch guard type accepted by the `*_with` entry points
-/// ([`LfBst::insert_with`] and friends); obtain one from [`LfBst::pin`] /
-/// [`Pinned::guard`] or from `crossbeam_epoch::pin` directly.
+/// The epoch guard type accepted by the `*_with` entry points of the default
+/// backend ([`LfBst::insert_with`] and friends); obtain one from
+/// [`LfBst::pin`] / [`Pinned::guard`] or from `crossbeam_epoch::pin` directly.
 pub use crossbeam_epoch::Guard;
+/// The pluggable reclamation surface: `LfBst<K, V, R>` is generic over a
+/// [`Reclaimer`] backend — [`Ebr`] (epoch-based, the default) or [`Ibr`]
+/// (interval-based, robust against stalled readers).  A backend's guard
+/// implements [`ReclaimGuard`].
+pub use crossbeam_epoch::{Ebr, GarbageBound, Ibr, ReclaimGuard, Reclaimer};
 pub use cset::{
     ConcurrentMap, ConcurrentSet, KeyBound, MapAsSet, OpStats, OrderedMap, OrderedSet, PinnedOps,
     StatsSnapshot,

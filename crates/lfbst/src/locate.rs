@@ -12,7 +12,7 @@
 
 use std::cmp::Ordering as CmpOrdering;
 
-use crossbeam_epoch::{Guard, Shared};
+use crossbeam_epoch::{Reclaimer, Shared};
 
 use crate::link::{is_mark, is_thread, same_node};
 use crate::node::Node;
@@ -35,7 +35,7 @@ pub(crate) struct Location<'g, K, V: MapValue = ()> {
     pub(crate) link: Shared<'g, Node<K, V>>,
 }
 
-impl<K: Ord, V: MapValue> LfBst<K, V> {
+impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
     /// The paper's `Locate`: searches for `key` starting from `(prev, curr)`.
     ///
     /// Returns `dir == 2` when a node holding `key` is found; otherwise the
@@ -47,7 +47,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         mut curr: Shared<'g, Node<K, V>>,
         key: &K,
         eager: bool,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Location<'g, K, V> {
         // Hoisted so the loop body carries no config loads; with the `stats`
         // feature off this is a compile-time `false` and every stats branch
@@ -129,7 +129,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         mut curr: Shared<'g, Node<K, V>>,
         key: &K,
         eager: bool,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Location<'g, K, V> {
         let record = self.record_stats();
         let mut links: u64 = 0;
@@ -194,7 +194,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         &self,
         key: &K,
         victim: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> bool {
         let loc = self.locate_from(self.root1(), self.root0(), key, false, guard);
         loc.dir == 2 && same_node(loc.curr, victim)

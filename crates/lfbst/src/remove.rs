@@ -26,7 +26,7 @@
 //! based parent discovery on slow paths, the extra category-2 mark, flag
 //! rollback on the step-IV ABA window) are documented in `DESIGN.md`.
 
-use crossbeam_epoch::{self as epoch, Guard, Shared};
+use crossbeam_epoch::{ReclaimGuard, Reclaimer, Shared};
 
 use cset::OpKind;
 
@@ -58,19 +58,19 @@ enum Cat3Outcome {
     Reexamine,
 }
 
-impl<K: Ord, V: MapValue> LfBst<K, V> {
+impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
     /// Removes `key`; returns `true` if it was present and this call removed it.
     ///
     /// This is the paper's `Remove` (lines 31–40): locate the order-link of the
     /// node holding `key` with a predecessor query, flag it, then drive the
     /// removal to completion (helping any conflicting removals on the way).
     pub fn remove(&self, key: &K) -> bool {
-        self.remove_with(key, &epoch::pin())
+        self.remove_with(key, &R::pin())
     }
 
     /// [`remove`](Self::remove) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
-    pub fn remove_with(&self, key: &K, guard: &Guard) -> bool {
+    pub fn remove_with(&self, key: &K, guard: &R::Guard) -> bool {
         self.remove_node_with(key, guard).is_some()
     }
 
@@ -80,7 +80,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     pub(crate) fn remove_node_with<'g>(
         &self,
         key: &K,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
         let record = self.record_stats();
         self.note_op(OpKind::Remove);
@@ -214,7 +214,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         dir: usize,
         victim: Shared<'g, Node<K, V>>,
         claimant: bool,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> FinishOutcome {
         let victim_ref = unsafe { victim.deref() };
         let order_ref = unsafe { order.deref() };
@@ -390,7 +390,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// among the owners that pass those checks.
     ///
     /// [`clean_flag_threaded`]: Self::clean_flag_threaded
-    fn try_claim_removal(&self, victim_ref: &Node<K, V>, guard: &Guard) -> bool {
+    fn try_claim_removal(&self, victim_ref: &Node<K, V>, guard: &R::Guard) -> bool {
         let mut spin = SpinBound::new("try_claim_removal");
         loop {
             spin.tick();
@@ -416,7 +416,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     ///
     /// Paper: `CleanMark` with `markDir == 1` (lines 122–140) plus the final
     /// pointer swings of `CleanFlag`/`CleanMark`.
-    pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+    pub(crate) fn clean_mark_right<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g R::Guard) {
         let victim_ref = unsafe { victim.deref() };
         let mut spin = SpinBound::new("clean_mark_right");
         loop {
@@ -466,7 +466,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     fn order_node_of<'g>(
         &self,
         victim: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Shared<'g, Node<K, V>> {
         let victim_ref = unsafe { victim.deref() };
         let hint = victim_ref.prelink.load(LOAD, guard).with_tag(0);
@@ -524,7 +524,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         &self,
         cand: Shared<'g, Node<K, V>>,
         victim: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> bool {
         if same_node(cand, victim) {
             let l = unsafe { victim.deref() }.child[0].load(LOAD, guard);
@@ -542,7 +542,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         &self,
         victim: Shared<'g, Node<K, V>>,
         order: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> bool {
         let victim_ref = unsafe { victim.deref() };
         let is_cat1 = same_node(order, victim);
@@ -666,7 +666,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         &self,
         victim: Shared<'g, Node<K, V>>,
         order: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Cat3Outcome {
         let victim_ref = unsafe { victim.deref() };
         let order_ref = unsafe { order.deref() };
@@ -1017,7 +1017,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// value).  The swing itself is the usual CAS on the flagged parent link,
     /// so it still happens exactly once no matter how many threads race here
     /// with the stalled swinger — and only the winner retires.
-    fn finish_unlink<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+    fn finish_unlink<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g R::Guard) {
         let victim_ref = unsafe { victim.deref() };
         let mut spin = SpinBound::new("finish_unlink");
         loop {
@@ -1133,7 +1133,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     fn flag_parent<'g>(
         &self,
         victim: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Option<(Shared<'g, Node<K, V>>, usize)> {
         let mut spin = SpinBound::new("flag_parent");
         loop {
@@ -1205,7 +1205,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     fn find_parent_of<'g>(
         &self,
         node: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Option<(Shared<'g, Node<K, V>>, usize)> {
         let node_ref = unsafe { node.deref() };
         // Fast path: the backlink hint.
@@ -1257,7 +1257,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// that helps the first tagged link it meets completes that swing (via
     /// `clean_mark_right` → `finish_unlink` if the owner is descheduled),
     /// after which the caller's `find_parent_of` retry can succeed.
-    fn help_shift_path(&self, key: &K, guard: &Guard) {
+    fn help_shift_path(&self, key: &K, guard: &R::Guard) {
         let mut curr = self.root1();
         let mut spin = SpinBound::new("help_shift_path");
         loop {
@@ -1294,7 +1294,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Helps the removal of `child`, which was discovered through a flagged
     /// parent link pointing at it.  By the canonical step order the child's
     /// right link is already marked, so completing it is a `clean_mark_right`.
-    fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+    fn help_child_of_flagged_parent<'g>(&self, child: Shared<'g, Node<K, V>>, guard: &'g R::Guard) {
         let r = unsafe { child.deref() }.child[1].load(LOAD, guard);
         if is_mark(r) {
             self.clean_mark_right(child, guard);
@@ -1303,7 +1303,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 
     /// Best-effort helper dispatch for a node that obstructed us: examines the
     /// node's links and finishes whatever pending removal they reveal.
-    pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+    pub(crate) fn help_node<'g>(&self, node: Shared<'g, Node<K, V>>, guard: &'g R::Guard) {
         trace_ev!(HelpNode, node, node);
         let node_ref = unsafe { node.deref() };
         let r = node_ref.child[1].load(LOAD, guard);
@@ -1339,7 +1339,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     ///
     /// Called exactly once per removed node: only the thread whose CAS unlinked
     /// the last incoming parent link reaches this call.
-    fn retire<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+    fn retire<'g>(&self, victim: Shared<'g, Node<K, V>>, guard: &'g R::Guard) {
         if self.record_stats() {
             self.stats.record_retire();
         }

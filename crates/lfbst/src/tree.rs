@@ -5,9 +5,10 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
+use crossbeam_epoch::{self as epoch, Ebr, Owned, Reclaimer, Shared};
 use cset::{
     ConcurrentMap, ConcurrentSet, KeyBound, OpKind, OpStats, OrderedMap, OrderedSet, StatsSnapshot,
 };
@@ -102,25 +103,28 @@ use ord::{CAS, CAS_ERR, INIT, LOAD};
 /// assert_eq!(map.remove_entry(&1).as_deref(), Some("uno"));
 /// assert_eq!(map.get(&1), None);
 /// ```
-pub struct LfBst<K, V: MapValue = ()> {
+pub struct LfBst<K, V: MapValue = (), R: Reclaimer = Ebr> {
     /// `root[0]` holds `-inf` and is the left child (and predecessor) of
     /// `root[1]`, which holds `+inf`.  Neither is ever removed.
     pub(crate) roots: [*mut Node<K, V>; 2],
     pub(crate) config: Config,
     pub(crate) stats: OpStats,
     size: AtomicUsize,
+    /// The reclamation backend is a zero-sized marker: all its state is
+    /// process-global and per-thread (see [`Reclaimer`]).
+    pub(crate) reclaimer: PhantomData<R>,
 }
 
-unsafe impl<K: Send + Sync, V: MapValue> Send for LfBst<K, V> {}
-unsafe impl<K: Send + Sync, V: MapValue> Sync for LfBst<K, V> {}
+unsafe impl<K: Send + Sync, V: MapValue, R: Reclaimer> Send for LfBst<K, V, R> {}
+unsafe impl<K: Send + Sync, V: MapValue, R: Reclaimer> Sync for LfBst<K, V, R> {}
 
-impl<K: Ord, V: MapValue> Default for LfBst<K, V> {
+impl<K: Ord, V: MapValue, R: Reclaimer> Default for LfBst<K, V, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
-impl<K, V: MapValue> fmt::Debug for LfBst<K, V> {
+impl<K, V: MapValue, R: Reclaimer> fmt::Debug for LfBst<K, V, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LfBst")
             .field("len", &self.size.load(Ordering::Relaxed))
@@ -145,6 +149,12 @@ pub(crate) enum InsertOutcome<'g, K, V: MapValue> {
     },
 }
 
+/// Constructors of the default (epoch-reclaimed) tree.
+///
+/// These two are *not* generic over the backend so that plain
+/// `LfBst::new()` keeps inferring `R = Ebr` (default type parameters do not
+/// drive inference); an explicit backend goes through
+/// [`new_in`](LfBst::new_in) / [`with_config_in`](LfBst::with_config_in).
 impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// Creates an empty tree with the default [`Config`].
     pub fn new() -> Self {
@@ -161,15 +171,35 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// assert!(set.is_empty());
     /// ```
     pub fn with_config(config: Config) -> Self {
+        Self::with_config_in(config)
+    }
+}
+
+impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
+    /// Creates an empty tree on an explicit reclamation backend.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfbst::{Ibr, LfBst};
+    /// let set: LfBst<u64, (), Ibr> = LfBst::new_in();
+    /// assert!(set.insert(7));
+    /// ```
+    pub fn new_in() -> Self {
+        Self::with_config_in(Config::default())
+    }
+
+    /// Creates an empty tree with an explicit [`Config`] on an explicit
+    /// reclamation backend.
+    pub fn with_config_in(config: Config) -> Self {
         // Build the two permanent dummy nodes of listing line 7 / figure 2(c):
         //   root[0] = -inf : left thread to itself, right thread to root[1],
         //                    backlink to root[1].
         //   root[1] = +inf : left child root[0] (unthreaded), right thread to
         //                    itself (the paper uses null; a self thread avoids
         //                    null checks and is never followed).
-        let r0 = Box::into_raw(Box::new(Node::<K, V>::new(KeyBound::NegInf)));
-        let r1 = Box::into_raw(Box::new(Node::<K, V>::new(KeyBound::PosInf)));
-        let guard = unsafe { epoch::unprotected() };
+        let r0 = epoch::alloc_raw(Node::<K, V>::new(KeyBound::NegInf));
+        let r1 = epoch::alloc_raw(Node::<K, V>::new(KeyBound::PosInf));
         let s0: Shared<'_, Node<K, V>> = Shared::from(r0 as *const Node<K, V>);
         let s1: Shared<'_, Node<K, V>> = Shared::from(r1 as *const Node<K, V>);
         unsafe {
@@ -180,8 +210,13 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
             (*r1).child[1].store(s1.with_tag(THREAD), INIT);
             (*r1).backlink.store(s1, INIT);
         }
-        let _ = guard;
-        LfBst { roots: [r0, r1], config, stats: OpStats::new(), size: AtomicUsize::new(0) }
+        LfBst {
+            roots: [r0, r1],
+            config,
+            stats: OpStats::new(),
+            size: AtomicUsize::new(0),
+            reclaimer: PhantomData,
+        }
     }
 
     /// The `-inf` dummy node.
@@ -275,12 +310,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// In [`HelpPolicy::ReadOptimized`] mode this operation never writes to
     /// shared memory and never restarts (the paper's obliviousness property).
     pub fn contains(&self, key: &K) -> bool {
-        self.contains_with(key, &epoch::pin())
+        self.contains_with(key, &R::pin())
     }
 
     /// [`contains`](Self::contains) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
-    pub fn contains_with(&self, key: &K, guard: &Guard) -> bool {
+    pub fn contains_with(&self, key: &K, guard: &R::Guard) -> bool {
         let loc = self.locate_from(self.root1(), self.root0(), key, self.eager_help(), guard);
         self.note_op(OpKind::Contains);
         loc.dir == 2
@@ -299,7 +334,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         &self,
         key: K,
         value: V,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> InsertOutcome<'g, K, V> {
         let record = self.record_stats();
         // Allocate and pre-thread the new node: its left link is a thread to
@@ -421,12 +456,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// assert_eq!(map.get(&1), Some(10));
     /// ```
     pub fn insert_entry(&self, key: K, value: V) -> bool {
-        self.insert_entry_with(key, value, &epoch::pin())
+        self.insert_entry_with(key, value, &R::pin())
     }
 
     /// [`insert_entry`](Self::insert_entry) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
-    pub fn insert_entry_with(&self, key: K, value: V, guard: &Guard) -> bool {
+    pub fn insert_entry_with(&self, key: K, value: V, guard: &R::Guard) -> bool {
         let inserted = matches!(self.insert_core(key, value, guard), InsertOutcome::Inserted);
         self.note_op(OpKind::Insert);
         inserted
@@ -443,11 +478,11 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         V: Clone,
     {
-        self.get_with(key, &epoch::pin())
+        self.get_with(key, &R::pin())
     }
 
     /// [`get`](Self::get) under a caller-held guard (see [`pin`](Self::pin)).
-    pub fn get_with(&self, key: &K, guard: &Guard) -> Option<V>
+    pub fn get_with(&self, key: &K, guard: &R::Guard) -> Option<V>
     where
         V: Clone,
     {
@@ -472,12 +507,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         V: Clone,
     {
-        self.upsert_with(key, value, &epoch::pin())
+        self.upsert_with(key, value, &R::pin())
     }
 
     /// [`upsert`](Self::upsert) under a caller-held guard (see
     /// [`pin`](Self::pin)).
-    pub fn upsert_with(&self, key: K, value: V, guard: &Guard) -> Option<V>
+    pub fn upsert_with(&self, key: K, value: V, guard: &R::Guard) -> Option<V>
     where
         V: Clone,
     {
@@ -533,12 +568,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         V: Clone,
     {
-        self.remove_entry_with(key, &epoch::pin())
+        self.remove_entry_with(key, &R::pin())
     }
 
     /// [`remove_entry`](Self::remove_entry) under a caller-held guard (see
     /// [`pin`](Self::pin)).
-    pub fn remove_entry_with(&self, key: &K, guard: &Guard) -> Option<V>
+    pub fn remove_entry_with(&self, key: &K, guard: &R::Guard) -> Option<V>
     where
         V: Clone,
     {
@@ -605,12 +640,12 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// assert_eq!(set.keys_in_range(..20), vec![10]);
     /// assert_eq!(set.keys_in_range(41..), vec![50]);
     /// ```
-    pub fn keys_in_range<R>(&self, range: R) -> Vec<K>
+    pub fn keys_in_range<B>(&self, range: B) -> Vec<K>
     where
         K: Clone,
-        R: std::ops::RangeBounds<K>,
+        B: std::ops::RangeBounds<K>,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor(range, guard);
         let mut out = Vec::new();
         while let Some(entry) = cursor.next() {
@@ -636,13 +671,13 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     /// }
     /// assert_eq!(map.entries_in_range(15..=30), vec![(20, 200), (30, 300)]);
     /// ```
-    pub fn entries_in_range<R>(&self, range: R) -> Vec<(K, V)>
+    pub fn entries_in_range<B>(&self, range: B) -> Vec<(K, V)>
     where
         K: Clone,
         V: Clone,
-        R: std::ops::RangeBounds<K>,
+        B: std::ops::RangeBounds<K>,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor(range, guard);
         let mut out = Vec::new();
         while let Some(entry) = cursor.next() {
@@ -667,7 +702,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         K: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let first = self.in_order_successor(self.root0(), guard);
         unsafe { first.deref() }.key.as_key().cloned()
     }
@@ -687,7 +722,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     where
         K: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         self.rightmost(guard).map(|node| {
             node.key.as_key().cloned().expect("rightmost interior node carries a real key")
         })
@@ -700,7 +735,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
         K: Clone,
         V: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         self.rightmost(guard).map(|node| {
             let k = node.key.as_key().cloned().expect("rightmost interior node carries a real key");
             let v = node.value.read(guard).expect("keyed node has a value").clone();
@@ -709,7 +744,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     }
 
     /// The rightmost interior node, reached through unthreaded right links.
-    fn rightmost<'g>(&self, guard: &'g Guard) -> Option<&'g Node<K, V>> {
+    fn rightmost<'g>(&self, guard: &'g R::Guard) -> Option<&'g Node<K, V>> {
         let top = unsafe { self.root0().deref() }.child[1].load(LOAD, guard);
         if is_thread(top) {
             return None;
@@ -731,7 +766,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     pub(crate) fn in_order_successor<'g>(
         &self,
         node: Shared<'g, Node<K, V>>,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> Shared<'g, Node<K, V>> {
         let n = unsafe { node.deref() };
         let right = n.child[1].load(LOAD, guard);
@@ -755,7 +790,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
     ///
     /// Intended for diagnostics and the sequential experiments; quiescent use only.
     pub fn height(&self) -> usize {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         // Every real node hangs off the right link of the `-inf` dummy (all real
         // keys compare greater than `-inf`).
         let top = unsafe { self.root0().deref() }.child[1].load(LOAD, guard);
@@ -810,7 +845,7 @@ impl<K: Ord, V: MapValue> LfBst<K, V> {
 
 /// The set-flavoured entry points, available on the `LfBst<K>` alias
 /// (`V = ()`): a key can be inserted without supplying a value.
-impl<K: Ord> LfBst<K> {
+impl<K: Ord, R: Reclaimer> LfBst<K, (), R> {
     /// Inserts `key`; returns `true` if it was not already present.
     ///
     /// This is the paper's `Add` (listing lines 161–183): locate the threaded
@@ -818,26 +853,26 @@ impl<K: Ord> LfBst<K> {
     /// single CAS on that link.  On failure the operation helps any obstructing
     /// removal and retries from the vicinity of the failure.
     pub fn insert(&self, key: K) -> bool {
-        self.insert_with(key, &epoch::pin())
+        self.insert_with(key, &R::pin())
     }
 
     /// [`insert`](Self::insert) under a caller-held guard (see
     /// [`pin`](Self::pin)): skips the per-operation epoch pin.
-    pub fn insert_with(&self, key: K, guard: &Guard) -> bool {
+    pub fn insert_with(&self, key: K, guard: &R::Guard) -> bool {
         let inserted = matches!(self.insert_core(key, (), guard), InsertOutcome::Inserted);
         self.note_op(OpKind::Insert);
         inserted
     }
 }
 
-impl<K, V: MapValue> Drop for LfBst<K, V> {
+impl<K, V: MapValue, R: Reclaimer> Drop for LfBst<K, V, R> {
     fn drop(&mut self) {
         // Exclusive access: free every node reachable through unthreaded child
         // links (each live node has exactly one unthreaded incoming link, so the
         // walk visits each node once), then the two dummy roots.  Nodes already
         // retired to the epoch collector are unreachable here and are freed by
         // crossbeam instead.
-        let guard = unsafe { epoch::unprotected() };
+        let guard = unsafe { R::unprotected() };
         let mut stack: Vec<*mut Node<K, V>> = Vec::new();
         unsafe {
             // Every real node is reachable from the right link of the `-inf`
@@ -853,17 +888,18 @@ impl<K, V: MapValue> Drop for LfBst<K, V> {
                         stack.push(c.with_tag(0).as_raw() as *mut Node<K, V>);
                     }
                 }
-                drop(Box::from_raw(p));
+                drop(epoch::dealloc_raw(p));
             }
-            drop(Box::from_raw(self.roots[0]));
-            drop(Box::from_raw(self.roots[1]));
+            drop(epoch::dealloc_raw(self.roots[0]));
+            drop(epoch::dealloc_raw(self.roots[1]));
         }
     }
 }
 
-impl<K> ConcurrentSet<K> for LfBst<K>
+impl<K, R> ConcurrentSet<K> for LfBst<K, (), R>
 where
     K: Ord + Send + Sync,
+    R: Reclaimer,
 {
     fn insert(&self, key: K) -> bool {
         LfBst::insert(self, key)
@@ -890,9 +926,10 @@ where
     }
 }
 
-impl<K> OrderedSet<K> for LfBst<K>
+impl<K, R> OrderedSet<K> for LfBst<K, (), R>
 where
     K: Ord + Clone + Send + Sync,
+    R: Reclaimer,
 {
     fn keys_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<K> {
         self.keys_in_range((lo.cloned(), hi.cloned()))
@@ -904,7 +941,7 @@ where
         hi: std::ops::Bound<&K>,
         limit: usize,
     ) -> Vec<K> {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor((lo.cloned(), hi.cloned()), guard);
         let mut out = Vec::new();
         while out.len() < limit {
@@ -942,10 +979,11 @@ where
     }
 }
 
-impl<K, V> ConcurrentMap<K, V> for LfBst<K, V>
+impl<K, V, R> ConcurrentMap<K, V> for LfBst<K, V, R>
 where
     K: Ord + Send + Sync,
     V: MapValue + Clone,
+    R: Reclaimer,
 {
     fn insert(&self, key: K, value: V) -> bool {
         LfBst::insert_entry(self, key, value)
@@ -980,10 +1018,11 @@ where
     }
 }
 
-impl<K, V> OrderedMap<K, V> for LfBst<K, V>
+impl<K, V, R> OrderedMap<K, V> for LfBst<K, V, R>
 where
     K: Ord + Clone + Send + Sync,
     V: MapValue + Clone,
+    R: Reclaimer,
 {
     fn entries_between(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
         self.entries_in_range((lo.cloned(), hi.cloned()))
@@ -995,7 +1034,7 @@ where
         hi: std::ops::Bound<&K>,
         limit: usize,
     ) -> Vec<(K, V)> {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut cursor = self.range_cursor((lo.cloned(), hi.cloned()), guard);
         let mut out = Vec::new();
         while out.len() < limit {
@@ -1020,7 +1059,7 @@ where
     }
 
     fn first_entry(&self) -> Option<(K, V)> {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         self.range_cursor(.., guard).next().map(|e| (e.key().clone(), e.value().clone()))
     }
 

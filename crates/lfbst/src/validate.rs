@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crossbeam_epoch::{self as epoch, Shared};
+use crossbeam_epoch::{Reclaimer, Shared};
 
 use crate::link::{is_flag, is_mark, is_thread, same_node};
 use crate::node::Node;
@@ -111,10 +111,10 @@ pub struct ValidationReport {
 /// let report = validate(&t).expect("structure is consistent");
 /// assert_eq!(report.nodes, 6);
 /// ```
-pub fn validate<K: Ord + Clone + std::fmt::Debug, V: MapValue>(
-    tree: &LfBst<K, V>,
+pub fn validate<K: Ord + Clone + std::fmt::Debug, V: MapValue, R: Reclaimer>(
+    tree: &LfBst<K, V, R>,
 ) -> Result<ValidationReport, ValidationError> {
-    let guard = &epoch::pin();
+    let guard = &R::pin();
     let root0 = tree.root0();
     let root1 = tree.root1();
 

@@ -44,7 +44,7 @@
 
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{Atomic, Guard, Owned};
+use crossbeam_epoch::{Atomic, Owned, ReclaimGuard};
 
 /// A type usable as the value of an [`LfBst`](crate::LfBst) map.
 ///
@@ -74,13 +74,13 @@ pub trait ValueCell<V>: Default + Send + Sync {
     /// Returns `None` only for a cell that was never initialised (the two
     /// sentinel root nodes); a cell reached through a real key always holds a
     /// value.
-    fn read<'g>(&self, guard: &'g Guard) -> Option<&'g V>;
+    fn read<'g, G: ReclaimGuard>(&self, guard: &'g G) -> Option<&'g V>;
 
     /// Atomically replaces the value, returning a clone of the previous one.
     ///
     /// The previous value stays readable by concurrently pinned threads and is
-    /// reclaimed through `guard`'s epoch domain.
-    fn replace(&self, value: V, guard: &Guard) -> V
+    /// reclaimed through `guard`'s reclamation domain.
+    fn replace<G: ReclaimGuard>(&self, value: V, guard: &G) -> V
     where
         V: Clone;
 
@@ -101,12 +101,12 @@ impl ValueCell<()> for UnitCell {
     fn init(&self, (): ()) {}
 
     #[inline(always)]
-    fn read<'g>(&self, _guard: &'g Guard) -> Option<&'g ()> {
+    fn read<'g, G: ReclaimGuard>(&self, _guard: &'g G) -> Option<&'g ()> {
         Some(&())
     }
 
     #[inline(always)]
-    fn replace(&self, (): (), _guard: &Guard) {}
+    fn replace<G: ReclaimGuard>(&self, (): (), _guard: &G) {}
 
     #[inline(always)]
     fn take_unpublished(&self) -> Option<()> {
@@ -143,7 +143,7 @@ impl<V: Send + Sync> ValueCell<V> for BoxedCell<V> {
         self.ptr.store(owned.into_shared(guard), Ordering::Relaxed);
     }
 
-    fn read<'g>(&self, guard: &'g Guard) -> Option<&'g V> {
+    fn read<'g, G: ReclaimGuard>(&self, guard: &'g G) -> Option<&'g V> {
         let p = self.ptr.load(Ordering::Acquire, guard);
         if p.is_null() {
             return None;
@@ -151,7 +151,7 @@ impl<V: Send + Sync> ValueCell<V> for BoxedCell<V> {
         Some(unsafe { p.deref() })
     }
 
-    fn replace(&self, value: V, guard: &Guard) -> V
+    fn replace<G: ReclaimGuard>(&self, value: V, guard: &G) -> V
     where
         V: Clone,
     {
@@ -170,9 +170,9 @@ impl<V: Send + Sync> ValueCell<V> for BoxedCell<V> {
             return None;
         }
         self.ptr.store(crossbeam_epoch::Shared::null(), Ordering::Relaxed);
-        // The node never became reachable, so this thread owns the box the
+        // The node never became reachable, so this thread owns the block the
         // pointer came from (`Owned::new` in `init`).
-        Some(*unsafe { Box::from_raw(p.as_raw() as *mut V) })
+        Some(unsafe { p.into_owned() }.into_inner())
     }
 }
 

@@ -18,7 +18,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crossbeam_epoch::{self as epoch, Atomic, Ebr, Owned, ReclaimGuard, Reclaimer, Shared};
 use cset::{ConcurrentSet, KeyBound};
 
 const MARK: usize = 1;
@@ -44,37 +44,45 @@ struct ListNode<K> {
 /// assert!(list.remove(&2));
 /// assert_eq!(list.len(), 1);
 /// ```
-pub struct LockFreeList<K> {
+pub struct LockFreeList<K, R: Reclaimer = Ebr> {
     head: *mut ListNode<K>,
     size: AtomicUsize,
+    reclaimer: std::marker::PhantomData<R>,
 }
 
-unsafe impl<K: Send + Sync> Send for LockFreeList<K> {}
-unsafe impl<K: Send + Sync> Sync for LockFreeList<K> {}
+unsafe impl<K: Send + Sync, R: Reclaimer> Send for LockFreeList<K, R> {}
+unsafe impl<K: Send + Sync, R: Reclaimer> Sync for LockFreeList<K, R> {}
 
-impl<K> fmt::Debug for LockFreeList<K> {
+impl<K, R: Reclaimer> fmt::Debug for LockFreeList<K, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockFreeList").field("len", &self.size.load(Ordering::Relaxed)).finish()
     }
 }
 
-impl<K: Ord> Default for LockFreeList<K> {
+impl<K: Ord, R: Reclaimer> Default for LockFreeList<K, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<K: Ord> LockFreeList<K> {
-    /// Creates an empty list (two permanent sentinel nodes).
+    /// Creates an empty list (two permanent sentinel nodes) on the default
+    /// epoch-based reclamation backend.
     pub fn new() -> Self {
-        let tail =
-            Box::into_raw(Box::new(ListNode { key: KeyBound::PosInf, next: Atomic::null() }));
-        let head =
-            Box::into_raw(Box::new(ListNode { key: KeyBound::NegInf, next: Atomic::null() }));
+        Self::new_in()
+    }
+}
+
+impl<K: Ord, R: Reclaimer> LockFreeList<K, R> {
+    /// Creates an empty list on reclamation backend `R` (see
+    /// [`Reclaimer`]); `LockFreeList::new()` is the `R = Ebr` shorthand.
+    pub fn new_in() -> Self {
+        let tail = epoch::alloc_raw(ListNode { key: KeyBound::PosInf, next: Atomic::null() });
+        let head = epoch::alloc_raw(ListNode { key: KeyBound::NegInf, next: Atomic::null() });
         unsafe {
             (*head).next.store(Shared::from(tail as *const ListNode<K>), ORD);
         }
-        LockFreeList { head, size: AtomicUsize::new(0) }
+        LockFreeList { head, size: AtomicUsize::new(0), reclaimer: std::marker::PhantomData }
     }
 
     fn head_shared<'g>(&self) -> Shared<'g, ListNode<K>> {
@@ -96,7 +104,7 @@ impl<K: Ord> LockFreeList<K> {
     fn search<'g>(
         &self,
         key: &K,
-        guard: &'g Guard,
+        guard: &'g R::Guard,
     ) -> (Shared<'g, ListNode<K>>, Shared<'g, ListNode<K>>) {
         'retry: loop {
             let mut pred = self.head_shared();
@@ -135,7 +143,7 @@ impl<K: Ord> LockFreeList<K> {
 
     /// Returns `true` if `key` is in the set.
     pub fn contains(&self, key: &K) -> bool {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         // Wait-free read-only traversal (no unlinking).
         let mut curr = unsafe { self.head_shared().deref() }.next.load(ORD, guard);
         loop {
@@ -152,7 +160,7 @@ impl<K: Ord> LockFreeList<K> {
 
     /// Inserts `key`; returns `true` if it was not present.
     pub fn insert(&self, key: K) -> bool {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut node = Owned::new(ListNode { key: KeyBound::Key(key), next: Atomic::null() });
         loop {
             let key_ref = match &node.key {
@@ -176,7 +184,7 @@ impl<K: Ord> LockFreeList<K> {
 
     /// Removes `key`; returns `true` if it was present and this call removed it.
     pub fn remove(&self, key: &K) -> bool {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         loop {
             let (pred, curr) = self.search(key, guard);
             let curr_ref = unsafe { curr.deref() };
@@ -211,7 +219,7 @@ impl<K: Ord> LockFreeList<K> {
     where
         K: Clone,
     {
-        let guard = &epoch::pin();
+        let guard = &R::pin();
         let mut out = Vec::new();
         let mut curr = unsafe { self.head_shared().deref() }.next.load(ORD, guard);
         loop {
@@ -231,22 +239,22 @@ impl<K: Ord> LockFreeList<K> {
     }
 }
 
-impl<K> Drop for LockFreeList<K> {
+impl<K, R: Reclaimer> Drop for LockFreeList<K, R> {
     fn drop(&mut self) {
-        let guard = unsafe { epoch::unprotected() };
+        let guard = unsafe { R::unprotected() };
         unsafe {
             let mut curr = (*self.head).next.load(ORD, guard);
             while !curr.is_null() {
                 let raw = curr.with_tag(0).as_raw() as *mut ListNode<K>;
                 curr = (*raw).next.load(ORD, guard);
-                drop(Box::from_raw(raw));
+                drop(epoch::dealloc_raw(raw));
             }
-            drop(Box::from_raw(self.head));
+            drop(epoch::dealloc_raw(self.head));
         }
     }
 }
 
-impl<K: Ord + Send + Sync> ConcurrentSet<K> for LockFreeList<K> {
+impl<K: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<K> for LockFreeList<K, R> {
     fn insert(&self, key: K) -> bool {
         LockFreeList::insert(self, key)
     }

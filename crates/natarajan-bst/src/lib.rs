@@ -118,11 +118,11 @@ impl<K: Ord> NatarajanBst<K> {
     /// Creates an empty tree (the sentinel skeleton of the original algorithm).
     pub fn new() -> Self {
         // R(inf2) -> { S(inf1), leaf(inf2) };  S(inf1) -> { leaf(inf0), leaf(inf1) }
-        let leaf_inf0 = Box::into_raw(Box::new(ExtNode::leaf(ExtKey::Inf0)));
-        let leaf_inf1 = Box::into_raw(Box::new(ExtNode::leaf(ExtKey::Inf1)));
-        let leaf_inf2 = Box::into_raw(Box::new(ExtNode::leaf(ExtKey::Inf2)));
-        let s = Box::into_raw(Box::new(ExtNode::internal(ExtKey::Inf1)));
-        let r = Box::into_raw(Box::new(ExtNode::internal(ExtKey::Inf2)));
+        let leaf_inf0 = epoch::alloc_raw(ExtNode::leaf(ExtKey::Inf0));
+        let leaf_inf1 = epoch::alloc_raw(ExtNode::leaf(ExtKey::Inf1));
+        let leaf_inf2 = epoch::alloc_raw(ExtNode::leaf(ExtKey::Inf2));
+        let s = epoch::alloc_raw(ExtNode::internal(ExtKey::Inf1));
+        let r = epoch::alloc_raw(ExtNode::internal(ExtKey::Inf2));
         unsafe {
             (*s).child[0].store(Shared::from(leaf_inf0 as *const ExtNode<K>), ORD);
             (*s).child[1].store(Shared::from(leaf_inf1 as *const ExtNode<K>), ORD);
@@ -508,7 +508,7 @@ impl<K> Drop for NatarajanBst<K> {
                         stack.push(c.with_tag(0).as_raw() as *mut ExtNode<K>);
                     }
                 }
-                drop(Box::from_raw(p));
+                drop(epoch::dealloc_raw(p));
             }
         }
     }

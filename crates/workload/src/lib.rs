@@ -17,6 +17,9 @@
 //!   [`OperationMix::with_scans`] issue range reads of
 //!   [`WorkloadSpec::scan_len`] keys, served either through a streaming
 //!   cursor or the historical collect-everything path ([`ScanMode`]);
+//! * [`run_adversarial_workload`] — the fault-injection driver ([`Adversary`]):
+//!   stalled readers, mid-retire pauses and retire storms, generic over the
+//!   reclamation backend so EBR and IBR can be A/B'd (experiment E17);
 //! * [`Measurement`] / [`format_markdown_table`] — plain-value results that the
 //!   experiment harness and the criterion benchmarks both consume.
 //!
@@ -26,10 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adversary;
 mod distribution;
 mod runner;
 mod spec;
 
+pub use adversary::{run_adversarial_workload, Adversary, AdversaryReport};
 pub use distribution::{KeyDistribution, KeySampler};
 pub use runner::{
     prefill_map, run_map_workload, run_scan_workload, run_workload, Measurement, ScanMode,

@@ -1,0 +1,282 @@
+//! Backend-generic conformance matrix: every behavioural contract the suite
+//! checks for the default EBR backend must hold verbatim when the same
+//! structure runs on interval-based reclamation, plus the one property that
+//! separates the backends — bounded garbage under a stalled reader.
+//!
+//! The tests are generic over `R: Reclaimer` and instantiated for both
+//! [`lfbst::Ebr`] and [`lfbst::Ibr`]; a reclamation bug that only manifests
+//! on one backend (premature free, leaked bag, stuck era) fails exactly one
+//! instantiation and names it.
+//!
+//! Reclamation statistics and the `GarbageBound` ceiling are process-global,
+//! so every test here serialises on one mutex — each `.rs` file under
+//! `tests/` is its own test binary, which makes the lock airtight.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crossbeam_epoch::{garbage_bound, set_garbage_bound};
+use lfbst::{Ebr, GarbageBound, Ibr, LfBst, Reclaimer};
+use lflist::LockFreeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serialises the tests in this binary: they assert on process-wide
+/// reclamation counters and mutate the global garbage ceiling.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sequential set conformance against a `BTreeSet` oracle, over whichever
+/// structure the closure builds.
+fn set_agrees_with_oracle(set: &dyn cset::ConcurrentSet<u64>, seed: u64) {
+    let mut oracle = BTreeSet::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..4_000 {
+        let k = rng.gen_range(0..64u64);
+        match rng.gen_range(0..3u8) {
+            0 => assert_eq!(set.insert(k), oracle.insert(k), "insert({k}) on {}", set.name()),
+            1 => assert_eq!(set.remove(&k), oracle.remove(&k), "remove({k}) on {}", set.name()),
+            _ => assert_eq!(set.contains(&k), oracle.contains(&k), "contains({k})"),
+        }
+        assert_eq!(set.len(), oracle.len());
+    }
+}
+
+fn set_conformance<R: Reclaimer>() {
+    let tree: LfBst<u64, (), R> = LfBst::new_in();
+    set_agrees_with_oracle(&tree, 0xC0FF_EE00);
+    lfbst::validate::validate(&tree).expect("tree validates after oracle run");
+    let list: LockFreeList<u64, R> = LockFreeList::new_in();
+    set_agrees_with_oracle(&list, 0xC0FF_EE01);
+}
+
+fn map_conformance<R: Reclaimer>() {
+    let map: LfBst<u64, u64, R> = LfBst::new_in();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0xABBA);
+    for i in 0..4_000u64 {
+        let k = rng.gen_range(0..64u64);
+        match rng.gen_range(0..3u8) {
+            0 => assert_eq!(map.upsert(k, i), oracle.insert(k, i), "upsert({k})"),
+            1 => assert_eq!(map.remove_entry(&k), oracle.remove(&k), "remove_entry({k})"),
+            _ => assert_eq!(map.get(&k), oracle.get(&k).copied(), "get({k})"),
+        }
+    }
+    assert_eq!(
+        map.entries_in_range(..).into_iter().collect::<Vec<_>>(),
+        oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        "final ordered snapshot diverged from the oracle"
+    );
+}
+
+/// The upsert-vs-remove race (condensed from `cross_impl_equivalence`):
+/// tagged values prove `get` stays linearizable while writers replace in
+/// place and removers evict the same hot keys — on either backend, stale
+/// reads through a prematurely freed box would surface as a foreign tag.
+fn upsert_vs_remove_race<R: Reclaimer>() {
+    const KEYS: u64 = 16;
+    const OPS: u64 = 15_000;
+
+    let map: Arc<LfBst<u64, u64, R>> = Arc::new(LfBst::new_in());
+    let balance = Arc::new((0..KEYS).map(|_| AtomicI64::new(0)).collect::<Vec<_>>());
+    let encode = |writer: u64, seq: u64, key: u64| (writer << 48) | (seq << 8) | key;
+
+    let mut handles = Vec::new();
+    for w in 0..2u64 {
+        let map = Arc::clone(&map);
+        let balance = Arc::clone(&balance);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w);
+            for seq in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if map.upsert(k, encode(w, seq, k)).is_none() {
+                    balance[k as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for r in 0..2u64 {
+        let map = Arc::clone(&map);
+        let balance = Arc::clone(&balance);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + r);
+            for _ in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if let Some(evicted) = map.remove_entry(&k) {
+                    assert_eq!(evicted & 0xFF, k, "evicted value belongs to a different key");
+                    balance[k as usize].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for r in 0..2u64 {
+        let map = Arc::clone(&map);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(200 + r);
+            for _ in 0..OPS {
+                let k = rng.gen_range(0..KEYS);
+                if let Some(v) = map.get(&k) {
+                    assert_eq!(v & 0xFF, k, "get returned a value written for another key");
+                    assert!(v >> 48 < 2, "impossible writer tag");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for k in 0..KEYS {
+        let b = balance[k as usize].load(Ordering::Relaxed);
+        assert!(b == 0 || b == 1, "impossible balance {b} for key {k}");
+        assert_eq!(map.get(&k).is_some(), b == 1, "key {k} presence disagrees with balance");
+    }
+    lfbst::validate::validate(&*map).expect("tree validates after the race");
+}
+
+#[test]
+fn set_conformance_on_ebr() {
+    let _g = lock();
+    set_conformance::<Ebr>();
+}
+
+#[test]
+fn set_conformance_on_ibr() {
+    let _g = lock();
+    set_conformance::<Ibr>();
+}
+
+#[test]
+fn map_conformance_on_ebr() {
+    let _g = lock();
+    map_conformance::<Ebr>();
+}
+
+#[test]
+fn map_conformance_on_ibr() {
+    let _g = lock();
+    map_conformance::<Ibr>();
+}
+
+#[test]
+fn upsert_vs_remove_race_on_ebr() {
+    let _g = lock();
+    upsert_vs_remove_race::<Ebr>();
+}
+
+#[test]
+fn upsert_vs_remove_race_on_ibr() {
+    let _g = lock();
+    upsert_vs_remove_race::<Ibr>();
+}
+
+/// Churns a tree on backend `R` for `duration` while one thread holds a bare
+/// reclamation guard the whole time, and returns the backend's bag-depth
+/// high-water mark over the episode (peak unreclaimed nodes).
+fn stalled_reader_peak_garbage<R: Reclaimer>(duration: Duration) -> u64 {
+    let tree: Arc<LfBst<u64, (), R>> = Arc::new(LfBst::new_in());
+    for k in 0..1024u64 {
+        tree.insert(k);
+    }
+    R::collect();
+    R::reset_bag_depth_hwm();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stalled = {
+        let stop = Arc::clone(&stop);
+        let tree = Arc::clone(&tree);
+        std::thread::spawn(move || {
+            // Pin once, touch the tree, then sit on the guard until told to
+            // stop: a reader descheduled mid-traversal.
+            let guard = R::pin();
+            assert!(tree.contains(&0));
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(guard);
+        })
+    };
+    let churners: Vec<_> = (0..3u64)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.gen_range(0..1024u64);
+                    tree.remove(&k);
+                    tree.insert(k);
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    stalled.join().unwrap();
+    for h in churners {
+        h.join().unwrap();
+    }
+    R::stats().bag_depth_hwm
+}
+
+/// The property this PR's tentpole exists to buy: with a stalled reader in
+/// the domain, IBR's peak unreclaimed garbage stays under the configured
+/// `GarbageBound` (the escalation ladder can still free everything born
+/// after the frozen reservation), while the EBR control — same workload,
+/// same ceiling, same stall — blows through it because a pinned reader
+/// freezes the global epoch and no amount of collect effort can free
+/// anything at all.
+#[test]
+fn stalled_reader_garbage_is_bounded_on_ibr_but_not_ebr() {
+    let _g = lock();
+    const BOUND: usize = 4_000;
+    let saved = garbage_bound();
+    set_garbage_bound(GarbageBound::nodes(BOUND));
+
+    let stall = Duration::from_millis(400);
+    let ibr_peak = stalled_reader_peak_garbage::<Ibr>(stall);
+    let ebr_peak = stalled_reader_peak_garbage::<Ebr>(stall);
+
+    set_garbage_bound(saved);
+
+    // IBR: the ladder holds the line at the ceiling.  The margin of 2x
+    // absorbs enforcement granularity (the bound is checked per retirement,
+    // and a whole era of stragglers can land between checks).
+    assert!(
+        ibr_peak <= (BOUND * 2) as u64,
+        "IBR peak garbage {ibr_peak} blew through the {BOUND}-node ceiling"
+    );
+    // EBR: every retirement of the episode is stuck behind the stalled pin.
+    assert!(
+        ebr_peak > BOUND as u64,
+        "EBR control peaked at {ebr_peak} <= {BOUND}: the stall injected no pressure, \
+         so the IBR assertion above proved nothing"
+    );
+    assert!(
+        ebr_peak > ibr_peak,
+        "EBR ({ebr_peak}) should strand more garbage than IBR ({ibr_peak}) under a stall"
+    );
+}
+
+/// Nightly stress hunt against the IBR backend (run `--ignored` by the CI
+/// deep-hunt job): repeated rounds of the upsert-vs-remove race battery,
+/// periodically overlapped with a stalled-reader churn episode so eras
+/// freeze and thaw mid-race.  Round count via `IBR_STRESS_ROUNDS`
+/// (default 25 so a local `--ignored` run stays minutes, not hours).
+#[test]
+#[ignore = "long-running; nightly CI runs it with IBR_STRESS_ROUNDS=200"]
+fn ibr_stress_hunt() {
+    let _g = lock();
+    let rounds: u64 =
+        std::env::var("IBR_STRESS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
+    for round in 0..rounds {
+        upsert_vs_remove_race::<Ibr>();
+        if round % 8 == 0 {
+            let peak = stalled_reader_peak_garbage::<Ibr>(Duration::from_millis(50));
+            assert!(peak > 0, "round {round}: stalled churn retired nothing");
+        }
+    }
+}
