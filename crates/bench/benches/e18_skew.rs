@@ -1,0 +1,118 @@
+//! E18 — elastic sharding under skew: the same mixed map workload over a
+//! 16-strip `ElasticMap<LfBst>`, measured on the static boundary layout and
+//! on the layout the load-driven rebalancer converges to under Zipf(0.99).
+//!
+//! * `static/<dist>`     — the initial even-stride layout, rebalancer off.
+//! * `rebalanced/<dist>` — the layout after the policy loop quiesces on a
+//!   skewed load window (split-dominant: hot strips sliced until no strip
+//!   clears the hot threshold).
+//!
+//! Under `uniform` the two layouts must tie (the rebalancer applies no
+//! action on flat load, so the layouts are identical); under `zipf-0.99`
+//! the rebalanced layout serves the hot mass from strips a fraction of the
+//! static strip size — shorter paths over a cache-resident working set.
+//! The harness twin (`harness -- e18`) measures the same comparison at full
+//! scale with the background rebalancer thread live; this target is the
+//! criterion-sized, deterministic (step-driven) version.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, timed_map_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfbst::LfBst;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard::{ElasticMap, RebalancePolicy, Rebalancer};
+use workload::{KeyDistribution, KeySampler, MapSpec, OperationMix, WorkloadSpec};
+
+const KEY_RANGE: u64 = 1 << 18;
+const SHARDS: usize = 16;
+const VALUE_BYTES: usize = 8;
+
+fn mixed() -> OperationMix {
+    OperationMix::new(70, 20, 10)
+}
+
+/// 25% density in multiplicative-permutation order: dense enough that strip
+/// depth matters, never sorted (sorted insertion would degenerate the
+/// rebalancing-free trees into spines).
+fn dense_prefill(map: &ElasticMap<LfBst<u64, Vec<u8>>>) {
+    let mult = 0x9E37_79B9_7F4A_7C15u64 | 1;
+    for i in 0..KEY_RANGE / 4 {
+        let _ = cset::ConcurrentMap::insert(
+            map,
+            i.wrapping_mul(mult) & (KEY_RANGE - 1),
+            vec![0u8; VALUE_BYTES],
+        );
+    }
+    map.take_loads();
+}
+
+/// Drives windows of Zipf(0.99) gets through the policy until three
+/// consecutive steps apply no action, returning the applied-action count.
+fn converge(map: &ElasticMap<LfBst<u64, Vec<u8>>>) -> u64 {
+    let sampler = KeySampler::new(KeyDistribution::Zipf { exponent: 0.99 }, KEY_RANGE);
+    let mut rng = StdRng::seed_from_u64(0x18);
+    let balancer = Rebalancer::new(RebalancePolicy {
+        hot_factor: 2.5,
+        cold_factor: 0.05,
+        min_shards: SHARDS,
+        max_shards: 96,
+        min_window_ops: 1024,
+        ..RebalancePolicy::default()
+    });
+    let (mut actions, mut quiet) = (0u64, 0u32);
+    while quiet < 3 {
+        for _ in 0..20_000 {
+            let _ = cset::ConcurrentMap::get(map, &sampler.sample(&mut rng));
+        }
+        match balancer.step(map) {
+            Some(_) => {
+                actions += 1;
+                quiet = 0;
+            }
+            None => quiet += 1,
+        }
+    }
+    actions
+}
+
+fn benches(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("e18_skew");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(1));
+
+    let distributions = [
+        ("uniform", KeyDistribution::Uniform),
+        ("zipf-0.99", KeyDistribution::Zipf { exponent: 0.99 }),
+    ];
+
+    let static_map: Arc<ElasticMap<LfBst<u64, Vec<u8>>>> =
+        Arc::new(ElasticMap::covering(SHARDS, KEY_RANGE, LfBst::new));
+    dense_prefill(&static_map);
+
+    let rebalanced: Arc<ElasticMap<LfBst<u64, Vec<u8>>>> =
+        Arc::new(ElasticMap::covering(SHARDS, KEY_RANGE, LfBst::new));
+    dense_prefill(&rebalanced);
+    let actions = converge(&rebalanced);
+    assert!(actions > 0, "the zipf load window never triggered a split");
+
+    for (label, dist) in distributions {
+        let spec =
+            MapSpec::new(WorkloadSpec::new(KEY_RANGE, mixed()).distribution(dist), VALUE_BYTES);
+        group.bench_with_input(BenchmarkId::new("static", label), &spec, |b, spec| {
+            b.iter_custom(|iters| timed_map_ops(&static_map, threads, iters.max(1), spec, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("rebalanced", label), &spec, |b, spec| {
+            b.iter_custom(|iters| timed_map_ops(&rebalanced, threads, iters.max(1), spec, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e18, benches);
+criterion_main!(e18);

@@ -115,7 +115,7 @@ where
     let barrier = Arc::new(Barrier::new(threads + 1));
     let stop = Arc::new(AtomicBool::new(false));
     let mix = spec.base().mix();
-    let sampler = KeySampler::new(workload::KeyDistribution::Uniform, spec.base().key_range());
+    let sampler = KeySampler::new(spec.base().key_distribution(), spec.base().key_range());
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let map = Arc::clone(map);

@@ -6,7 +6,7 @@ pub mod stats;
 pub mod traits;
 
 pub use key::KeyBound;
-pub use stats::{OpKind, OpStats, StatsSnapshot};
+pub use stats::{LoadTally, OpKind, OpStats, StatsSnapshot};
 pub use traits::{
     chunked_scan_entries, chunked_scan_keys, range_is_empty, ConcurrentMap, ConcurrentSet,
     EntryCursor, KeyCursor, MapAsSet, OrderedMap, OrderedSet, PinnedOps, SCAN_CHUNK,

@@ -156,6 +156,48 @@ impl OpStats {
     }
 }
 
+/// A cache-line-padded relaxed operation tally — the always-on load signal
+/// behind elastic sharding.
+///
+/// Unlike [`OpStats`] (feature-gated diagnostics), a `LoadTally` is meant to
+/// be bumped on **every** operation of a shard unconditionally, so it must be
+/// as close to free as a shared counter can be: one relaxed `fetch_add` on a
+/// cache line no other shard's tally shares.  The padding matters — without
+/// it, sixteen shards' tallies pack into two cache lines and every op on any
+/// shard bounces lines between all cores.
+///
+/// `take()` is the rebalancer's read-and-reset: load observed since the last
+/// call, atomically swapped to zero, so consecutive windows never double
+/// count.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct LoadTally(AtomicU64);
+
+impl LoadTally {
+    /// Creates a zeroed tally.
+    pub const fn new() -> Self {
+        LoadTally(AtomicU64::new(0))
+    }
+
+    /// Records one operation (relaxed; never used for synchronization).
+    #[inline]
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count (relaxed load).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns the count accumulated since the last `take` and resets it.
+    #[inline]
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
 /// A plain-value copy of [`OpStats`], convenient to subtract, print and store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -263,6 +305,42 @@ impl std::iter::Sum for StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn load_tally_bumps_and_takes() {
+        let t = LoadTally::new();
+        assert_eq!(t.get(), 0);
+        t.bump();
+        t.bump();
+        assert_eq!(t.get(), 2);
+        assert_eq!(t.take(), 2);
+        assert_eq!(t.get(), 0);
+        t.bump();
+        assert_eq!(t.take(), 1);
+        // The padding claim: each tally owns a full cache line.
+        assert!(std::mem::align_of::<LoadTally>() >= 64);
+        assert!(std::mem::size_of::<LoadTally>() >= 64);
+    }
+
+    #[test]
+    fn load_tally_is_exact_at_quiescence() {
+        use std::sync::Arc;
+        let t = Arc::new(LoadTally::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        t.bump();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.take(), 40_000);
+    }
 
     #[test]
     fn counters_accumulate() {

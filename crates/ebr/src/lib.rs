@@ -247,6 +247,62 @@ mod tests {
         pointer_ops_roundtrip::<Ibr>();
     }
 
+    /// The sharding layer retires whole routing tables — `Vec`-holding
+    /// structs, not tree nodes — through `defer_destroy` under a real pin.
+    /// The bag must run their genuine destructors (dropping the `Vec` and
+    /// every `Arc` inside), not just free the outer allocation.
+    fn non_node_allocations_run_real_destructors<R: Reclaimer>() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        struct FakeTable {
+            _strips: Vec<Arc<u64>>,
+            alive: Arc<AtomicUsize>,
+        }
+        impl Drop for FakeTable {
+            fn drop(&mut self) {
+                self.alive.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let alive = Arc::new(AtomicUsize::new(0));
+        let payload = Arc::new(7u64);
+        for _ in 0..16 {
+            alive.fetch_add(1, Ordering::SeqCst);
+            let guard = R::pin();
+            let table =
+                FakeTable { _strips: vec![Arc::clone(&payload); 8], alive: Arc::clone(&alive) };
+            let p = Owned::new(table).into_shared(&guard);
+            unsafe { guard.defer_destroy(p) };
+        }
+        // Re-pinning and collecting advances the epoch until every bag
+        // drains; cap the loop so a stuck backend fails instead of hanging.
+        for _ in 0..256 {
+            if alive.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            drop(R::pin());
+            R::collect();
+        }
+        assert_eq!(alive.load(Ordering::SeqCst), 0, "{}: a retired table never dropped", R::NAME);
+        assert_eq!(
+            Arc::strong_count(&payload),
+            1,
+            "{}: table destructors did not release their strip handles",
+            R::NAME
+        );
+    }
+
+    #[test]
+    fn non_node_allocations_run_real_destructors_under_ebr() {
+        non_node_allocations_run_real_destructors::<Ebr>();
+    }
+
+    #[test]
+    fn non_node_allocations_run_real_destructors_under_ibr() {
+        non_node_allocations_run_real_destructors::<Ibr>();
+    }
+
     #[test]
     fn backend_names_differ() {
         assert_eq!(Ebr::NAME, "ebr");

@@ -8,9 +8,9 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|...|e15|e17|all|e1,e17,...] [--quick] [--duration-ms N]
+//! experiments [e1|e2|...|e15|e17|e18|all|e1,e17,...] [--quick] [--duration-ms N]
 //!             [--max-threads N] [--value-bytes N] [--sample-every N]
-//!             [--csv] [--json <path>]
+//!             [--dist uniform|zipf:<exp>] [--csv] [--json <path>]
 //! ```
 //!
 //! Each experiment prints a markdown table (or CSV with `--csv`) whose rows are
@@ -23,6 +23,13 @@
 //! be committed as trajectory points (`BENCH_*.json`) and compared across PRs;
 //! the `kind` / `value_bytes` fields keep set rows and map rows (E13)
 //! machine-comparable in one schema.
+//!
+//! `--dist` overrides the key popularity distribution for every workload-
+//! runner experiment (E11, E13, E14, E15, ... — anything built through
+//! `Options::spec`): `uniform` (the default) or `zipf:<exponent>` (bare
+//! `zipf` means the standard 0.99).  Experiments that *sweep* distributions
+//! themselves (E17's adversary, E18's uniform-vs-zipf comparison) pin their
+//! own and ignore the flag.
 //!
 //! Schema v3 (`lfbst-bench-v3`) extends v2 by **appending** fields only, so
 //! v2 consumers keep working: every record now also carries the latency
@@ -316,6 +323,9 @@ struct Options {
     /// Overrides the workload's default latency sampling rate (`0` disables
     /// sampling — no clock reads at all on the measured hot paths).
     sample_every: Option<u64>,
+    /// Overrides the key popularity distribution for every experiment built
+    /// through [`Options::spec`] (`--dist uniform|zipf:<exp>`).
+    dist: Option<KeyDistribution>,
     records: RefCell<Vec<JsonRecord>>,
 }
 
@@ -329,6 +339,7 @@ impl Options {
         let mut json = None;
         let mut value_bytes = None;
         let mut sample_every = None;
+        let mut dist = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -351,6 +362,19 @@ impl Options {
                     i += 1;
                     sample_every = args.get(i).and_then(|s| s.parse().ok());
                 }
+                "--dist" => {
+                    i += 1;
+                    match args.get(i).map(String::as_str).and_then(KeyDistribution::parse) {
+                        Some(d) => dist = Some(d),
+                        None => {
+                            eprintln!(
+                                "--dist takes `uniform` or `zipf:<exponent>` (got {:?})",
+                                args.get(i).map(String::as_str).unwrap_or("")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 // Explicit form of the positional selector: `--experiments e1,e13`.
                 "--experiments" => {
                     i += 1;
@@ -364,7 +388,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: experiments [e1..e15,e17|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--sample-every N] [--csv] [--json <path>]"
+                        "usage: experiments [e1..e15,e17,e18|all|comma-list] [--quick] [--duration-ms N] [--max-threads N] [--value-bytes N] [--sample-every N] [--dist uniform|zipf:<exp>] [--csv] [--json <path>]"
                     );
                     std::process::exit(0);
                 }
@@ -384,18 +408,24 @@ impl Options {
             json,
             value_bytes,
             sample_every,
+            dist,
             records: RefCell::new(Vec::new()),
         }
     }
 
-    /// Builds a [`WorkloadSpec`], applying the `--sample-every` override when
-    /// one was given (otherwise the workload default of one op in 64 holds).
+    /// Builds a [`WorkloadSpec`], applying the `--sample-every` and `--dist`
+    /// overrides when given (otherwise the workload defaults hold: one
+    /// latency sample per 64 ops, uniform keys).  Experiments that pin their
+    /// own distribution call `.distribution(..)` *after* this and win.
     fn spec(&self, key_range: u64, mix: OperationMix) -> WorkloadSpec {
-        let spec = WorkloadSpec::new(key_range, mix);
-        match self.sample_every {
-            Some(n) => spec.sample_every(n),
-            None => spec,
+        let mut spec = WorkloadSpec::new(key_range, mix);
+        if let Some(n) = self.sample_every {
+            spec = spec.sample_every(n);
         }
+        if let Some(d) = self.dist {
+            spec = spec.distribution(d);
+        }
+        spec
     }
 
     /// Returns `true` if `name` was selected on the command line (`all`, a
@@ -1281,6 +1311,168 @@ fn e17(opts: &Options) {
     );
 }
 
+fn e18(opts: &Options) {
+    // Elastic sharding under skew: the same map workload over a 16-strip
+    // ElasticMap<LfBst>, with the background rebalancer off (a static
+    // range-partitioned table) versus on (policy-driven online split/merge).
+    // Under uniform keys the two must tie — rebalancing has nothing to move
+    // and must not cost throughput.  Under Zipf(0.99) the hot strips
+    // serialize most operations onto a few trees; splitting them online
+    // spreads the heat and buys back both Mops and tail latency.  The final
+    // per-strip load tallies are reported as gauges so the skew (and what
+    // the rebalancer did to it) is visible, not just its throughput effect.
+    use crossbeam_epoch::{Ebr, Reclaimer};
+    use shard::{ElasticMap, RebalancePolicy, Rebalancer, RebalancerHandle};
+    let key_range = if opts.quick { 1u64 << 18 } else { 1u64 << 24 };
+    let value_bytes = 8usize;
+    let shards = 16usize;
+    let mix = OperationMix::new(70, 20, 10);
+    let threads = opts.max_threads;
+    let mut rows = Vec::new();
+    let registry = obs::Registry::new();
+    for dist in [KeyDistribution::Uniform, KeyDistribution::Zipf { exponent: 0.99 }] {
+        // The workload's own prefill is bypassed (`prefill_fraction(0)`):
+        // a zipf prefill is attempt-capped far below this density, and
+        // the skew question needs a *dense* map — deep strips whose
+        // access-weighted working set dwarfs the cache — not the sparse
+        // resident set a short skewed run leaves behind.  Keys go in at
+        // 25% density in multiplicative-permutation order (sorted order
+        // would degenerate the rebalancing-free trees into spines).
+        //
+        // One map serves BOTH the off and on rows (off measured first, then
+        // the rebalancer is let loose on the same map): a paired comparison.
+        // Building a second identical map would not be identical at all —
+        // its nodes come out of the freed first map's fragmented allocations,
+        // and on this DRAM-bound uniform workload that order effect alone
+        // swings throughput more than the treatment under test.
+        let spec = MapSpec::new(
+            opts.spec(key_range, mix).distribution(dist).seed(0x18).prefill_fraction(0.0),
+            value_bytes,
+        );
+        let map: Arc<ElasticMap<LfBst<u64, Vec<u8>>>> =
+            Arc::new(ElasticMap::covering(shards, key_range, LfBst::new));
+        let mult = 0x9E37_79B9_7F4A_7C15u64 | 1;
+        for i in 0..key_range / 4 {
+            map.insert(i.wrapping_mul(mult) & (key_range - 1), vec![0u8; value_bytes]);
+        }
+        map.take_loads(); // the prefill window is not load signal
+        for rebalance in [false, true] {
+            // Split-dominant policy: merging "cold" strips mid-run copies
+            // entries for zero throughput benefit — the floor at the initial
+            // strip count plus a near-zero cold factor keeps the run
+            // split-only, letting the layout converge on isolating the hot
+            // keys instead of thrashing.
+            let balancer = rebalance.then(|| {
+                Rebalancer::new(RebalancePolicy {
+                    // hot_factor 2.5: high enough that the converged layout
+                    // (whose residual peak is a single unsplittable hot key
+                    // at ~2× the mean) stops triggering, so migrations
+                    // cluster in the warmup round instead of stalling the
+                    // steady state they already paid for.
+                    hot_factor: 2.5,
+                    cold_factor: 0.05,
+                    min_shards: shards,
+                    max_shards: 96,
+                    min_window_ops: 1024,
+                    interval: Duration::from_millis(10),
+                })
+                .spawn(Arc::clone(&map))
+            });
+            // Warm up in unmeasured rounds until the rebalancer quiesces (a
+            // round applies no action), so every row is measured at its own
+            // steady state: the static rows trivially quiesce after one
+            // round, the rebalancing rows after the migration era the warmup
+            // absorbs.  The rounds are reported — the convergence transient
+            // is a documented cost, not a hidden one.
+            // Two consecutive action-free rounds are required because a
+            // single migration can straddle a round boundary: it bumps the
+            // counter only on completion, so one clean round can still mean
+            // "a split is in flight", two cannot.
+            let mut warmup_rounds = 0u64;
+            let mut clean_rounds = 0;
+            while clean_rounds < 2 && warmup_rounds < 12 {
+                let before = map.rebalances();
+                let _ = run_map_workload(Arc::clone(&map), &spec, threads, opts.duration);
+                warmup_rounds += 1;
+                clean_rounds = if map.rebalances() == before { clean_rounds + 1 } else { 0 };
+            }
+            // Drain the migration era's garbage (retired routing tables and
+            // drained strip trees — hundreds of thousands of nodes) before
+            // measuring: left pending, those deferred frees amortize into
+            // the measured round as latency the *layout* did not cause.
+            loop {
+                let pending = crossbeam_epoch::reclamation_stats().bag_depth();
+                Ebr::collect();
+                if crossbeam_epoch::reclamation_stats().bag_depth() >= pending {
+                    break;
+                }
+            }
+            let warmup_actions = map.rebalances();
+            // Median-of-three measured rounds: this host's run-to-run noise
+            // is larger than the uniform-row effect under test (on/off must
+            // tie), and the median discards a single descheduled round
+            // without averaging its stall into the row.
+            let mut runs: Vec<_> = (0..3)
+                .map(|_| {
+                    with_reclamation(|| {
+                        run_map_workload(Arc::clone(&map), &spec, threads, opts.duration)
+                    })
+                })
+                .collect();
+            runs.sort_by(|a, b| a.0.mops().total_cmp(&b.0.mops()));
+            let (m, rec) = runs.swap_remove(1);
+            let late_actions = map.rebalances() - warmup_actions;
+            let actions = balancer.map(RebalancerHandle::stop).unwrap_or(0);
+            let state = if rebalance { "rebal-on" } else { "rebal-off" };
+            let row = format!("{}/{state}", dist.label());
+            opts.record_run(
+                "e18",
+                &format!("elastic-{state}"),
+                key_range,
+                &format!("70/20/10@{}", dist.label()),
+                "map",
+                value_bytes,
+                &m,
+                &rec,
+            );
+            let mut cells = Vec::new();
+            push_latency_cells(&mut cells, "elastic", &m);
+            cells.push(("shards".to_string(), map.shard_count() as f64));
+            cells.push(("rebalances".to_string(), actions as f64));
+            cells.push(("late-rebal".to_string(), late_actions as f64));
+            cells.push(("warmup-rounds".to_string(), warmup_rounds as f64));
+            // Residual imbalance: the hottest strip's share of the run's
+            // tail window, as a multiple of the mean (1.0 = perfectly flat).
+            let loads = map.load_per_shard();
+            let total: u64 = loads.iter().sum();
+            let peak = loads.iter().copied().max().unwrap_or(0);
+            let imbalance =
+                if total == 0 { 0.0 } else { peak as f64 * loads.len() as f64 / total as f64 };
+            cells.push(("peak/mean".to_string(), imbalance));
+            for (i, l) in loads.iter().enumerate() {
+                registry.gauge(&format!("shard.load.{row}.{i}")).set(*l as i64);
+            }
+            rows.push((row, cells));
+        }
+    }
+    opts.emit(
+        &format!(
+            "E18 — elastic sharding under skew (uniform vs Zipf(0.99), rebalancer off/on, \
+             70/20/10 map mix, range 2^{}, 25% dense prefill, {value_bytes} B payloads, \
+             {shards} initial strips, {threads} threads, warmed to quiescence)",
+            key_range.trailing_zeros()
+        ),
+        "dist/rebalance",
+        &rows,
+    );
+    let snap = registry.snapshot();
+    let gauge_rows: Vec<(String, Vec<(String, f64)>)> = snap
+        .iter()
+        .map(|(name, v)| (name.to_string(), vec![("ops".to_string(), v as f64)]))
+        .collect();
+    opts.emit("E18 — final per-strip load tallies (last rebalancer window)", "gauge", &gauge_rows);
+}
+
 /// Prints the process-wide reclamation health gauges through the metrics
 /// registry (the `obs::Registry` wiring of the `ebr` counters).
 fn reclamation_report(opts: &Options) {
@@ -1328,7 +1520,7 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
     type Experiment = (&'static str, fn(&Options));
-    let experiments: [Experiment; 16] = [
+    let experiments: [Experiment; 17] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1345,6 +1537,7 @@ fn main() {
         ("e14", e14),
         ("e15", e15),
         ("e17", e17),
+        ("e18", e18),
     ];
     for (name, run) in experiments {
         if opts.selected(name) {
@@ -1378,6 +1571,7 @@ mod tests {
             json: None,
             value_bytes: None,
             sample_every: None,
+            dist: None,
             records: RefCell::new(Vec::new()),
         }
     }

@@ -25,9 +25,24 @@
 //!   `LfBst<K, V>` (streaming scans via [`cset::OrderedMap::scan_entries`],
 //!   collecting scans via [`cset::OrderedMap::entries_between`]).
 //!
-//! The benchmark harness measures this layer as experiment **E11** (shard
-//! count × thread count × operation mix); see `EXPERIMENTS.md` at the
-//! repository root.
+//! Static partitioning loses its wins under a skewed key distribution (one
+//! strip saturates while the rest idle), so the layer is also **elastic**:
+//!
+//! * [`BoundaryRouter`] — the general order-preserving router: explicit
+//!   sorted split points instead of a fixed stride;
+//! * [`ElasticMap`] — a range-sharded map whose strip layout is published
+//!   through an epoch-switched routing-table pointer, so strips can be split
+//!   and merged online (readers never block; writers to a migrating strip
+//!   are briefly gated; superseded tables are retired through the pluggable
+//!   reclamation backend — see the [`elastic`] module docs and DESIGN.md §9);
+//! * [`Rebalancer`] / [`RebalancePolicy`] — the load-driven policy that
+//!   watches the always-on per-strip tallies ([`Sharded::load_per_shard`],
+//!   [`ElasticMap::load_per_shard`]) and splits hot strips / merges cold
+//!   neighbours, step-by-step or from a background thread.
+//!
+//! The benchmark harness measures this layer as experiments **E11** (shard
+//! count × thread count × operation mix) and **E18** (skew × rebalancing
+//! on/off); see `EXPERIMENTS.md` at the repository root.
 //!
 //! ## Quick start
 //!
@@ -58,12 +73,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod elastic;
 pub mod merge;
+mod rebalance;
 mod router;
 mod sharded;
 
+pub use elastic::ElasticMap;
 pub use merge::{MergedEntries, MergedKeys};
-pub use router::{HashRouter, OrderedRouter, RangeRouter, ShardRouter};
+pub use rebalance::{RebalanceAction, RebalancePolicy, Rebalancer, RebalancerHandle};
+pub use router::{BoundaryRouter, HashRouter, OrderedRouter, RangeRouter, ShardRouter};
 pub use sharded::{config_name, Sharded, ShardedMap};
 
 pub use cset::{
@@ -550,5 +569,41 @@ mod tests {
         let scan = set.keys_in_range(..);
         assert!(scan.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(scan.len(), expected);
+    }
+
+    #[test]
+    fn load_counters_account_for_every_point_op() {
+        let set = Sharded::new(RangeRouter::covering(4, 1_024), |_| LfBst::new());
+        for k in 0u64..1_024 {
+            set.insert(k);
+        }
+        for k in (0u64..1_024).step_by(2) {
+            set.contains(&k);
+        }
+        for k in (0u64..1_024).step_by(4) {
+            set.remove(&k);
+        }
+        let loads = set.load_per_shard();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().sum::<u64>(), 1_024 + 512 + 256);
+        // Uniform keys over an order-preserving router: every strip saw its
+        // exact share.
+        assert!(loads.iter().all(|&l| l == (1_024 + 512 + 256) / 4), "{loads:?}");
+        // take_loads drains the window; load_per_shard alone does not.
+        assert_eq!(set.load_per_shard(), loads);
+        assert_eq!(set.take_loads(), loads);
+        assert_eq!(set.load_per_shard(), vec![0; 4]);
+
+        let map = ShardedMap::new(RangeRouter::covering(2, 64), |_| {
+            locked_bst::CoarseLockMap::<u64, String>::new()
+        });
+        map.insert(1, "a".into());
+        map.upsert(40, "b".into());
+        map.get(&1);
+        map.contains_key(&40);
+        map.remove(&1);
+        assert_eq!(map.load_per_shard(), vec![3, 2]);
+        assert_eq!(map.take_loads(), vec![3, 2]);
+        assert_eq!(map.load_per_shard(), vec![0, 0]);
     }
 }

@@ -1,0 +1,343 @@
+//! The [`Rebalancer`]: load-driven split/merge policy over an
+//! [`ElasticMap`], plus a background-thread driver.
+//!
+//! The mechanism (how a strip is split or merged online) lives in
+//! [`crate::elastic`]; this module is only *policy*: read the windowed
+//! per-strip load tallies, decide whether the hottest strip is hot enough to
+//! split or the coldest adjacent pair cold enough to merge, and apply at
+//! most one action per step.  One action per window keeps the feedback loop
+//! stable — each decision is made against loads measured on the layout it
+//! changes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_epoch::Reclaimer;
+use cset::OrderedMap;
+
+use crate::elastic::ElasticMap;
+
+/// Tuning knobs for the [`Rebalancer`].
+///
+/// The defaults are deliberately conservative: a strip must carry more than
+/// `hot_factor` times the mean window load to be split, and an adjacent pair
+/// must *together* carry less than `cold_factor` times the mean to be merged
+/// — the gap between the two thresholds is the hysteresis band that stops a
+/// borderline strip from oscillating.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalancePolicy {
+    /// Split the hottest strip when its window load exceeds
+    /// `hot_factor × mean` (default `1.5`).
+    ///
+    /// Must stay below the shard count: with `N` strips the hottest strip
+    /// carries at most `N × mean` (all of the load), so e.g. `2.0` could
+    /// never trigger on a two-strip map.  `1.5` is reachable at any `N ≥ 2`
+    /// and well above uniform-load noise.
+    pub hot_factor: f64,
+    /// Merge the coldest adjacent pair when its combined window load is
+    /// below `cold_factor × mean` (default `0.5`).
+    pub cold_factor: f64,
+    /// Never merge below this many strips (default `1`).
+    pub min_shards: usize,
+    /// Never split above this many strips (default `64`).
+    pub max_shards: usize,
+    /// Ignore windows with fewer total ops than this — too little signal to
+    /// act on (default `2048`).
+    pub min_window_ops: u64,
+    /// Sleep between steps when driven by [`Rebalancer::spawn`]
+    /// (default 5 ms).
+    pub interval: Duration,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            hot_factor: 1.5,
+            cold_factor: 0.5,
+            min_shards: 1,
+            max_shards: 64,
+            min_window_ops: 2048,
+            interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One applied rebalance decision, reported by [`Rebalancer::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebalanceAction {
+    /// Strip `strip` was split at key `pivot`.
+    Split {
+        /// The strip index that was split (as of the pre-split table).
+        strip: usize,
+        /// The new boundary key.
+        pivot: u64,
+    },
+    /// Strips `left` and `left + 1` were merged.
+    Merge {
+        /// The left strip index of the merged pair.
+        left: usize,
+    },
+}
+
+/// Detects hot/cold strips from an [`ElasticMap`]'s load tallies and
+/// rebalances it, either step-by-step ([`step`](Self::step)) or from a
+/// background thread ([`spawn`](Self::spawn)).
+///
+/// # Examples
+///
+/// ```
+/// use cset::ConcurrentMap;
+/// use lfbst::LfBst;
+/// use shard::{ElasticMap, RebalancePolicy, Rebalancer};
+///
+/// let map: ElasticMap<_> = ElasticMap::covering(2, 1_000, || LfBst::<u64, u64>::new());
+/// for k in 0..1_000 {
+///     map.insert(k, k);
+/// }
+/// map.take_loads(); // discard the prefill window
+/// // Hammer the first strip, then let one policy step react.
+/// for _ in 0..3_000 {
+///     map.get(&3);
+/// }
+/// let balancer = Rebalancer::new(RebalancePolicy::default());
+/// let action = balancer.step(&map);
+/// assert!(action.is_some(), "a 3000-op strip next to an idle one is hot");
+/// assert_eq!(map.shard_count(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rebalancer {
+    policy: RebalancePolicy,
+}
+
+impl Rebalancer {
+    /// Creates a rebalancer with the given policy.
+    pub fn new(policy: RebalancePolicy) -> Self {
+        Rebalancer { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &RebalancePolicy {
+        &self.policy
+    }
+
+    /// Samples the load window (resetting the tallies) and applies at most
+    /// one split or merge.  Returns the applied action, if any.
+    ///
+    /// Safe to race with readers, writers, and even other policy drivers:
+    /// the map validates every decision against its current table and
+    /// rejects stale ones (`step` then simply reports `None`).
+    pub fn step<S, V, R>(&self, map: &ElasticMap<S, R>) -> Option<RebalanceAction>
+    where
+        S: OrderedMap<u64, V>,
+        V: PartialEq,
+        R: Reclaimer,
+    {
+        let loads = map.take_loads();
+        let shards = loads.len();
+        let total: u64 = loads.iter().sum();
+        if shards == 0 || total < self.policy.min_window_ops {
+            return None;
+        }
+        let mean = total as f64 / shards as f64;
+
+        // Hottest strip first: under skew, splitting the hot strip is the
+        // move that buys throughput; merging is cleanup.
+        let (hot, &hot_load) = loads.iter().enumerate().max_by_key(|(_, &l)| l).expect("non-empty");
+        if shards < self.policy.max_shards && hot_load as f64 > self.policy.hot_factor * mean {
+            if let Some(pivot) = map.split_pivot(hot) {
+                if map.split(hot, pivot) {
+                    return Some(RebalanceAction::Split { strip: hot, pivot });
+                }
+            }
+        }
+
+        if shards > self.policy.min_shards && shards >= 2 {
+            let (left, pair_load) = loads
+                .windows(2)
+                .map(|w| w[0] + w[1])
+                .enumerate()
+                .min_by_key(|&(_, l)| l)
+                .expect("at least two strips");
+            if (pair_load as f64) < self.policy.cold_factor * mean && map.merge(left) {
+                return Some(RebalanceAction::Merge { left });
+            }
+        }
+        None
+    }
+
+    /// Runs [`step`](Self::step) every [`RebalancePolicy::interval`] on a
+    /// background thread until the returned handle is stopped (or dropped).
+    pub fn spawn<S, V, R>(self, map: Arc<ElasticMap<S, R>>) -> RebalancerHandle
+    where
+        S: OrderedMap<u64, V> + 'static,
+        V: PartialEq + Send + Sync + 'static,
+        R: Reclaimer,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("shard-rebalancer".into())
+            .spawn(move || {
+                let mut actions = 0u64;
+                while !stop_flag.load(Ordering::Acquire) {
+                    if self.step(&map).is_some() {
+                        actions += 1;
+                    }
+                    std::thread::sleep(self.policy.interval);
+                }
+                actions
+            })
+            .expect("spawn rebalancer thread");
+        RebalancerHandle { stop, thread: Some(thread) }
+    }
+}
+
+/// Handle to a background rebalancer started by [`Rebalancer::spawn`].
+///
+/// Dropping the handle also stops the thread (joining it, ignoring a panic);
+/// call [`stop`](Self::stop) to observe the applied-action count.
+#[derive(Debug)]
+pub struct RebalancerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+impl RebalancerHandle {
+    /// Stops the rebalancer thread and returns how many actions it applied.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the rebalancer thread.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        match self.thread.take() {
+            Some(t) => t.join().expect("rebalancer thread panicked"),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for RebalancerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            // A panic in the rebalancer already surfaced; don't double-panic.
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    use cset::ConcurrentMap;
+    use lfbst::LfBst;
+
+    use super::*;
+
+    fn new_map(shards: usize, span: u64) -> ElasticMap<LfBst<u64, u64>> {
+        ElasticMap::covering(shards, span, LfBst::new)
+    }
+
+    fn quiet_policy() -> RebalancePolicy {
+        RebalancePolicy { min_window_ops: 64, ..RebalancePolicy::default() }
+    }
+
+    #[test]
+    fn step_ignores_windows_below_the_signal_floor() {
+        let map = new_map(2, 1_000);
+        for k in 0..1_000 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        for _ in 0..63 {
+            map.get(&3);
+        }
+        let balancer = Rebalancer::new(quiet_policy());
+        assert_eq!(balancer.step(&map), None, "63 ops is below the 64-op floor");
+        assert_eq!(map.shard_count(), 2);
+        // The probe itself consumed the window; rebuild it past the floor.
+        for _ in 0..64 {
+            map.get(&3);
+        }
+        assert!(matches!(balancer.step(&map), Some(RebalanceAction::Split { strip: 0, .. })));
+        assert_eq!(map.shard_count(), 3);
+    }
+
+    #[test]
+    fn step_splits_the_hottest_strip() {
+        let map = new_map(4, 4_096);
+        for k in 0..4_096 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        // Strip 3 carries the whole window.
+        for k in 0..1_000u64 {
+            map.get(&(3_072 + k % 1_024));
+        }
+        let action = Rebalancer::new(quiet_policy()).step(&map);
+        assert!(matches!(action, Some(RebalanceAction::Split { strip: 3, .. })), "got {action:?}");
+        assert_eq!(map.shard_count(), 5);
+        assert_eq!(map.boundaries().len(), 4);
+    }
+
+    #[test]
+    fn step_merges_the_coldest_adjacent_pair_when_capped() {
+        let map = new_map(4, 4_096);
+        for k in 0..4_096 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        for _ in 0..1_000 {
+            map.get(&4_000); // all heat on the last strip
+        }
+        // At the shard cap the hot strip cannot split, so the cold front
+        // strips merge instead.
+        let policy = RebalancePolicy { max_shards: 4, ..quiet_policy() };
+        let action = Rebalancer::new(policy).step(&map);
+        assert_eq!(action, Some(RebalanceAction::Merge { left: 0 }));
+        assert_eq!(map.shard_count(), 3);
+    }
+
+    #[test]
+    fn step_respects_min_shards() {
+        let map = new_map(2, 1_000);
+        for k in 0..1_000 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        for k in 0..500u64 {
+            map.get(&k); // strip 0 only — pair (0, 1) is NOT cold
+        }
+        let policy = RebalancePolicy { min_shards: 2, max_shards: 2, ..quiet_policy() };
+        assert_eq!(Rebalancer::new(policy).step(&map), None);
+        assert_eq!(map.shard_count(), 2);
+    }
+
+    #[test]
+    fn spawned_rebalancer_reacts_to_skew() {
+        let map = std::sync::Arc::new(new_map(2, 4_096));
+        for k in 0..4_096 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        let policy = RebalancePolicy {
+            min_window_ops: 256,
+            interval: Duration::from_millis(1),
+            ..RebalancePolicy::default()
+        };
+        let handle = Rebalancer::new(policy).spawn(std::sync::Arc::clone(&map));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while map.shard_count() <= 2 && Instant::now() < deadline {
+            for _ in 0..512 {
+                map.get(&7); // hammer the first strip
+            }
+        }
+        let actions = handle.stop();
+        assert!(actions >= 1, "the background rebalancer never acted on the skew");
+        assert!(map.shard_count() > 2, "the hot strip was never split");
+    }
+}

@@ -214,6 +214,100 @@ impl ShardRouter<u64> for RangeRouter {
 
 impl OrderedRouter<u64> for RangeRouter {}
 
+/// Routes `u64` keys by an **explicit sorted boundary vector**: the general
+/// form of [`RangeRouter`], and the routing table elastic sharding rebalances.
+///
+/// `bounds` holds `shards - 1` strictly ascending split points; shard `i`
+/// covers the half-open strip `[bounds[i - 1], bounds[i])` (with `bounds[-1]`
+/// read as `0` and `bounds[shards - 1]` as `u64::MAX + 1`).  Routing is a
+/// binary search (`partition_point`), so arbitrary — including heavily
+/// lopsided — strip widths cost `O(log N)` instead of forcing equal strides.
+///
+/// # Examples
+///
+/// ```
+/// use shard::{BoundaryRouter, OrderedRouter, ShardRouter};
+///
+/// // Three strips: [0, 10), [10, 1000), [1000, u64::MAX].
+/// let r = BoundaryRouter::new(vec![10, 1000]);
+/// assert_eq!(r.shard_count(), 3);
+/// assert_eq!(r.route(&9u64), 0);
+/// assert_eq!(r.route(&10u64), 1);
+/// assert_eq!(r.route(&u64::MAX), 2);
+///
+/// // Equal-width construction matches RangeRouter::covering.
+/// let even = BoundaryRouter::covering(4, 1000);
+/// assert_eq!(even.route(&249u64), 0);
+/// assert_eq!(even.route(&250u64), 1);
+///
+/// fn assert_ordered<R: OrderedRouter<u64>>(_r: &R) {}
+/// assert_ordered(&r);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundaryRouter {
+    bounds: Vec<u64>,
+}
+
+impl BoundaryRouter {
+    /// Creates a router from `shards - 1` strictly ascending split points.
+    ///
+    /// An empty vector is the trivial single-shard router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split points are not strictly ascending, or if any is
+    /// `0` (which would make the first strip empty).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "split points must be strictly ascending");
+        assert!(bounds.first() != Some(&0), "a split point of 0 would make strip 0 empty");
+        BoundaryRouter { bounds }
+    }
+
+    /// Creates `shards` equal-width strips over `[0, span)`, the boundary
+    /// form of [`RangeRouter::covering`] (keys at or above `span` land in the
+    /// last strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `span == 0`.
+    pub fn covering(shards: usize, span: u64) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(span > 0, "key span must be non-empty");
+        let stride = (span / shards as u64).max(1);
+        // Strides of width `stride` until the span (or u64 range) runs out;
+        // a narrow span degenerates gracefully to fewer-than-asked strips of
+        // width >= 1, mirroring RangeRouter's `.min(shards - 1)` clamp.
+        let bounds: Vec<u64> = (1..shards as u64)
+            .map(|i| i.saturating_mul(stride))
+            .take_while(|b| *b < span)
+            .collect();
+        BoundaryRouter { bounds }
+    }
+
+    /// The split points, strictly ascending (`shard_count() - 1` of them).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+}
+
+impl ShardRouter<u64> for BoundaryRouter {
+    #[inline]
+    fn shard_count(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    #[inline]
+    fn route(&self, key: &u64) -> usize {
+        self.bounds.partition_point(|b| *b <= *key)
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "boundary"
+    }
+}
+
+impl OrderedRouter<u64> for BoundaryRouter {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +413,74 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(ShardRouter::<u64>::policy_name(&HashRouter::new(2)), "hash");
         assert_eq!(RangeRouter::new(2).policy_name(), "range");
+        assert_eq!(BoundaryRouter::new(vec![7]).policy_name(), "boundary");
+    }
+
+    #[test]
+    fn boundary_router_routes_by_partition() {
+        let r = BoundaryRouter::new(vec![10, 1000, 5000]);
+        assert_eq!(r.shard_count(), 4);
+        assert_eq!(r.route(&0), 0);
+        assert_eq!(r.route(&9), 0);
+        assert_eq!(r.route(&10), 1);
+        assert_eq!(r.route(&999), 1);
+        assert_eq!(r.route(&1000), 2);
+        assert_eq!(r.route(&4999), 2);
+        assert_eq!(r.route(&5000), 3);
+        assert_eq!(r.route(&u64::MAX), 3);
+    }
+
+    #[test]
+    fn boundary_router_is_monotone() {
+        let r = BoundaryRouter::new(vec![3, 17, 18, 4096, 70_000]);
+        let mut last = 0;
+        for k in (0u64..100_000).step_by(13) {
+            let s = r.route(&k);
+            assert!(s >= last, "monotonicity violated at key {k}");
+            assert!(s < r.shard_count());
+            last = s;
+        }
+    }
+
+    #[test]
+    fn boundary_covering_matches_range_router() {
+        for (shards, span) in [(4, 1000u64), (8, 1 << 16), (3, 7), (1, 100)] {
+            let b = BoundaryRouter::covering(shards, span);
+            let r = RangeRouter::covering(shards, span);
+            assert_eq!(b.shard_count(), shards);
+            for k in
+                (0..span).step_by((span as usize / 97).max(1)).chain([0, span - 1, span, span + 5])
+            {
+                assert_eq!(b.route(&k), r.route(&k), "key {k} (shards {shards}, span {span})");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_covering_degenerates_without_empty_strips() {
+        // More shards than keys: strips shrink to the span, never empty.
+        let b = BoundaryRouter::covering(16, 4);
+        assert_eq!(b.shard_count(), 4);
+        assert_eq!(b.bounds(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn boundary_empty_bounds_is_single_shard() {
+        let b = BoundaryRouter::new(Vec::new());
+        assert_eq!(b.shard_count(), 1);
+        assert_eq!(b.route(&0), 0);
+        assert_eq!(b.route(&u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn boundary_rejects_unsorted_bounds() {
+        let _ = BoundaryRouter::new(vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn boundary_rejects_zero_split() {
+        let _ = BoundaryRouter::new(vec![0, 10]);
     }
 }

@@ -5,7 +5,9 @@ use std::fmt;
 use std::ops::{Bound, RangeBounds};
 use std::sync::Mutex;
 
-use cset::{ConcurrentMap, ConcurrentSet, OrderedMap, OrderedSet, PinnedOps, StatsSnapshot};
+use cset::{
+    ConcurrentMap, ConcurrentSet, LoadTally, OrderedMap, OrderedSet, PinnedOps, StatsSnapshot,
+};
 
 use crate::router::{OrderedRouter, ShardRouter};
 
@@ -85,7 +87,15 @@ pub fn config_name(inner: &'static str, shards: usize, policy: &'static str) -> 
 pub struct Sharded<S, R> {
     router: R,
     shards: Box<[S]>,
+    /// Always-on per-shard op tallies (one padded relaxed counter per shard),
+    /// bumped by every point operation regardless of the `stats` feature —
+    /// the live load signal hot-shard detection reads.
+    loads: Box<[LoadTally]>,
     name: &'static str,
+}
+
+fn load_tallies(n: usize) -> Box<[LoadTally]> {
+    (0..n).map(|_| LoadTally::new()).collect()
 }
 
 impl<S, R> Sharded<S, R> {
@@ -101,7 +111,8 @@ impl<S, R> Sharded<S, R> {
         let shards: Box<[S]> = (0..router.shard_count()).map(&mut make).collect();
         assert!(!shards.is_empty(), "router must declare at least one shard");
         let name = config_name(shards[0].name(), shards.len(), router.policy_name());
-        Sharded { router, shards, name }
+        let loads = load_tallies(shards.len());
+        Sharded { router, shards, loads, name }
     }
 
     /// The number of shards.
@@ -130,6 +141,30 @@ impl<S, R> Sharded<S, R> {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
+    /// Per-shard operation tallies since construction (or since the last
+    /// [`take_loads`](Self::take_loads)), in shard order.
+    ///
+    /// Every point operation (set and map facade alike, pinned or not) bumps
+    /// its target shard's relaxed counter, independently of the `stats` cargo
+    /// feature, so this is always live.  Cross-shard scans are not counted:
+    /// the signal is per-key routing pressure, which is what hot-shard
+    /// detection and rebalancing act on.
+    pub fn load_per_shard(&self) -> Vec<u64> {
+        self.loads.iter().map(LoadTally::get).collect()
+    }
+
+    /// Reads **and resets** the per-shard tallies — the rebalancer's windowed
+    /// load sample (consecutive calls never double count an op).
+    pub fn take_loads(&self) -> Vec<u64> {
+        self.loads.iter().map(LoadTally::take).collect()
+    }
+
+    #[inline]
+    fn hit(&self, shard: usize) -> usize {
+        self.loads[shard].bump();
+        shard
+    }
+
     /// Merged operation statistics across all shards.
     ///
     /// Shard snapshots are taken one after another and summed; the result is
@@ -151,18 +186,18 @@ where
 {
     #[inline]
     fn insert(&self, key: K) -> bool {
-        let shard = self.router.route(&key);
+        let shard = self.hit(self.router.route(&key));
         self.shards[shard].insert(key)
     }
 
     #[inline]
     fn remove(&self, key: &K) -> bool {
-        self.shards[self.router.route(key)].remove(key)
+        self.shards[self.hit(self.router.route(key))].remove(key)
     }
 
     #[inline]
     fn contains(&self, key: &K) -> bool {
-        self.shards[self.router.route(key)].contains(key)
+        self.shards[self.hit(self.router.route(key))].contains(key)
     }
 
     /// Sum of the per-shard quiescent counts.
@@ -199,18 +234,18 @@ where
 
     #[inline]
     fn insert_with(&self, key: K, guard: &S::OpGuard) -> bool {
-        let shard = self.router.route(&key);
+        let shard = self.hit(self.router.route(&key));
         self.shards[shard].insert_with(key, guard)
     }
 
     #[inline]
     fn remove_with(&self, key: &K, guard: &S::OpGuard) -> bool {
-        self.shards[self.router.route(key)].remove_with(key, guard)
+        self.shards[self.hit(self.router.route(key))].remove_with(key, guard)
     }
 
     #[inline]
     fn contains_with(&self, key: &K, guard: &S::OpGuard) -> bool {
-        self.shards[self.router.route(key)].contains_with(key, guard)
+        self.shards[self.hit(self.router.route(key))].contains_with(key, guard)
     }
 }
 
@@ -359,7 +394,8 @@ impl<S, R> ShardedMap<S, R> {
         let shards: Box<[S]> = (0..router.shard_count()).map(&mut make).collect();
         assert!(!shards.is_empty(), "router must declare at least one shard");
         let name = config_name(shards[0].name(), shards.len(), router.policy_name());
-        ShardedMap { inner: Sharded { router, shards, name } }
+        let loads = load_tallies(shards.len());
+        ShardedMap { inner: Sharded { router, shards, loads, name } }
     }
 
     /// The underlying [`Sharded`] composition (shard access, router,
@@ -382,6 +418,16 @@ impl<S, R> ShardedMap<S, R> {
     pub fn router(&self) -> &R {
         self.inner.router()
     }
+
+    /// Per-shard op tallies (see [`Sharded::load_per_shard`]).
+    pub fn load_per_shard(&self) -> Vec<u64> {
+        self.inner.load_per_shard()
+    }
+
+    /// Reads and resets the per-shard tallies (see [`Sharded::take_loads`]).
+    pub fn take_loads(&self) -> Vec<u64> {
+        self.inner.take_loads()
+    }
 }
 
 impl<S, R: fmt::Debug> fmt::Debug for ShardedMap<S, R> {
@@ -397,29 +443,29 @@ where
 {
     #[inline]
     fn insert(&self, key: K, value: V) -> bool {
-        let shard = self.inner.router.route(&key);
+        let shard = self.inner.hit(self.inner.router.route(&key));
         self.inner.shards[shard].insert(key, value)
     }
 
     #[inline]
     fn get(&self, key: &K) -> Option<V> {
-        self.inner.shards[self.inner.router.route(key)].get(key)
+        self.inner.shards[self.inner.hit(self.inner.router.route(key))].get(key)
     }
 
     #[inline]
     fn upsert(&self, key: K, value: V) -> Option<V> {
-        let shard = self.inner.router.route(&key);
+        let shard = self.inner.hit(self.inner.router.route(&key));
         self.inner.shards[shard].upsert(key, value)
     }
 
     #[inline]
     fn remove(&self, key: &K) -> Option<V> {
-        self.inner.shards[self.inner.router.route(key)].remove(key)
+        self.inner.shards[self.inner.hit(self.inner.router.route(key))].remove(key)
     }
 
     #[inline]
     fn contains_key(&self, key: &K) -> bool {
-        self.inner.shards[self.inner.router.route(key)].contains_key(key)
+        self.inner.shards[self.inner.hit(self.inner.router.route(key))].contains_key(key)
     }
 
     /// Sum of the per-shard quiescent counts (same contract as the set

@@ -15,10 +15,59 @@ pub enum KeyDistribution {
     },
 }
 
+impl KeyDistribution {
+    /// Parses a command-line spelling: `uniform`, or `zipf:<exponent>` with a
+    /// finite exponent `> 0` (bare `zipf` means the standard `0.99`).
+    ///
+    /// Returns `None` on anything else, leaving the error message to the
+    /// caller (the harness prints its own usage text).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use workload::KeyDistribution;
+    ///
+    /// assert_eq!(KeyDistribution::parse("uniform"), Some(KeyDistribution::Uniform));
+    /// assert_eq!(
+    ///     KeyDistribution::parse("zipf:1.5"),
+    ///     Some(KeyDistribution::Zipf { exponent: 1.5 })
+    /// );
+    /// assert_eq!(KeyDistribution::parse("normal"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<KeyDistribution> {
+        match s {
+            "uniform" => Some(KeyDistribution::Uniform),
+            "zipf" => Some(KeyDistribution::Zipf { exponent: 0.99 }),
+            _ => {
+                let exponent: f64 = s.strip_prefix("zipf:")?.parse().ok()?;
+                if exponent.is_finite() && exponent > 0.0 {
+                    Some(KeyDistribution::Zipf { exponent })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// A short human label for tables and JSON rows: `uniform` or
+    /// `zipf-<exponent>`.
+    pub fn label(&self) -> String {
+        match self {
+            KeyDistribution::Uniform => "uniform".to_string(),
+            KeyDistribution::Zipf { exponent } => format!("zipf-{exponent}"),
+        }
+    }
+}
+
 /// A sampler materialised from a [`KeyDistribution`] for a concrete key range.
 ///
-/// Zipf sampling uses a precomputed cumulative distribution and binary search,
-/// which keeps the per-sample cost at `O(log range)` without approximation.
+/// Zipf sampling uses Hörmann–Derflinger rejection-inversion: exact (no
+/// truncated-CDF approximation), `O(1)` setup, `O(1)` memory, and a couple of
+/// `powf` calls per draw with an acceptance rate near 1.  The earlier
+/// implementation binary-searched a precomputed per-key CDF — `range × 8`
+/// bytes of hot lookup table (32 MiB at a 2^22 key range) that evicted the
+/// very structures the workload was measuring, plus an `O(range)` `powf`
+/// loop at construction.
 ///
 /// # Examples
 ///
@@ -34,8 +83,58 @@ pub enum KeyDistribution {
 #[derive(Clone, Debug)]
 pub struct KeySampler {
     range: u64,
-    /// Cumulative probabilities for Zipf; empty for uniform.
-    cdf: Vec<f64>,
+    zipf: Option<ZipfSampler>,
+}
+
+/// Rejection-inversion state for `P(k) ∝ 1/(k+1)^s` over keys `[0, range)`
+/// (internally ranks `x ∈ [1, n]`, shifted down by one on return).
+///
+/// `H` is an antiderivative of the density `x^(-s)`; a uniform draw `u` over
+/// `[H(0.5), H(n + 0.5)]` is inverted to a candidate rank `x = H⁻¹(u)`,
+/// rounded to the nearest integer `k`, and accepted iff `u` lands in the
+/// top-slice of its cell with length `k^(-s)` — which happens with
+/// probability exactly proportional to the target mass.  `x^(-s)` is convex,
+/// so each cell's integral dominates its midpoint value and the slice fits.
+#[derive(Clone, Copy, Debug)]
+struct ZipfSampler {
+    s: f64,
+    n: f64,
+    h_lo: f64,
+    h_span: f64,
+}
+
+impl ZipfSampler {
+    fn new(s: f64, n: f64) -> Self {
+        let h_lo = Self::h(0.5, s);
+        ZipfSampler { s, n, h_lo, h_span: Self::h(n + 0.5, s) - h_lo }
+    }
+
+    fn h(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - s) / (1.0 - s)
+        }
+    }
+
+    fn h_inv(u: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            u.exp()
+        } else {
+            ((1.0 - s) * u).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_lo + rng.gen::<f64>() * self.h_span;
+            let x = Self::h_inv(u, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if u >= Self::h(k + 0.5, self.s) - k.powf(-self.s) {
+                return k as u64 - 1;
+            }
+        }
+    }
 }
 
 impl KeySampler {
@@ -46,34 +145,18 @@ impl KeySampler {
     /// Panics if `range == 0`.
     pub fn new(distribution: KeyDistribution, range: u64) -> Self {
         assert!(range > 0, "key range must be non-empty");
-        match distribution {
-            KeyDistribution::Uniform => KeySampler { range, cdf: Vec::new() },
-            KeyDistribution::Zipf { exponent } => {
-                let n = range as usize;
-                let mut cdf = Vec::with_capacity(n);
-                let mut acc = 0.0f64;
-                for k in 0..n {
-                    acc += 1.0 / ((k as f64 + 1.0).powf(exponent));
-                    cdf.push(acc);
-                }
-                let total = acc;
-                for v in &mut cdf {
-                    *v /= total;
-                }
-                KeySampler { range, cdf }
-            }
-        }
+        let zipf = match distribution {
+            KeyDistribution::Uniform => None,
+            KeyDistribution::Zipf { exponent } => Some(ZipfSampler::new(exponent, range as f64)),
+        };
+        KeySampler { range, zipf }
     }
 
     /// Draws one key.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        if self.cdf.is_empty() {
-            rng.gen_range(0..self.range)
-        } else {
-            let u: f64 = rng.gen();
-            match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
-                Ok(i) | Err(i) => (i as u64).min(self.range - 1),
-            }
+        match &self.zipf {
+            None => rng.gen_range(0..self.range),
+            Some(z) => z.sample(rng).min(self.range - 1),
         }
     }
 
@@ -128,5 +211,54 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_range_rejected() {
         let _ = KeySampler::new(KeyDistribution::Uniform, 0);
+    }
+
+    #[test]
+    fn zipf_matches_the_exact_pmf() {
+        // Rejection-inversion is exact, so empirical per-key frequencies must
+        // track P(k) = (k+1)^(-s) / H_n(s) within sampling noise.  Checked at
+        // two exponents including s = 1, the log-antiderivative branch.
+        for s in [0.7, 1.0] {
+            let range = 64u64;
+            let sampler = KeySampler::new(KeyDistribution::Zipf { exponent: s }, range);
+            let mut rng = StdRng::seed_from_u64(9);
+            let n = 400_000usize;
+            let mut counts = vec![0u64; range as usize];
+            for _ in 0..n {
+                counts[sampler.sample(&mut rng) as usize] += 1;
+            }
+            let norm: f64 = (0..range).map(|k| ((k + 1) as f64).powf(-s)).sum();
+            for (k, &count) in counts.iter().enumerate() {
+                let expect = ((k + 1) as f64).powf(-s) / norm * n as f64;
+                let got = count as f64;
+                // 5-sigma Poisson band, floored for the rare tail keys.
+                let tol = (5.0 * expect.sqrt()).max(60.0);
+                assert!(
+                    (got - expect).abs() < tol,
+                    "key {k} at s={s}: got {got}, expected {expect:.1} ± {tol:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_cli_spellings() {
+        assert_eq!(KeyDistribution::parse("uniform"), Some(KeyDistribution::Uniform));
+        assert_eq!(KeyDistribution::parse("zipf"), Some(KeyDistribution::Zipf { exponent: 0.99 }));
+        assert_eq!(
+            KeyDistribution::parse("zipf:0.99"),
+            Some(KeyDistribution::Zipf { exponent: 0.99 })
+        );
+        assert_eq!(KeyDistribution::parse("zipf:2"), Some(KeyDistribution::Zipf { exponent: 2.0 }));
+        for bad in ["", "zipfian", "zipf:", "zipf:abc", "zipf:-1", "zipf:0", "zipf:inf", "ZIPF:1"] {
+            assert_eq!(KeyDistribution::parse(bad), None, "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for d in [KeyDistribution::Uniform, KeyDistribution::Zipf { exponent: 0.99 }] {
+            assert_eq!(KeyDistribution::parse(&d.label().replace("zipf-", "zipf:")), Some(d));
+        }
     }
 }

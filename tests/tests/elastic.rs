@@ -1,0 +1,209 @@
+//! Rebalance-under-churn: the elastic sharding layer (`shard::ElasticMap` +
+//! `shard::Rebalancer`) run against concurrent mixed workloads while the
+//! routing table is switched out from under them, instantiated for both
+//! reclamation backends.
+//!
+//! The shard crate's unit tests drive split/merge *mechanically* (a flipper
+//! thread calling `split`/`merge` directly); these tests close the loop the
+//! way production does — a policy-driven [`Rebalancer`] thread reacting to
+//! the load tallies of a skewed workload — and use heap-owning `Vec<u8>`
+//! values so every migration also exercises non-node reclamation of the
+//! drained trees' payloads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cset::{ConcurrentMap, OrderedMap};
+use lfbst::{Ebr, Ibr, LfBst, Reclaimer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shard::{ElasticMap, RebalancePolicy, Rebalancer};
+use std::ops::Bound;
+
+const SPAN: u64 = 1 << 13;
+const THREADS: u64 = 4;
+
+fn payload(k: u64) -> Vec<u8> {
+    k.to_le_bytes().to_vec()
+}
+
+/// One churn round: four threads hammer a skewed key mix (80 % of ops in the
+/// bottom 1/16th of the key space) while a policy-driven rebalancer splits
+/// the hot strips and merges the cold ones.  Each thread owns the keys of
+/// its congruence class and tracks them in a private model, so the final
+/// membership check is exact even though the threads run unsynchronized.
+type ChurnMap<R> = ElasticMap<LfBst<u64, Vec<u8>, R>, R>;
+
+fn churn_round<R: Reclaimer>(seed: u64) {
+    let map: Arc<ChurnMap<R>> = Arc::new(ElasticMap::covering(4, SPAN, LfBst::new_in));
+    for k in (0..SPAN).step_by(2) {
+        map.insert(k, payload(k));
+    }
+    let policy = RebalancePolicy {
+        min_window_ops: 256,
+        interval: Duration::from_millis(1),
+        max_shards: 32,
+        ..RebalancePolicy::default()
+    };
+    let balancer = Rebalancer::new(policy).spawn(Arc::clone(&map));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ t);
+                let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+                for k in (0..SPAN).step_by(2).filter(|k| k % THREADS == t) {
+                    model.insert(k, payload(k));
+                }
+                for i in 0..20_000u64 {
+                    let mut k = rng.gen_range(0..SPAN / THREADS) * THREADS + t;
+                    if rng.gen_bool(0.8) {
+                        k %= SPAN / 16; // concentrate the heat low
+                        k = k / THREADS * THREADS + t;
+                    }
+                    match rng.gen_range(0..10u8) {
+                        0..=4 => {
+                            let v = payload(k ^ i);
+                            assert_eq!(
+                                map.upsert(k, v.clone()),
+                                model.insert(k, v),
+                                "upsert({k}) diverged on {}",
+                                R::NAME
+                            );
+                        }
+                        5..=6 => assert_eq!(
+                            map.remove(&k),
+                            model.remove(&k),
+                            "remove({k}) diverged on {}",
+                            R::NAME
+                        ),
+                        _ => assert_eq!(
+                            map.get(&k),
+                            model.get(&k).cloned(),
+                            "get({k}) diverged on {}",
+                            R::NAME
+                        ),
+                    }
+                }
+                model
+            })
+        })
+        .collect();
+    let models: Vec<BTreeMap<u64, Vec<u8>>> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // Don't stop the rebalancer before it has acted at least once: on a
+    // loaded machine a migration can outlast the fixed churn workload, and
+    // the `actions > 0` assertion below is about the policy, not timing.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while map.rebalances() == 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let actions = balancer.stop();
+
+    // The skew must actually have driven the policy: at least one split
+    // landed, and the map grew past its initial four strips at some point
+    // (it may have merged back down after the churn stopped).
+    assert!(actions > 0, "policy rebalancer never acted on an 80/16 skew ({})", R::NAME);
+    assert_eq!(map.rebalances(), actions);
+
+    // Quiescent exactness: every owned key agrees with its owner's model,
+    // and one full scan is strictly ascending with the exact union size.
+    let total: usize = models.iter().map(BTreeMap::len).sum();
+    assert_eq!(map.len(), total);
+    for model in &models {
+        for (k, v) in model {
+            assert_eq!(map.get(k).as_ref(), Some(v), "key {k} diverged on {}", R::NAME);
+        }
+    }
+    let scanned = map.entries_between(Bound::Unbounded, Bound::Unbounded);
+    assert_eq!(scanned.len(), total);
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+
+    drop(map);
+    // Drain deferred destruction so rounds don't accumulate garbage.
+    for _ in 0..8 {
+        R::collect();
+    }
+}
+
+#[test]
+fn rebalance_under_churn_ebr() {
+    churn_round::<Ebr>(0x9E1A);
+}
+
+#[test]
+fn rebalance_under_churn_ibr() {
+    churn_round::<Ibr>(0x9E1B);
+}
+
+/// Nightly stress: many rounds per backend, scaled by
+/// `REBALANCE_STRESS_ROUNDS` (deep-hunt CI sets it high; the default keeps a
+/// bare `--ignored` run tolerable).
+#[test]
+#[ignore = "long-running; nightly CI runs it with REBALANCE_STRESS_ROUNDS=10"]
+fn rebalance_under_churn_stress() {
+    let rounds: u64 =
+        std::env::var("REBALANCE_STRESS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    for r in 0..rounds {
+        churn_round::<Ebr>(0xC0DE + r);
+        churn_round::<Ibr>(0xD0DE + r);
+    }
+}
+
+/// A long scan opened mid-churn keeps its contract while the rebalancer
+/// switches tables: strictly ascending, no keys from the never-inserted
+/// class, all keys of the untouched class present.
+#[test]
+fn scans_keep_residue_invariants_under_policy_rebalancer() {
+    let map: Arc<ElasticMap<LfBst<u64, Vec<u8>>>> =
+        Arc::new(ElasticMap::covering(4, SPAN, LfBst::new_in));
+    for k in (3..SPAN).step_by(4) {
+        map.insert(k, payload(k));
+    }
+    let policy = RebalancePolicy {
+        min_window_ops: 256,
+        interval: Duration::from_millis(1),
+        ..RebalancePolicy::default()
+    };
+    let balancer = Rebalancer::new(policy).spawn(Arc::clone(&map));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churners: Vec<_> = (0..2u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let class = 2 * t; // churn classes 0 and 2; class 1 never exists
+                    let mut k = rng.gen_range(0..SPAN / 4) * 4 + class;
+                    if rng.gen_bool(0.8) {
+                        k %= SPAN / 16;
+                        k = k / 4 * 4 + class;
+                    }
+                    if rng.gen_bool(0.5) {
+                        map.upsert(k, payload(k));
+                    } else {
+                        map.remove(&k);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let expected: Vec<u64> = (3..SPAN).step_by(4).collect();
+    for _ in 0..25 {
+        let keys: Vec<u64> =
+            map.scan_entries(Bound::Unbounded, Bound::Unbounded).map(|(k, _)| k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan not strictly ascending");
+        assert!(keys.iter().all(|k| k % 4 != 1), "phantom key");
+        let stable: Vec<u64> = keys.into_iter().filter(|k| k % 4 == 3).collect();
+        assert_eq!(stable, expected, "a stable key vanished mid-rebalance");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    for c in churners {
+        c.join().unwrap();
+    }
+    balancer.stop();
+}
