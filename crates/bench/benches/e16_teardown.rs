@@ -1,0 +1,129 @@
+//! E16 — bulk teardown: streaming `remove_range` vs per-key probing, and the
+//! elastic whole-strip swap vs node-by-node clearing.
+//!
+//! One benchmark iteration tears down a freshly built structure (the build is
+//! in the batched setup, outside the measurement):
+//!
+//! * `remove_range/lfbst/stride<s>` — one streaming sweep over the whole key
+//!   space: visits only live nodes, amortizes pinning and retirement over
+//!   [`lfbst::bulk::BULK_CHUNK`]-sized chunks.
+//! * `per_key/lfbst/stride<s>` — the evictor knows the ID range, not
+//!   membership: it probes **every** candidate ID in the span, paying a full
+//!   locate per miss.  At stride 1 (dense) the two do the same protocol work
+//!   and the sweep's edge is pin/descent amortization only; at stride 8 the
+//!   per-key path pays 7 misses per hit — the session-expiry shape E16's
+//!   headline number is judged on.
+//! * `strip_swap/elastic` vs `per_key/elastic` — the full-strip clear routed
+//!   through the epoch-switched table cutover against removing every key
+//!   through the point API.
+
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cset::{ConcurrentMap, OrderedMap};
+use lfbst::LfBst;
+use shard::ElasticMap;
+
+/// Live keys per teardown; small enough that the batched rebuild stays cheap.
+const KEYS: u64 = 1 << 13;
+const SHARDS: usize = 8;
+/// ID-space occupancy: dense, and the one-in-eight session-expiry shape.
+const STRIDES: &[u64] = &[1, 8];
+
+fn build_tree(stride: u64) -> Arc<LfBst<u64>> {
+    let tree = Arc::new(LfBst::new());
+    for k in 0..KEYS {
+        tree.insert(k * stride);
+    }
+    tree
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_teardown");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
+
+    for &stride in STRIDES {
+        let span = KEYS * stride;
+        group.bench_with_input(
+            BenchmarkId::new("remove_range/lfbst", format!("stride{stride}")),
+            &stride,
+            |b, &s| {
+                b.iter_batched(
+                    || build_tree(s),
+                    |tree| {
+                        let n = tree.remove_range(..);
+                        assert_eq!(n as u64, KEYS);
+                        n
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_key/lfbst", format!("stride{stride}")),
+            &stride,
+            |b, &s| {
+                b.iter_batched(
+                    || build_tree(s),
+                    |tree| {
+                        let mut n = 0usize;
+                        for id in 0..span {
+                            if tree.remove(&id) {
+                                n += 1;
+                            }
+                        }
+                        assert_eq!(n as u64, KEYS);
+                        n
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+
+    let build_elastic = || {
+        let map: Arc<ElasticMap<LfBst<u64, u64>>> =
+            Arc::new(ElasticMap::covering(SHARDS, KEYS, LfBst::new));
+        for k in 0..KEYS {
+            map.insert(k, k);
+        }
+        map
+    };
+    group.bench_function("strip_swap/elastic/full", |b| {
+        b.iter_batched(
+            build_elastic,
+            |map| {
+                let n = OrderedMap::remove_range(&*map, Bound::Unbounded, Bound::Unbounded);
+                assert_eq!(n as u64, KEYS);
+                n
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("per_key/elastic/full", |b| {
+        b.iter_batched(
+            build_elastic,
+            |map| {
+                let mut n = 0usize;
+                for k in 0..KEYS {
+                    if map.remove(&k).is_some() {
+                        n += 1;
+                    }
+                }
+                assert_eq!(n as u64, KEYS);
+                n
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(e16, benches);
+criterion_main!(e16);

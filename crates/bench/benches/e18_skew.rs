@@ -54,7 +54,7 @@ fn dense_prefill(map: &ElasticMap<LfBst<u64, Vec<u8>>>) {
 fn converge(map: &ElasticMap<LfBst<u64, Vec<u8>>>) -> u64 {
     let sampler = KeySampler::new(KeyDistribution::Zipf { exponent: 0.99 }, KEY_RANGE);
     let mut rng = StdRng::seed_from_u64(0x18);
-    let balancer = Rebalancer::new(RebalancePolicy {
+    let mut balancer = Rebalancer::new(RebalancePolicy {
         hot_factor: 2.5,
         cold_factor: 0.05,
         min_shards: SHARDS,

@@ -340,6 +340,67 @@ pub trait OrderedMap<K, V>: ConcurrentMap<K, V> {
     {
         self.entries_between_limited(Bound::Excluded(key), Bound::Unbounded, 1).pop()
     }
+
+    /// Removes every entry whose key lies between `lo` and `hi`; returns how
+    /// many entries this call removed.
+    ///
+    /// Same contract and default shape as [`OrderedSet::remove_range`]
+    /// (linearizable per key, weakly consistent as a whole, chunked
+    /// page-then-remove default); see there for the bound rationale.
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        self.retain_range(lo, hi, &|_, _| false)
+    }
+
+    /// Removes every entry between `lo` and `hi` for which `keep` returns
+    /// `false`; returns how many entries were removed.  This is the TTL-style
+    /// eviction sweep: `keep` judges the value *observed by the sweep's scan*
+    /// (a concurrent upsert between the scan and the removal does not re-run
+    /// the predicate — the usual weak-consistency contract).
+    ///
+    /// The predicate is a `dyn` reference (not a generic parameter) so the
+    /// trait stays dyn-compatible, and `Sync` so sharded implementations can
+    /// share it across scoped threads.
+    fn retain_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        keep: &(dyn Fn(&K, &V) -> bool + Sync),
+    ) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        let mut removed = 0usize;
+        let mut lo = lo.cloned();
+        let mut chunk = SCAN_CHUNK;
+        loop {
+            if range_is_empty(&lo.as_ref(), &hi) {
+                return removed;
+            }
+            let page = self.entries_between_limited(lo.as_ref(), hi, chunk);
+            for (key, value) in &page {
+                if !keep(key, value) && self.remove(key).is_some() {
+                    removed += 1;
+                }
+            }
+            if page.len() < chunk {
+                return removed;
+            }
+            lo = Bound::Excluded(page.last().expect("full page is non-empty").0.clone());
+            chunk = (chunk * 2).min(SCAN_CHUNK_MAX);
+        }
+    }
+
+    /// [`retain_range`](Self::retain_range) over the whole map: keep exactly
+    /// the entries the predicate approves of.
+    fn retain(&self, keep: &(dyn Fn(&K, &V) -> bool + Sync)) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        self.retain_range(Bound::Unbounded, Bound::Unbounded, keep)
+    }
 }
 
 /// Returns a chunked-paging cursor over `set`, regardless of how `set`'s own
@@ -580,6 +641,13 @@ where
     {
         self.0.next_entry_after(key).map(|(k, ())| k)
     }
+
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        self.0.remove_range(lo, hi)
+    }
 }
 
 /// A [`ConcurrentSet`] that additionally supports ordered range scans.
@@ -692,6 +760,49 @@ pub trait OrderedSet<K>: ConcurrentSet<K> {
         K: Clone + Ord,
     {
         self.keys_between_limited(Bound::Excluded(key), Bound::Unbounded, 1).pop()
+    }
+
+    /// Removes every key between `lo` and `hi`; returns how many keys this
+    /// call removed.
+    ///
+    /// **Linearizable per key, weakly consistent as a whole**: each key's
+    /// removal is an ordinary [`remove`](ConcurrentSet::remove) (a concurrent
+    /// single-key remove and the sweep agree on one winner), but keys
+    /// inserted into the range while the sweep runs may or may not be caught.
+    /// Empty and reversed ranges remove nothing.  The default is a chunked
+    /// page-then-remove loop over
+    /// [`keys_between_limited`](Self::keys_between_limited) with an advancing
+    /// lower bound; implementations with a native bulk delete (a streaming
+    /// sweep, a whole-shard teardown) should override it.
+    ///
+    /// The `Send + Sync` key bound exists so sharded implementations can fan
+    /// the sweep out across shards on scoped threads.
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        let mut removed = 0usize;
+        let mut lo = lo.cloned();
+        let mut chunk = SCAN_CHUNK;
+        loop {
+            if range_is_empty(&lo.as_ref(), &hi) {
+                return removed;
+            }
+            let page = self.keys_between_limited(lo.as_ref(), hi, chunk);
+            for key in &page {
+                if self.remove(key) {
+                    removed += 1;
+                }
+            }
+            if page.len() < chunk {
+                return removed;
+            }
+            // A full page may be followed by more: resume strictly after its
+            // last key, with a geometrically larger page (as the fallback
+            // cursors do) to amortise the per-page re-locate.
+            lo = Bound::Excluded(page.last().expect("full page is non-empty").clone());
+            chunk = (chunk * 2).min(SCAN_CHUNK_MAX);
+        }
     }
 }
 
@@ -962,6 +1073,65 @@ mod tests {
     }
 
     #[test]
+    fn default_remove_range_pages_through_the_whole_range() {
+        let set = MutexSet::default();
+        // Spans several growing pages so the advancing lower bound is hit.
+        let n = 3 * SCAN_CHUNK as u64 + 17;
+        for k in 0..n {
+            set.insert(k);
+        }
+        assert_eq!(
+            set.remove_range(Bound::Included(&5), Bound::Excluded(&(n - 5))),
+            n as usize - 10
+        );
+        assert_eq!(set.len(), 10);
+        // Empty and reversed ranges are no-ops.
+        assert_eq!(set.remove_range(Bound::Excluded(&0), Bound::Excluded(&1)), 0);
+        assert_eq!(set.remove_range(Bound::Included(&4), Bound::Included(&1)), 0);
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn default_map_remove_range_and_retain() {
+        let map = MutexMap::default();
+        let n = 2 * SCAN_CHUNK as u64 + 9;
+        for k in 0..n {
+            map.insert(k, k * 10);
+        }
+        assert_eq!(map.remove_range(Bound::Included(&0), Bound::Excluded(&10)), 10);
+        assert_eq!(map.len() as u64, n - 10);
+        // Evict by value: the TTL shape.
+        let evicted = map.retain(&|_, v| *v >= 500);
+        assert_eq!(evicted, 40, "keys 10..50 have values below 500");
+        assert!(map.get(&49).is_none());
+        assert_eq!(map.get(&50), Some(500));
+        // A range-restricted retain leaves the outside untouched.
+        let evicted =
+            map.retain_range(Bound::Included(&60), Bound::Excluded(&70), &|k, _| k % 2 == 0);
+        assert_eq!(evicted, 5);
+        assert_eq!(map.get(&61), None);
+        assert_eq!(map.get(&71), Some(710));
+    }
+
+    #[test]
+    fn bulk_mutations_are_dyn_dispatchable() {
+        let set = MutexSet::default();
+        for k in 0..10u64 {
+            set.insert(k);
+        }
+        let dyn_set: &dyn OrderedSet<u64> = &set;
+        assert_eq!(dyn_set.remove_range(Bound::Included(&0), Bound::Excluded(&5)), 5);
+        let map = MutexMap::default();
+        for k in 0..10u64 {
+            map.insert(k, k);
+        }
+        let dyn_map: &dyn OrderedMap<u64, u64> = &map;
+        assert_eq!(dyn_map.retain(&|k, _| k % 2 == 0), 5);
+        assert_eq!(dyn_map.remove_range(Bound::Unbounded, Bound::Unbounded), 5);
+        assert!(map.is_empty());
+    }
+
+    #[test]
     fn map_as_set_bridges_the_full_set_contract() {
         let set = MapAsSet(MutexUnitMap::default());
         assert!(set.is_empty());
@@ -977,6 +1147,7 @@ mod tests {
             set.insert(k);
         }
         assert_eq!(set.keys_between(Bound::Unbounded, Bound::Excluded(&9)), vec![1, 5]);
-        assert_eq!(set.into_inner().len(), 3);
+        assert_eq!(set.remove_range(Bound::Included(&1), Bound::Included(&5)), 2);
+        assert_eq!(set.into_inner().len(), 1);
     }
 }

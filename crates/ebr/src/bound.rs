@@ -61,6 +61,39 @@ impl Default for GarbageBound {
 static MAX_NODES: AtomicUsize = AtomicUsize::new(usize::MAX);
 static ESCALATE_ROUNDS: AtomicU32 = AtomicU32::new(0);
 
+std::thread_local! {
+    /// Nesting depth of open batch-retire windows on this thread (see
+    /// [`crate::ReclaimGuard::retire_batch`]).  While positive, per-retirement
+    /// enforcement is skipped: the window settles once at close.
+    static BATCH_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// `true` while the current thread is inside a batch-retire window — the
+/// per-retirement bound check and high-water collect are deferred to the
+/// window's close.
+pub(crate) fn deferring() -> bool {
+    BATCH_DEPTH.with(|d| d.get()) > 0
+}
+
+/// RAII handle for one batch-retire window; dropping it (including on panic)
+/// re-enables per-retirement enforcement for the thread.
+pub(crate) struct BatchWindow {
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+/// Opens a batch-retire window on the current thread.  Windows nest: the
+/// outermost close re-enables enforcement.
+pub(crate) fn enter_batch() -> BatchWindow {
+    BATCH_DEPTH.with(|d| d.set(d.get() + 1));
+    BatchWindow { _not_send: std::marker::PhantomData }
+}
+
+impl Drop for BatchWindow {
+    fn drop(&mut self) {
+        BATCH_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
 /// Installs `bound` as the process-global garbage ceiling.
 pub fn set_garbage_bound(bound: GarbageBound) {
     MAX_NODES.store(bound.max_nodes, Ordering::Relaxed);

@@ -331,6 +331,11 @@ impl Guard {
         }
         health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
         health::BAG_DEPTH_HWM.fetch_max(len as u64, Ordering::Relaxed);
+        if bound::deferring() {
+            // Inside a batch-retire window: the window's close runs one
+            // high-water collect and one bound ladder for the whole batch.
+            return;
+        }
         if len >= GARBAGE_HIGH_WATER {
             try_collect();
         }
@@ -398,6 +403,31 @@ impl ReclaimGuard for Guard {
     #[inline]
     fn protect_current_era(&self) {
         // Same reason: fresh allocations are protected by the pin itself.
+    }
+
+    fn retire_batch<T, F: FnOnce() -> T>(&self, f: F) -> T {
+        let out = {
+            let _window = bound::enter_batch();
+            f()
+        };
+        // Settle once for the whole batch (skipped when a still-open outer
+        // window will settle for us, and for the unprotected guard, whose
+        // retirements free immediately and leave nothing pending).
+        if self.protected && !bound::deferring() {
+            if pending_depth() >= GARBAGE_HIGH_WATER {
+                try_collect();
+            }
+            if bound::over(pending_depth()) {
+                bound::enforce(
+                    &pending_depth,
+                    &try_collect,
+                    &try_collect,
+                    &health::BOUND_TRIPS,
+                    &health::BOUND_ESCALATIONS,
+                );
+            }
+        }
+        out
     }
 }
 

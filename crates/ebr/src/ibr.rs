@@ -410,6 +410,11 @@ impl ReclaimGuard for IbrGuard {
         health::NODES_RETIRED.fetch_add(1, Ordering::Relaxed);
         health::BAG_DEPTH_HWM.fetch_max(pending_depth() as u64, Ordering::Relaxed);
         tick_era();
+        if bound::deferring() {
+            // Inside a batch-retire window: the window's close runs one
+            // high-water collect and one bound ladder for the whole batch.
+            return;
+        }
         if len >= BAG_HIGH_WATER {
             LOCAL.with(|local| try_collect_bag(&local.bag));
         }
@@ -479,6 +484,33 @@ impl ReclaimGuard for IbrGuard {
                 local.hi_cache.set(era);
             }
         });
+    }
+
+    fn retire_batch<T, F: FnOnce() -> T>(&self, f: F) -> T {
+        let out = {
+            let _window = bound::enter_batch();
+            f()
+        };
+        // Settle once for the whole batch (skipped under a still-open outer
+        // window, and for the unprotected guard whose retirements free
+        // immediately).
+        if self.protected && !bound::deferring() {
+            LOCAL.with(|local| {
+                if local.bag.lock().expect("ibr bag poisoned").items.len() >= BAG_HIGH_WATER {
+                    try_collect_bag(&local.bag);
+                }
+                if bound::over(pending_depth()) {
+                    bound::enforce(
+                        &pending_depth,
+                        &|| try_collect_bag(&local.bag),
+                        &escalate_collect,
+                        &health::BOUND_TRIPS,
+                        &health::BOUND_ESCALATIONS,
+                    );
+                }
+            });
+        }
+        out
     }
 }
 

@@ -79,6 +79,24 @@ pub trait ReclaimGuard: Sized + 'static {
     /// a plain re-loadable read with no side effects.
     fn protect_load<F: FnMut() -> usize>(&self, load: F) -> usize;
 
+    /// Runs `f` as one batch-retire window: every `defer_destroy` issued on
+    /// this thread inside `f` skips the per-retirement [`GarbageBound`]
+    /// check and high-water collection attempt, and the window settles
+    /// **once** when `f` returns — a single collect-if-over-high-water plus a
+    /// single bound-enforcement ladder for the whole batch, instead of one
+    /// per node.
+    ///
+    /// Bulk mutations (range deletes, eviction sweeps) retire hundreds of
+    /// nodes per guard window; without batching, each retirement over the
+    /// ceiling pays a futile ladder of its own even though no collection can
+    /// succeed until the batch's own guard repins.  Windows nest (the
+    /// outermost settles), panics in `f` restore per-retirement enforcement,
+    /// and the default implementation is a plain call for backends without a
+    /// deferral notion.
+    fn retire_batch<T, F: FnOnce() -> T>(&self, f: F) -> T {
+        f()
+    }
+
     /// Extends the backend's reservation over the current era, so an
     /// allocation born moments ago may be dereferenced through this guard.
     /// Called on the paths that publish fresh allocations.
@@ -301,6 +319,72 @@ mod tests {
     #[test]
     fn non_node_allocations_run_real_destructors_under_ibr() {
         non_node_allocations_run_real_destructors::<Ibr>();
+    }
+
+    /// Batch retirement must still free everything (the window defers
+    /// *enforcement*, never the retirement itself), survive nesting, and a
+    /// panic inside the window must not leave the thread stuck in deferral.
+    fn retire_batch_frees_and_survives_panic<R: Reclaimer>() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        struct NoteDrop(Arc<AtomicUsize>);
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let dropped = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = R::pin();
+            guard.retire_batch(|| {
+                // Nested window: the inner close must not settle for the outer.
+                guard.retire_batch(|| {
+                    for _ in 0..8 {
+                        let p = Owned::new(NoteDrop(Arc::clone(&dropped))).into_shared(&guard);
+                        unsafe { guard.defer_destroy(p) };
+                    }
+                });
+                for _ in 0..8 {
+                    let p = Owned::new(NoteDrop(Arc::clone(&dropped))).into_shared(&guard);
+                    unsafe { guard.defer_destroy(p) };
+                }
+            });
+        }
+        for _ in 0..256 {
+            if dropped.load(Ordering::SeqCst) == 16 {
+                break;
+            }
+            drop(R::pin());
+            R::collect();
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), 16, "{}: batch retirements lost", R::NAME);
+
+        // A panicking batch must restore per-retirement enforcement: the
+        // window's RAII close runs during unwinding, so a later retirement
+        // (and a later batch) behaves normally instead of deferring forever.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let guard = R::pin();
+            guard.retire_batch(|| panic!("mid-batch panic"));
+        }));
+        assert!(caught.is_err());
+        let guard = R::pin();
+        let p = Owned::new(NoteDrop(Arc::clone(&dropped))).into_shared(&guard);
+        unsafe { guard.defer_destroy(p) };
+        guard.retire_batch(|| {});
+        drop(guard);
+        R::collect();
+    }
+
+    #[test]
+    fn retire_batch_frees_and_survives_panic_under_ebr() {
+        retire_batch_frees_and_survives_panic::<Ebr>();
+    }
+
+    #[test]
+    fn retire_batch_frees_and_survives_panic_under_ibr() {
+        retire_batch_frees_and_survives_panic::<Ibr>();
     }
 
     #[test]

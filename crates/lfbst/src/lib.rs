@@ -52,6 +52,25 @@
 //! assert_eq!(top2, vec![20, 30]);
 //! ```
 //!
+//! Ordered *mutations* are streaming too: the [`bulk`] module drives the
+//! removal protocol along successor threads in chunks —
+//! [`remove_range`](LfBst::remove_range) deletes a whole key range and
+//! [`retain`](LfBst::retain) runs TTL-style eviction sweeps, both under one
+//! repinning guard with vicinity-anchored locates and batch retirement
+//! (linearizable per key, weakly consistent as a whole).
+//!
+//! ```
+//! use lfbst::LfBst;
+//!
+//! let set = LfBst::new();
+//! for k in 0..100u64 {
+//!     set.insert(k);
+//! }
+//! // Drop the retention window [0, 90) in one streaming sweep.
+//! assert_eq!(set.remove_range(..90), 90);
+//! assert_eq!(set.len(), 10);
+//! ```
+//!
 //! The tree is an *internal* BST stored in **threaded** form (Perlis & Thornton):
 //! a node's right child pointer, when there is no right child, is a *thread* to the
 //! node's in-order successor, and a missing left child pointer is a thread to the
@@ -123,6 +142,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bulk;
 mod config;
 pub mod cursor;
 pub mod guard;

@@ -82,10 +82,33 @@ impl<K: Ord, V: MapValue, R: Reclaimer> LfBst<K, V, R> {
         key: &K,
         guard: &'g R::Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
+        self.remove_node_from(self.root1(), self.root0(), key, guard)
+    }
+
+    /// [`remove_node_with`](Self::remove_node_with) seeded at an arbitrary
+    /// traversal anchor instead of the root.
+    ///
+    /// The anchor contract is the same one the in-loop restart idiom already
+    /// relies on (`prev == curr == some vicinity node`): `anchor`'s key must
+    /// not exceed `key`, and `anchor` must be dereferenceable under `guard` —
+    /// retired-but-pinned nodes qualify, because a retired node's frozen right
+    /// link still leads rightward to its live successor and
+    /// [`locate_order_from`](Self::locate_order_from) strips tags while
+    /// traversing.  The bulk sweep driver exploits this by anchoring each
+    /// removal at the doomed node *itself* (pinned by the sweep's cursor):
+    /// the order-locate goes left on an equal key, so it stops at the
+    /// victim's own order link after `O(1)` hops instead of a root descent.
+    pub(crate) fn remove_node_from<'g>(
+        &self,
+        anchor: Shared<'g, Node<K, V>>,
+        anchor_curr: Shared<'g, Node<K, V>>,
+        key: &K,
+        guard: &'g R::Guard,
+    ) -> Option<Shared<'g, Node<K, V>>> {
         let record = self.record_stats();
         self.note_op(OpKind::Remove);
-        let mut prev = self.root1();
-        let mut curr = self.root0();
+        let mut prev = anchor;
+        let mut curr = anchor_curr;
         let mut spin = SpinBound::new("remove_node_with");
         loop {
             spin.tick();

@@ -977,6 +977,13 @@ where
     fn next_after(&self, key: &K) -> Option<K> {
         self.next_key_after(key)
     }
+
+    fn remove_range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> usize {
+        // The native streaming sweep (see `bulk`): vicinity-anchored protocol
+        // runs under one repinning guard with batch retirement, instead of
+        // the trait's page-then-remove default.
+        self.bulk_sweep(lo.cloned(), hi, None)
+    }
 }
 
 impl<K, V, R> ConcurrentMap<K, V> for LfBst<K, V, R>
@@ -1069,6 +1076,19 @@ where
 
     fn next_entry_after(&self, key: &K) -> Option<(K, V)> {
         LfBst::next_entry_after(self, key)
+    }
+
+    fn remove_range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> usize {
+        self.bulk_sweep(lo.cloned(), hi, None)
+    }
+
+    fn retain_range(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        keep: &(dyn Fn(&K, &V) -> bool + Sync),
+    ) -> usize {
+        self.bulk_sweep(lo.cloned(), hi, Some(keep))
     }
 }
 

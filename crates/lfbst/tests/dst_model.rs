@@ -27,8 +27,12 @@ use lfbst::LfBst;
 enum Op {
     Insert(u64),
     Remove(u64),
+    /// `remove_range(lo..=hi)` — the streaming bulk sweep.  Reports a count,
+    /// not per-key success, so the verdict attributes each key's presence
+    /// deficit to the ranges covering it and demands the totals balance.
+    RemoveRange(u64, u64),
 }
-use Op::{Insert, Remove};
+use Op::{Insert, Remove, RemoveRange};
 
 /// A named scenario: initial keys (inserted in order by the unscheduled main
 /// thread) and one op list per virtual thread.
@@ -136,11 +140,40 @@ const CONFIGS: &[Config] = &[
         setup: &[4, 2, 6],
         threads: &[&[Remove(4), Insert(3)], &[Insert(5), Remove(2)], &[Remove(6), Insert(7)]],
     },
+    // Bulk-sweep scenarios.  `remove_range` interleaves the in-order cursor
+    // walk with anchored removal-protocol runs; racing it with single-key
+    // removers probes the cursor's resume-after-victim logic against every
+    // removal category, and the count-based verdict catches a sweep that
+    // double-claims a key another remover already won.
+    Config {
+        // The sweep covers 2,3,4 — a cat-3 removal (4), its order node (3),
+        // and a cat-2 shape (2) — while a single-key remover contends for the
+        // mid-range key.  Exactly one of them may account for key 3.
+        name: "range-vs-remove",
+        setup: &[4, 2, 5, 3],
+        threads: &[&[RemoveRange(2, 4)], &[Remove(3)]],
+    },
+    Config {
+        // An insert lands *inside* the interval under sweep: the cursor may
+        // or may not catch key 3 (weak consistency), but the books must
+        // still balance and key 5's removal races the sweep's right edge.
+        name: "range-vs-insert",
+        setup: &[4, 2, 5],
+        threads: &[&[RemoveRange(2, 4)], &[Insert(3), Remove(5)]],
+    },
+    Config {
+        // Two overlapping sweeps contend for key 2; a double success would
+        // push the attributed total past the reported counts.
+        name: "range-vs-range",
+        setup: &[2, 1, 3],
+        threads: &[&[RemoveRange(1, 2)], &[RemoveRange(2, 3)]],
+    },
 ];
 
-/// Per-thread `(op, returned)` logs, filled by the scenario bodies and read
-/// by the quiescent check.
-type OpLog = Arc<Vec<Mutex<Vec<(Op, bool)>>>>;
+/// Per-thread `(op, removed-or-inserted count)` logs, filled by the scenario
+/// bodies and read by the quiescent check.  Point ops log 0/1; range sweeps
+/// log their removal count.
+type OpLog = Arc<Vec<Mutex<Vec<(Op, u64)>>>>;
 
 /// Builds a fresh run of `config`: tree + bodies + verdict closure.
 fn scenario(config: &Config) -> Scenario {
@@ -158,11 +191,12 @@ fn scenario(config: &Config) -> Scenario {
             let results = Arc::clone(&results);
             Box::new(move || {
                 for &op in ops.iter() {
-                    let ok = match op {
-                        Insert(k) => tree.insert(k),
-                        Remove(k) => tree.remove(&k),
+                    let n = match op {
+                        Insert(k) => u64::from(tree.insert(k)),
+                        Remove(k) => u64::from(tree.remove(&k)),
+                        RemoveRange(lo, hi) => tree.remove_range(lo..=hi) as u64,
                     };
-                    results[i].lock().unwrap().push((op, ok));
+                    results[i].lock().unwrap().push((op, n));
                 }
             }) as Box<dyn FnOnce() + Send>
         })
@@ -182,32 +216,57 @@ fn scenario(config: &Config) -> Scenario {
 }
 
 /// The quiescent verdict: structure + per-key operation accounting.
+///
+/// Point ops are attributed per key as before.  A range sweep reports only a
+/// count, so its removals are recovered from each key's presence deficit:
+/// `r_k = initial + inserts − point removes − finally present` must be
+/// non-negative (negative means some op double-succeeded), may only be
+/// positive for keys some range op covers, and the deficits must sum to
+/// exactly the counts the sweeps reported — a sweep that over- or
+/// under-counts, or double-claims a key a point remover won, breaks the
+/// balance.
 fn check_tree(tree: &Arc<LfBst<u64>>, setup: &[u64], results: &OpLog) -> Result<(), String> {
     let report = lfbst::validate::validate(tree).map_err(|e| format!("validation: {e}"))?;
     let mut net: BTreeMap<u64, i64> = setup.iter().map(|&k| (k, 1)).collect();
+    let mut range_reported = 0i64;
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
     for per_thread in results.iter() {
-        for &(op, ok) in per_thread.lock().unwrap().iter() {
-            if ok {
-                match op {
-                    Insert(k) => *net.entry(k).or_insert(0) += 1,
-                    Remove(k) => *net.entry(k).or_insert(0) -= 1,
+        for &(op, n) in per_thread.lock().unwrap().iter() {
+            match op {
+                Insert(k) if n == 1 => *net.entry(k).or_insert(0) += 1,
+                Remove(k) if n == 1 => *net.entry(k).or_insert(0) -= 1,
+                RemoveRange(lo, hi) => {
+                    range_reported += n as i64;
+                    ranges.push((lo, hi));
                 }
+                _ => {}
             }
         }
     }
+    let mut range_attributed = 0i64;
     let mut total = 0u64;
     for (&k, &n) in &net {
-        if !(0..=1).contains(&n) {
+        let present = tree.contains(&k);
+        let deficit = n - i64::from(present);
+        if deficit < 0 {
             return Err(format!(
-                "key {k}: net presence {n} (a remove succeeded twice or an insert \
-                 succeeded into a present key)"
+                "key {k}: net presence {n} but present={present} (a remove succeeded \
+                 twice or an insert succeeded into a present key)"
             ));
         }
-        let expect = n == 1;
-        if tree.contains(&k) != expect {
-            return Err(format!("key {k}: accounting says present={expect}, tree disagrees"));
+        if deficit > 0 && !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&k)) {
+            return Err(format!(
+                "key {k}: {deficit} removal(s) unaccounted for and no range sweep covers it"
+            ));
         }
-        total += n as u64;
+        range_attributed += deficit;
+        total += u64::from(present);
+    }
+    if range_attributed != range_reported {
+        return Err(format!(
+            "range sweeps reported {range_reported} removals but per-key deficits \
+             attribute {range_attributed}"
+        ));
     }
     if report.nodes as u64 != total || tree.len() as u64 != total {
         return Err(format!(

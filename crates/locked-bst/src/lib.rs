@@ -33,26 +33,6 @@ use std::fmt;
 use std::ops::Bound;
 use std::sync::{Mutex, RwLock};
 
-/// Filters an ascending key vector down to `[lo, hi]` (shared by the two
-/// lock-based [`OrderedSet`] impls, which scan under the lock).
-fn filter_range<K: Ord>(keys: Vec<K>, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
-    keys.into_iter()
-        .filter(|k| {
-            let above = match lo {
-                Bound::Unbounded => true,
-                Bound::Included(b) => k >= b,
-                Bound::Excluded(b) => k > b,
-            };
-            let below = match hi {
-                Bound::Unbounded => true,
-                Bound::Included(b) => k <= b,
-                Bound::Excluded(b) => k < b,
-            };
-            above && below
-        })
-        .collect()
-}
-
 /// A sequential internal BST protected by one global mutex.
 ///
 /// # Examples
@@ -113,16 +93,24 @@ impl<K: Ord + Send + Sync> ConcurrentSet<K> for CoarseLockBst<K> {
 
 impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for CoarseLockBst<K> {
     fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
-        filter_range(self.inner.lock().unwrap().keys(), lo, hi)
+        self.inner.lock().unwrap().keys_in_range(lo, hi)
     }
 
     fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K> {
-        // The sequential tree only offers a bulk key dump, so a page still
-        // walks the whole structure under the lock; the truncation bounds the
-        // *returned* page, which is what the chunked cursor contract needs.
-        let mut keys = filter_range(self.inner.lock().unwrap().keys(), lo, hi);
+        // The pruned range walk still gathers the whole range under the lock;
+        // the truncation bounds the *returned* page, which is what the
+        // chunked cursor contract needs.
+        let mut keys = self.inner.lock().unwrap().keys_in_range(lo, hi);
         keys.truncate(limit);
         keys
+    }
+
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        // One lock hold for the whole range (the default would re-lock per
+        // page and per key): the atomic bulk delete a coarse lock buys.
+        let mut tree = self.inner.lock().unwrap();
+        let doomed = tree.keys_in_range(lo, hi);
+        doomed.iter().filter(|k| tree.remove(k)).count()
     }
 }
 
@@ -189,13 +177,21 @@ impl<K: Ord + Send + Sync> ConcurrentSet<K> for RwLockBst<K> {
 
 impl<K: Ord + Clone + Send + Sync> OrderedSet<K> for RwLockBst<K> {
     fn keys_between(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
-        filter_range(self.inner.read().unwrap().keys(), lo, hi)
+        self.inner.read().unwrap().keys_in_range(lo, hi)
     }
 
     fn keys_between_limited(&self, lo: Bound<&K>, hi: Bound<&K>, limit: usize) -> Vec<K> {
-        let mut keys = filter_range(self.inner.read().unwrap().keys(), lo, hi);
+        let mut keys = self.inner.read().unwrap().keys_in_range(lo, hi);
         keys.truncate(limit);
         keys
+    }
+
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        // One exclusive hold for the whole range, so readers never observe a
+        // partially deleted interval.
+        let mut tree = self.inner.write().unwrap();
+        let doomed = tree.keys_in_range(lo, hi);
+        doomed.iter().filter(|k| tree.remove(k)).count()
     }
 }
 
@@ -329,6 +325,36 @@ where
             .next()
             .map(|(k, v)| (k.clone(), v.clone()))
     }
+
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        // Atomic under the one lock — this is what makes it the oracle for
+        // the streaming sweeps: no concurrent op can see a half-done range.
+        if cset::range_is_empty(&lo, &hi) {
+            return 0;
+        }
+        let mut map = self.inner.lock().unwrap();
+        let doomed: Vec<K> =
+            map.range((lo.cloned(), hi.cloned())).map(|(k, _)| k.clone()).collect();
+        doomed.iter().filter(|k| map.remove(k).is_some()).count()
+    }
+
+    fn retain_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        keep: &(dyn Fn(&K, &V) -> bool + Sync),
+    ) -> usize {
+        if cset::range_is_empty(&lo, &hi) {
+            return 0;
+        }
+        let mut map = self.inner.lock().unwrap();
+        let doomed: Vec<K> = map
+            .range((lo.cloned(), hi.cloned()))
+            .filter(|(k, v)| !keep(k, v))
+            .map(|(k, _)| k.clone())
+            .collect();
+        doomed.iter().filter(|k| map.remove(k).is_some()).count()
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +431,39 @@ mod tests {
         assert_eq!(map.remove(&2), Some(22));
         assert_eq!(map.remove(&2), None);
         assert_eq!(map.name(), "coarse-mutex-btreemap");
+    }
+
+    #[test]
+    fn native_remove_range_matches_the_chunked_default() {
+        use cset::{OrderedMap, OrderedSet};
+        use std::ops::Bound;
+
+        fn seed_set<S: ConcurrentSet<u64> + Default>() -> S {
+            let set = S::default();
+            for k in 0..100 {
+                set.insert(k);
+            }
+            set
+        }
+
+        let coarse: CoarseLockBst<u64> = seed_set();
+        assert_eq!(coarse.remove_range(Bound::Included(&10), Bound::Excluded(&40)), 30);
+        assert_eq!(coarse.remove_range(Bound::Included(&40), Bound::Included(&10)), 0);
+        assert_eq!(coarse.len(), 70);
+
+        let rw: RwLockBst<u64> = seed_set();
+        assert_eq!(rw.remove_range(Bound::Excluded(&89), Bound::Unbounded), 10);
+        assert_eq!(rw.len(), 90);
+
+        let map: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+        for k in 0..100 {
+            ConcurrentMap::insert(&map, k, k * 2);
+        }
+        assert_eq!(OrderedMap::remove_range(&map, Bound::Unbounded, Bound::Excluded(&50)), 50);
+        assert_eq!(map.retain_range(Bound::Unbounded, Bound::Unbounded, &|k, _| k % 2 == 0), 25);
+        assert_eq!(map.len(), 25);
+        assert!((50..100).filter(|k| k % 2 == 0).all(|k| map.contains_key(&k)));
+        assert_eq!(OrderedMap::remove_range(&map, Bound::Excluded(&10), Bound::Included(&5)), 0);
     }
 
     #[test]

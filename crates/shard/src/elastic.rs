@@ -42,6 +42,10 @@ use cset::{ConcurrentMap, LoadTally, OrderedMap, StatsSnapshot};
 
 use crate::sharded::config_name;
 
+/// The survival predicate `retain_range` threads into the strip teardown
+/// (`None` = clear everything, i.e. `remove_range`).
+type StripKeepFn<'a, V> = &'a (dyn Fn(&u64, &V) -> bool + Sync);
+
 /// One key strip: a tree plus its load tally and in-flight writer count.
 ///
 /// Strips are shared by `Arc` between successive routing tables, so a
@@ -509,6 +513,160 @@ impl<S, R: Reclaimer> ElasticMap<S, R> {
         };
         t.strips[first..=last].iter().map(|s| Arc::clone(&s.tree)).collect()
     }
+
+    /// The whole-strip teardown behind the map facade's bulk mutations.
+    ///
+    /// Strips **fully covered** by `[lo, hi]` are not drained key by key:
+    /// they are replaced wholesale through the same blocked-table cutover a
+    /// rebalance uses — publish a table with the covered run blocked, drain
+    /// its writers, then publish a final table whose covered strips hold
+    /// fresh (empty, or pre-filtered and reconciled) trees.  The strip
+    /// layout (`bounds`) never changes, only the trees; the old trees leave
+    /// the table and are dropped when the retired tables and in-flight scans
+    /// release their `Arc`s — one bulk drop instead of a removal-protocol
+    /// run per key.  Boundary strips the range only clips fall back to their
+    /// trees' own streaming sweeps (linearizable per key, no epoch switch).
+    fn teardown_range<V>(
+        &self,
+        lo: Bound<&u64>,
+        hi: Bound<&u64>,
+        keep: Option<StripKeepFn<'_, V>>,
+    ) -> usize
+    where
+        S: OrderedMap<u64, V>,
+        V: PartialEq,
+    {
+        if cset::range_is_empty(&lo, &hi) {
+            return 0;
+        }
+        let _serialize = self.migrate.lock().expect("rebalance lock poisoned");
+        let (bounds0, strips0, first, last) = {
+            let guard = R::pin();
+            let t = unsafe { self.table.load(Ordering::Acquire, &guard).deref() };
+            let first = match lo {
+                Bound::Unbounded => 0,
+                Bound::Included(k) | Bound::Excluded(k) => t.route(*k),
+            };
+            let last = match hi {
+                Bound::Unbounded => t.strips.len() - 1,
+                Bound::Included(k) | Bound::Excluded(k) => t.route(*k),
+            };
+            (t.bounds.clone(), t.strips.clone(), first, last)
+        };
+        let strip_lower = |i: usize| if i == 0 { 0 } else { bounds0[i - 1] };
+        let strip_upper = |i: usize| bounds0.get(i).copied();
+        // Strip `i` covers `[lower, upper)`; it is fully covered when every
+        // key in that interval falls inside `[lo, hi]`.  Split points are
+        // non-zero, so `u - 1` cannot underflow.
+        let covered = |i: usize| {
+            let lo_ok = match lo {
+                Bound::Unbounded => true,
+                Bound::Included(k) => *k <= strip_lower(i),
+                Bound::Excluded(k) => *k < strip_lower(i),
+            };
+            let hi_ok = match (hi, strip_upper(i)) {
+                (Bound::Unbounded, _) => true,
+                (Bound::Included(k), None) => *k == u64::MAX,
+                (Bound::Excluded(_), None) => false,
+                (Bound::Included(k), Some(u)) => *k >= u - 1,
+                (Bound::Excluded(k), Some(u)) => *k >= u,
+            };
+            lo_ok && hi_ok
+        };
+        let full: Vec<usize> = (first..=last).filter(|&i| covered(i)).collect();
+        let mut removed = 0usize;
+
+        if let (Some(&f0), Some(&f1)) = (full.first(), full.last()) {
+            // One contiguous range over contiguous strips: the covered strips
+            // form one middle run, with at most one clipped strip per edge.
+            debug_assert_eq!(full.len(), f1 - f0 + 1, "covered strips form one contiguous run");
+
+            // Phase 1 (filtered swap only) — pre-copy each covered strip's
+            // survivors into a fresh balanced tree while writers continue on
+            // the old trees; a plain range delete swaps in empty trees and
+            // skips this entirely.
+            let replacements: Vec<Arc<S>> = (f0..=f1)
+                .map(|i| {
+                    let fresh = Arc::new((self.make)());
+                    if let Some(keep) = keep {
+                        let survivors: Vec<(u64, V)> = cset::chunked_scan_entries(
+                            &*strips0[i].tree,
+                            Bound::Unbounded,
+                            Bound::Unbounded,
+                        )
+                        .filter(|(k, v)| keep(k, v))
+                        .collect();
+                        balanced_load(&*fresh, survivors);
+                    }
+                    fresh
+                })
+                .collect();
+
+            // Phase 2 — cutover: block the covered run, drain its writers,
+            // then settle each replacement against its now-frozen source.
+            let guard = R::pin();
+            let blocked =
+                Table { bounds: bounds0.clone(), strips: strips0.clone(), blocked: Some((f0, f1)) };
+            let prev = self.table.swap(Owned::new(blocked), Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(prev) };
+            for strip in &strips0[f0..=f1] {
+                Self::await_writers(strip);
+            }
+            for (i, fresh) in (f0..=f1).zip(&replacements) {
+                let old = &strips0[i].tree;
+                match keep {
+                    // The strip is frozen, so its quiescent count is exactly
+                    // what the swap evicts.
+                    None => removed += old.len(),
+                    Some(keep) => {
+                        let dropped = std::cell::Cell::new(0usize);
+                        let oracle =
+                            cset::chunked_scan_entries(&**old, Bound::Unbounded, Bound::Unbounded)
+                                .filter(|(k, v)| {
+                                    let kept = keep(k, v);
+                                    if !kept {
+                                        dropped.set(dropped.get() + 1);
+                                    }
+                                    kept
+                                });
+                        reconcile(
+                            oracle,
+                            cset::chunked_scan_entries(
+                                &**fresh,
+                                Bound::Unbounded,
+                                Bound::Unbounded,
+                            ),
+                            &[(None, &**fresh)],
+                        );
+                        removed += dropped.get();
+                    }
+                }
+            }
+
+            // Phase 3 — publish the swapped strips; the split points are
+            // untouched, so routing is unchanged and only the covered trees
+            // move.
+            let mut strips = strips0.clone();
+            for (i, fresh) in (f0..=f1).zip(replacements) {
+                strips[i] = Strip::new(fresh);
+            }
+            let t2 = Table { bounds: bounds0.clone(), strips, blocked: None };
+            let prev = self.table.swap(Owned::new(t2), Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(prev) };
+        }
+
+        // Boundary strips the range only clips: stream-sweep them through
+        // the trees themselves (the same trees live writers use, so per-key
+        // linearizability is the trees' own).
+        for i in (first..=last).filter(|&i| !covered(i)) {
+            let tree = &strips0[i].tree;
+            removed += match keep {
+                None => tree.remove_range(lo, hi),
+                Some(keep) => tree.retain_range(lo, hi, keep),
+            };
+        }
+        removed
+    }
 }
 
 impl<S, R: Reclaimer> Drop for ElasticMap<S, R> {
@@ -744,6 +902,26 @@ where
     fn next_entry_after(&self, key: &u64) -> Option<(u64, V)> {
         let trees = self.snapshot_trees(Bound::Included(key), Bound::Unbounded);
         trees.iter().find_map(|t| t.next_entry_after(key))
+    }
+
+    /// Whole-strip fast path: strips fully covered by the range are swapped
+    /// for fresh empty trees through the epoch-switched cutover (one bulk
+    /// drop instead of per-key removal-protocol runs); clipped boundary
+    /// strips fall back to their trees' streaming sweeps.  See
+    /// `ElasticMap::teardown_range`.
+    fn remove_range(&self, lo: Bound<&u64>, hi: Bound<&u64>) -> usize {
+        self.teardown_range(lo, hi, None)
+    }
+
+    /// Same fast path with a filter: covered strips get a pre-filtered,
+    /// reconciled replacement tree; boundary strips stream-sweep.
+    fn retain_range(
+        &self,
+        lo: Bound<&u64>,
+        hi: Bound<&u64>,
+        keep: &(dyn Fn(&u64, &V) -> bool + Sync),
+    ) -> usize {
+        self.teardown_range(lo, hi, Some(keep))
     }
 }
 
@@ -1149,6 +1327,95 @@ mod tests {
             expected += b as usize;
         }
         assert_eq!(map.len(), expected);
+    }
+
+    /// Whole-strip teardown: a range covering strips 1 and 2 of four swaps
+    /// them for empty trees through the cutover (observable as rebalance-free
+    /// table switches leaving the boundaries intact) while the clipped edge
+    /// strips are swept in place.
+    #[test]
+    fn strip_teardown_swaps_covered_strips_and_sweeps_the_edges() {
+        let map = new_map(4, 1_000); // strips [0,250) [250,500) [500,750) [750,..)
+        for k in 0..1_000u64 {
+            map.insert(k, k);
+        }
+        let removed = OrderedMap::remove_range(&map, Bound::Included(&100), Bound::Excluded(&800));
+        assert_eq!(removed, 700);
+        assert_eq!(map.len(), 300);
+        assert_eq!(map.boundaries(), vec![250, 500, 750], "teardown never moves split points");
+        let left: Vec<u64> =
+            map.entries_between(Bound::Unbounded, Bound::Unbounded).iter().map(|e| e.0).collect();
+        assert_eq!(left, (0..100).chain(800..1_000).collect::<Vec<_>>());
+        // The map stays fully writable after the swap.
+        assert!(map.insert(400, 4));
+        assert_eq!(map.get(&400), Some(4));
+        // A full-span teardown clears every strip by pure swaps.
+        assert_eq!(OrderedMap::remove_range(&map, Bound::Unbounded, Bound::Unbounded), 301);
+        assert!(map.is_empty());
+    }
+
+    /// Filtered swap: a retain sweep over fully covered strips publishes
+    /// pre-filtered replacement trees whose contents equal the frozen
+    /// source filtered by the predicate.
+    #[test]
+    fn strip_teardown_retain_filters_covered_strips() {
+        let map = new_map(4, 1_000);
+        for k in 0..1_000u64 {
+            map.insert(k, k);
+        }
+        let removed = map.retain_range(Bound::Unbounded, Bound::Excluded(&500), &|k, _| k % 2 == 0);
+        assert_eq!(removed, 250);
+        assert_eq!(map.len(), 750);
+        assert!((0..500u64).all(|k| map.contains_key(&k) == (k % 2 == 0)));
+        assert!((500..1_000u64).all(|k| map.contains_key(&k)));
+        // Inverted bounds stay a no-op, matching the workspace contract.
+        assert_eq!(OrderedMap::remove_range(&map, Bound::Included(&600), Bound::Included(&10)), 0);
+        assert_eq!(map.len(), 750);
+    }
+
+    /// Teardown under write pressure: concurrent single-key writers on the
+    /// covered strips either land before the cutover (and die with the strip)
+    /// or retry onto the replacement trees — the per-key insert/remove
+    /// balance never breaks.
+    #[test]
+    fn strip_teardown_races_with_writers() {
+        const SPAN: u64 = 1_024;
+        let map = Arc::new(new_map(4, SPAN));
+        for k in 0..SPAN {
+            map.insert(k, k);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x7EA8 + t);
+                    while !stop.load(AtOrd::Acquire) {
+                        let k = rng.gen_range(0..SPAN);
+                        if rng.gen_bool(0.5) {
+                            map.upsert(k, k);
+                        } else {
+                            map.remove(&k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20 {
+            OrderedMap::remove_range(&*map, Bound::Unbounded, Bound::Unbounded);
+        }
+        stop.store(true, AtOrd::Release);
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Quiescent sanity: scans agree with point reads after the storm.
+        let scanned = map.entries_between(Bound::Unbounded, Bound::Unbounded);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(scanned.len(), map.len());
+        for (k, v) in scanned {
+            assert_eq!(map.get(&k), Some(v));
+        }
     }
 
     #[test]

@@ -24,8 +24,14 @@ use crate::elastic::ElasticMap;
 /// The defaults are deliberately conservative: a strip must carry more than
 /// `hot_factor` times the mean window load to be split, and an adjacent pair
 /// must *together* carry less than `cold_factor` times the mean to be merged
-/// — the gap between the two thresholds is the hysteresis band that stops a
-/// borderline strip from oscillating.
+/// — the gap between the two thresholds is the hysteresis **dead band** that
+/// stops a borderline strip from oscillating.  The band alone cannot stop
+/// *load* that oscillates (heat that moves strip-to-strip window-to-window
+/// can legitimately clear both thresholds in turn), so
+/// [`cooldown`](Self::cooldown) adds a refractory period: after a split,
+/// merges are
+/// suppressed for that many policy steps, and vice versa, so a
+/// split→merge→split thrash cycle cannot complete.
 #[derive(Clone, Copy, Debug)]
 pub struct RebalancePolicy {
     /// Split the hottest strip when its window load exceeds
@@ -49,6 +55,12 @@ pub struct RebalancePolicy {
     /// Sleep between steps when driven by [`Rebalancer::spawn`]
     /// (default 5 ms).
     pub interval: Duration,
+    /// After an applied action, suppress the **opposite** action for this
+    /// many policy steps (default `4`) — the refractory half of the
+    /// hysteresis.  Same-direction actions stay allowed (repeated splits of
+    /// a genuinely hot region are progress, not thrash); `0` disables the
+    /// refractory and leaves only the threshold dead band.
+    pub cooldown: u32,
 }
 
 impl Default for RebalancePolicy {
@@ -60,6 +72,7 @@ impl Default for RebalancePolicy {
             max_shards: 64,
             min_window_ops: 2048,
             interval: Duration::from_millis(5),
+            cooldown: 4,
         }
     }
 }
@@ -101,20 +114,24 @@ pub enum RebalanceAction {
 /// for _ in 0..3_000 {
 ///     map.get(&3);
 /// }
-/// let balancer = Rebalancer::new(RebalancePolicy::default());
+/// let mut balancer = Rebalancer::new(RebalancePolicy::default());
 /// let action = balancer.step(&map);
 /// assert!(action.is_some(), "a 3000-op strip next to an idle one is hot");
 /// assert_eq!(map.shard_count(), 3);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Rebalancer {
     policy: RebalancePolicy,
+    /// Policy steps left in which a split is suppressed (set by a merge).
+    split_block: u32,
+    /// Policy steps left in which a merge is suppressed (set by a split).
+    merge_block: u32,
 }
 
 impl Rebalancer {
     /// Creates a rebalancer with the given policy.
     pub fn new(policy: RebalancePolicy) -> Self {
-        Rebalancer { policy }
+        Rebalancer { policy, split_block: 0, merge_block: 0 }
     }
 
     /// The policy in use.
@@ -127,13 +144,20 @@ impl Rebalancer {
     ///
     /// Safe to race with readers, writers, and even other policy drivers:
     /// the map validates every decision against its current table and
-    /// rejects stale ones (`step` then simply reports `None`).
-    pub fn step<S, V, R>(&self, map: &ElasticMap<S, R>) -> Option<RebalanceAction>
+    /// rejects stale ones (`step` then simply reports `None`).  The receiver
+    /// is `&mut` because the refractory state
+    /// ([`RebalancePolicy::cooldown`]) lives in the rebalancer, not the map.
+    pub fn step<S, V, R>(&mut self, map: &ElasticMap<S, R>) -> Option<RebalanceAction>
     where
         S: OrderedMap<u64, V>,
         V: PartialEq,
         R: Reclaimer,
     {
+        let split_suppressed = self.split_block > 0;
+        let merge_suppressed = self.merge_block > 0;
+        self.split_block = self.split_block.saturating_sub(1);
+        self.merge_block = self.merge_block.saturating_sub(1);
+
         let loads = map.take_loads();
         let shards = loads.len();
         let total: u64 = loads.iter().sum();
@@ -145,15 +169,19 @@ impl Rebalancer {
         // Hottest strip first: under skew, splitting the hot strip is the
         // move that buys throughput; merging is cleanup.
         let (hot, &hot_load) = loads.iter().enumerate().max_by_key(|(_, &l)| l).expect("non-empty");
-        if shards < self.policy.max_shards && hot_load as f64 > self.policy.hot_factor * mean {
+        if !split_suppressed
+            && shards < self.policy.max_shards
+            && hot_load as f64 > self.policy.hot_factor * mean
+        {
             if let Some(pivot) = map.split_pivot(hot) {
                 if map.split(hot, pivot) {
+                    self.merge_block = self.policy.cooldown;
                     return Some(RebalanceAction::Split { strip: hot, pivot });
                 }
             }
         }
 
-        if shards > self.policy.min_shards && shards >= 2 {
+        if !merge_suppressed && shards > self.policy.min_shards && shards >= 2 {
             let (left, pair_load) = loads
                 .windows(2)
                 .map(|w| w[0] + w[1])
@@ -161,6 +189,7 @@ impl Rebalancer {
                 .min_by_key(|&(_, l)| l)
                 .expect("at least two strips");
             if (pair_load as f64) < self.policy.cold_factor * mean && map.merge(left) {
+                self.split_block = self.policy.cooldown;
                 return Some(RebalanceAction::Merge { left });
             }
         }
@@ -180,12 +209,13 @@ impl Rebalancer {
         let thread = std::thread::Builder::new()
             .name("shard-rebalancer".into())
             .spawn(move || {
+                let mut balancer = self;
                 let mut actions = 0u64;
                 while !stop_flag.load(Ordering::Acquire) {
-                    if self.step(&map).is_some() {
+                    if balancer.step(&map).is_some() {
                         actions += 1;
                     }
-                    std::thread::sleep(self.policy.interval);
+                    std::thread::sleep(balancer.policy.interval);
                 }
                 actions
             })
@@ -256,7 +286,7 @@ mod tests {
         for _ in 0..63 {
             map.get(&3);
         }
-        let balancer = Rebalancer::new(quiet_policy());
+        let mut balancer = Rebalancer::new(quiet_policy());
         assert_eq!(balancer.step(&map), None, "63 ops is below the 64-op floor");
         assert_eq!(map.shard_count(), 2);
         // The probe itself consumed the window; rebuild it past the floor.
@@ -315,6 +345,53 @@ mod tests {
         let policy = RebalancePolicy { min_shards: 2, max_shards: 2, ..quiet_policy() };
         assert_eq!(Rebalancer::new(policy).step(&map), None);
         assert_eq!(map.shard_count(), 2);
+    }
+
+    /// Drives an oscillating skew: even windows hammer the front of the key
+    /// space (hot front strip → split), odd windows hammer the back; with
+    /// `max_shards` capped one above the start, the post-split layout cannot
+    /// split again, so the just-split cold halves are a merge candidate every
+    /// odd window.  Returns how many (splits, merges) the policy applied.
+    fn run_oscillation(cooldown: u32, windows: usize) -> (u64, u64) {
+        let map = new_map(2, 4_096);
+        for k in 0..4_096 {
+            map.insert(k, k);
+        }
+        map.take_loads();
+        let policy = RebalancePolicy { max_shards: 3, cooldown, ..quiet_policy() };
+        let mut balancer = Rebalancer::new(policy);
+        let (mut splits, mut merges) = (0u64, 0u64);
+        for w in 0..windows {
+            let probe = if w % 2 == 0 { 3 } else { 4_090 };
+            for _ in 0..1_000 {
+                map.get(&probe);
+            }
+            match balancer.step(&map) {
+                Some(RebalanceAction::Split { .. }) => splits += 1,
+                Some(RebalanceAction::Merge { .. }) => merges += 1,
+                None => {}
+            }
+        }
+        (splits, merges)
+    }
+
+    /// The no-thrash property: load that oscillates strip-to-strip clears
+    /// both thresholds in alternation, so without the refractory the policy
+    /// thrashes split→merge→split; with it, the cycle cannot complete.
+    #[test]
+    fn cooldown_dampens_split_merge_thrash() {
+        let (splits, merges) = run_oscillation(0, 12);
+        assert!(
+            splits >= 4 && merges >= 4,
+            "without a cooldown the oscillation must thrash (got {splits} splits, {merges} merges)"
+        );
+        let (splits, merges) = run_oscillation(16, 12);
+        assert_eq!(
+            (splits, merges),
+            (1, 0),
+            "a cooldown spanning the run must pin the layout after the first action"
+        );
+        assert!(RebalancePolicy::default().cooldown > 0, "hysteresis must be on by default");
     }
 
     #[test]

@@ -353,6 +353,30 @@ where
         let start = self.router.route(key);
         self.shards[start..].iter().find_map(|s| s.next_after(key))
     }
+
+    /// Parallel cross-shard teardown: every shard in the router-confined
+    /// interval runs its own `remove_range` on a scoped thread (shards hold
+    /// disjoint key sets under a monotone router, so each can be handed the
+    /// full bounds and the counts sum exactly).  A span of one shard stays on
+    /// the calling thread.
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        let Some((first, last)) = self.shard_span(lo, hi) else {
+            return 0;
+        };
+        if first == last {
+            return self.shards[first].remove_range(lo, hi);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self.shards[first..=last]
+                .iter()
+                .map(|shard| scope.spawn(move || shard.remove_range(lo, hi)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard teardown panicked")).sum()
+        })
+    }
 }
 
 /// A key-space-partitioned concurrent **map**: the [`ConcurrentMap`] facade
@@ -553,6 +577,41 @@ where
     {
         let start = self.inner.router.route(key);
         self.inner.shards[start..].iter().find_map(|s| s.next_entry_after(key))
+    }
+
+    /// Parallel cross-shard teardown, exactly as on the set facade: disjoint
+    /// key sets per shard make the fan-out trivially correct.
+    fn remove_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        self.retain_range(lo, hi, &|_, _| false)
+    }
+
+    /// Parallel cross-shard eviction sweep: one scoped thread per shard in
+    /// the span, all judging with the same (`Sync`) predicate.
+    fn retain_range(
+        &self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        keep: &(dyn Fn(&K, &V) -> bool + Sync),
+    ) -> usize
+    where
+        K: Clone + Ord + Send + Sync,
+    {
+        let Some((first, last)) = self.inner.shard_span(lo, hi) else {
+            return 0;
+        };
+        if first == last {
+            return self.inner.shards[first].retain_range(lo, hi, keep);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self.inner.shards[first..=last]
+                .iter()
+                .map(|shard| scope.spawn(move || shard.retain_range(lo, hi, keep)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard teardown panicked")).sum()
+        })
     }
 }
 

@@ -20,6 +20,10 @@
 //! * [`run_adversarial_workload`] — the fault-injection driver ([`Adversary`]):
 //!   stalled readers, mid-retire pauses and retire storms, generic over the
 //!   reclamation backend so EBR and IBR can be A/B'd (experiment E17);
+//! * [`run_teardown_cycle`] — the refill/teardown driver: repeatedly fills a
+//!   set and deletes it again in ascending chunks, either through streaming
+//!   `remove_range` calls or a per-key baseline ([`TeardownMode`],
+//!   experiment E16);
 //! * [`Measurement`] / [`format_markdown_table`] — plain-value results that the
 //!   experiment harness and the criterion benchmarks both consume.
 //!
@@ -37,8 +41,8 @@ mod spec;
 pub use adversary::{run_adversarial_workload, Adversary, AdversaryReport};
 pub use distribution::{KeyDistribution, KeySampler};
 pub use runner::{
-    prefill_map, run_map_workload, run_scan_workload, run_workload, Measurement, ScanMode,
-    ThreadStats,
+    prefill_map, run_map_workload, run_scan_workload, run_teardown_cycle, run_workload,
+    Measurement, ScanMode, TeardownMeasurement, TeardownMode, ThreadStats,
 };
 pub use spec::{MapSpec, OperationMix, WorkloadSpec, DEFAULT_SAMPLE_EVERY, DEFAULT_SCAN_LEN};
 

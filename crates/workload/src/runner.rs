@@ -77,6 +77,167 @@ impl ScanMode {
     }
 }
 
+/// How [`run_teardown_cycle`] serves each bulk delete.
+///
+/// Both modes remove the same keys in the same chunk order; they differ in
+/// *what the API shape lets the structure amortize*:
+///
+/// * [`Bulk`](Self::Bulk) — one [`OrderedSet::remove_range`] call per chunk:
+///   the structure may walk successor links instead of re-descending, batch
+///   its retirements, or (sharded/elastic compositions) tear whole strips
+///   down wholesale.
+/// * [`PerKey`](Self::PerKey) — the historical baseline: one
+///   [`ConcurrentSet::remove`] per key, a full locate plus removal protocol
+///   run each time.
+///
+/// Comparing the two (experiment E16) quantifies what the streaming bulk
+/// mutations buy, as a function of the chunk size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TeardownMode {
+    /// One `remove` call per key.
+    PerKey,
+    /// One `remove_range` call per chunk of `bulk` keys.
+    Bulk,
+}
+
+impl TeardownMode {
+    /// A short label for benchmark rows (`"per-key"` / `"bulk"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TeardownMode::PerKey => "per-key",
+            TeardownMode::Bulk => "bulk",
+        }
+    }
+}
+
+/// The result of one [`run_teardown_cycle`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TeardownMeasurement {
+    /// Name reported by the set under test.
+    pub set_name: String,
+    /// How the teardown phases issued their deletes.
+    pub mode: TeardownMode,
+    /// Keys per delete chunk.
+    pub bulk: usize,
+    /// Refill/teardown cycles run.
+    pub cycles: u64,
+    /// Live keys per cycle.
+    pub keys: u64,
+    /// ID-space stride between live keys (1 = dense).
+    pub stride: u64,
+    /// Confirmed removals summed over all teardown phases (equals
+    /// `cycles × keys` when nothing else touches the set).
+    pub removed: u64,
+    /// Wall-clock time spent in teardown phases only.
+    pub teardown_time: Duration,
+    /// Wall-clock time spent refilling between teardowns (not part of the
+    /// headline metric; reported so refill cost stays visible).
+    pub refill_time: Duration,
+}
+
+impl TeardownMeasurement {
+    /// Teardown throughput in million removed keys per second.
+    pub fn teardown_mkeys(&self) -> f64 {
+        self.removed as f64 / self.teardown_time.as_secs_f64().max(1e-9) / 1.0e6
+    }
+}
+
+/// Runs `cycles` refill/teardown cycles over `set` and reports the teardown
+/// throughput: each cycle inserts `keys` live keys placed `stride` apart in
+/// the ID space (`0, stride, 2·stride, …`, in a seed-shuffled order so
+/// structures without rebalancing don't degenerate), then clears the whole ID
+/// span again in ascending *ranges* covering `bulk` live keys each, timed
+/// separately, with each range issued per `mode` — one `remove_range` call
+/// ([`TeardownMode::Bulk`]) or one `remove` probe per candidate ID in the
+/// span ([`TeardownMode::PerKey`]).
+///
+/// This mirrors the teardown-tree benchmark cycle: the measured quantity is
+/// sustained *bulk delete* throughput on a structure that is repeatedly
+/// refilled, as a function of the delete granularity.  `stride` models the
+/// session-expiry / retention-window shape where live keys only sparsely
+/// occupy the ID space and the evictor knows the *range* to clear, not the
+/// membership: the per-key baseline must probe every candidate ID (paying a
+/// full locate for the `stride − 1` misses per hit), while a range delete
+/// walks only live keys.  `stride == 1` is the dense case where both modes
+/// touch exactly the live keys.
+///
+/// # Examples
+///
+/// ```
+/// use locked_bst::CoarseLockBst;
+/// use workload::{run_teardown_cycle, TeardownMode};
+///
+/// let set = CoarseLockBst::new();
+/// let m = run_teardown_cycle(&set, 512, 64, 2, 1, TeardownMode::Bulk, 7);
+/// assert_eq!(m.removed, 1024);
+/// assert!(m.teardown_mkeys() > 0.0);
+/// ```
+pub fn run_teardown_cycle<S>(
+    set: &S,
+    keys: u64,
+    bulk: usize,
+    cycles: u64,
+    stride: u64,
+    mode: TeardownMode,
+    seed: u64,
+) -> TeardownMeasurement
+where
+    S: OrderedSet<u64>,
+{
+    assert!(bulk > 0, "teardown chunks must hold at least one key");
+    assert!(stride > 0, "the ID-space stride must be at least one");
+    let mut order: Vec<u64> = (0..keys).map(|k| k * stride).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let span = keys * stride;
+
+    let mut removed = 0u64;
+    let mut teardown_time = Duration::ZERO;
+    let mut refill_time = Duration::ZERO;
+    for _ in 0..cycles {
+        let t0 = Instant::now();
+        for &k in &order {
+            set.insert(k);
+        }
+        refill_time += t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut start = 0u64;
+        while start < span {
+            let end = (start + (bulk as u64) * stride).min(span);
+            match mode {
+                TeardownMode::Bulk => {
+                    removed += set.remove_range(
+                        std::ops::Bound::Included(&start),
+                        std::ops::Bound::Excluded(&end),
+                    ) as u64;
+                }
+                TeardownMode::PerKey => {
+                    for k in start..end {
+                        if set.remove(&k) {
+                            removed += 1;
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        teardown_time += t0.elapsed();
+    }
+
+    TeardownMeasurement {
+        set_name: set.name().to_string(),
+        mode,
+        bulk,
+        cycles,
+        keys,
+        stride,
+        removed,
+        teardown_time,
+        refill_time,
+    }
+}
+
 /// The result of one [`run_workload`] call.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
@@ -605,6 +766,36 @@ mod tests {
             // on a half-full 512-key range.
             assert!(scan_keys <= scans * 8, "{mode:?}");
             assert!(scan_keys > 0, "{mode:?} scans never produced keys");
+        }
+    }
+
+    #[test]
+    fn teardown_cycle_drains_and_counts_in_both_modes() {
+        for mode in [TeardownMode::PerKey, TeardownMode::Bulk] {
+            let set = CoarseLockBst::new();
+            let m = run_teardown_cycle(&set, 300, 64, 3, 1, mode, 42);
+            assert_eq!(m.removed, 900, "{mode:?} lost removals");
+            assert_eq!(m.cycles, 3);
+            assert_eq!(m.keys, 300);
+            assert_eq!(m.stride, 1);
+            assert!(set.is_empty(), "{mode:?} left residue");
+            assert!(m.teardown_mkeys() > 0.0);
+            assert!(m.teardown_time > Duration::ZERO);
+            assert!(m.refill_time > Duration::ZERO);
+        }
+        assert_ne!(TeardownMode::PerKey.label(), TeardownMode::Bulk.label());
+    }
+
+    #[test]
+    fn teardown_cycle_sparse_stride_probes_the_whole_span() {
+        for mode in [TeardownMode::PerKey, TeardownMode::Bulk] {
+            let set = CoarseLockBst::new();
+            let m = run_teardown_cycle(&set, 200, 50, 2, 4, mode, 9);
+            // Only live keys count, no matter how many candidate IDs the
+            // per-key baseline had to probe.
+            assert_eq!(m.removed, 400, "{mode:?} miscounted live removals");
+            assert_eq!(m.stride, 4);
+            assert!(set.is_empty(), "{mode:?} left residue");
         }
     }
 

@@ -193,6 +193,76 @@ fn streaming_cursors_agree_across_all_ordered_implementations() {
     }
 }
 
+#[test]
+fn remove_range_agrees_across_all_ordered_implementations() {
+    // Every OrderedSet (native streaming sweep, chunked defaults, lock-based
+    // single-hold overrides, sharded strip fan-out) must remove exactly the
+    // keys the BTreeSet oracle says lie in the range, for every bound shape —
+    // including empty, reversed and fully-missing ranges.
+    use cset::OrderedSet;
+    let lfbst = LfBst::new();
+    let ellen = EllenBst::new();
+    let natarajan = NatarajanBst::new();
+    let coarse = CoarseLockBst::new();
+    let rwlock = RwLockBst::new();
+    let sharded_range = Sharded::new(RangeRouter::covering(8, 400), |_| LfBst::new());
+    let sets: [&dyn OrderedSet<u64>; 6] =
+        [&lfbst, &ellen, &natarajan, &coarse, &rwlock, &sharded_range];
+    let mut model = std::collections::BTreeSet::new();
+    let mut rng = StdRng::seed_from_u64(0xE16);
+
+    let bound_of = |which: u32, k: u64| match which {
+        0 => Bound::Unbounded,
+        1 => Bound::Included(k),
+        _ => Bound::Excluded(k),
+    };
+    for round in 0..60 {
+        // Repopulate, then cut a random range out of everything at once.
+        for _ in 0..rng.gen_range(50..200) {
+            let k = rng.gen_range(0..400u64);
+            if model.insert(k) {
+                for set in sets {
+                    assert!(set.insert(k), "{} disagreed on inserting {k}", set.name());
+                }
+            }
+        }
+        let (a, b) = (rng.gen_range(0..400u64), rng.gen_range(0..400u64));
+        let lo = bound_of(rng.gen_range(0..3), a);
+        let hi = bound_of(rng.gen_range(0..3), b); // reversed/empty shapes included
+        let in_range = |k: &u64| {
+            (match lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) => *k >= b,
+                Bound::Excluded(b) => *k > b,
+            }) && (match hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) => *k <= b,
+                Bound::Excluded(b) => *k < b,
+            })
+        };
+        let doomed: Vec<u64> = model.iter().copied().filter(in_range).collect();
+        for &k in &doomed {
+            model.remove(&k);
+        }
+        for set in sets {
+            let removed = set.remove_range(lo.as_ref(), hi.as_ref());
+            assert_eq!(
+                removed,
+                doomed.len(),
+                "{} removed a different count for {lo:?}..{hi:?} in round {round}",
+                set.name()
+            );
+            assert_eq!(
+                set.keys_between(Bound::Unbounded, Bound::Unbounded),
+                model.iter().copied().collect::<Vec<_>>(),
+                "{} contents diverged after {lo:?}..{hi:?} in round {round}",
+                set.name()
+            );
+        }
+    }
+    lfbst::validate::validate(&lfbst).expect("lfbst must validate after the range battery");
+}
+
 // ---------------------------------------------------------------------------
 // Map conformance: LfBst<u64, u64> and its compositions vs a Mutex<BTreeMap>.
 // ---------------------------------------------------------------------------
@@ -333,6 +403,73 @@ fn map_ordered_scans_agree_with_the_oracle() {
             expected
         );
     }
+}
+
+#[test]
+fn map_retain_and_remove_range_agree_with_the_oracle() {
+    // The map-face bulk mutations: retain_range must evict exactly the
+    // entries the oracle's predicate-over-range evicts, on the native
+    // streaming sweep (lfbst), the strip fan-out (sharded range) and the
+    // single-lock override alike.
+    let oracle: Mutex<BTreeMap<u64, u64>> = Mutex::new(BTreeMap::new());
+    let lfbst: LfBst<u64, u64> = LfBst::new();
+    let sharded_range =
+        ShardedMap::new(RangeRouter::covering(8, 300), |_| LfBst::<u64, u64>::new());
+    let locked: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+    let maps: [&dyn OrderedMap<u64, u64>; 3] = [&lfbst, &sharded_range, &locked];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for round in 0..40 {
+        for _ in 0..rng.gen_range(40..160) {
+            let k = rng.gen_range(0..300u64);
+            let v = rng.gen_range(0..1000u64);
+            oracle.lock().unwrap().insert(k, v);
+            for map in maps {
+                map.upsert(k, v);
+            }
+        }
+        let (a, b) = (rng.gen_range(0..300u64), rng.gen_range(0..300u64));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let modulus = rng.gen_range(2..5u64);
+        let expected = {
+            let mut m = oracle.lock().unwrap();
+            let doomed: Vec<u64> =
+                m.range(lo..=hi).filter(|(_, v)| *v % modulus != 0).map(|(&k, _)| k).collect();
+            for k in &doomed {
+                m.remove(k);
+            }
+            doomed.len()
+        };
+        for map in maps {
+            let removed = map.retain_range(
+                Bound::Included(&lo),
+                Bound::Included(&hi),
+                &move |_: &u64, v: &u64| v % modulus == 0,
+            );
+            assert_eq!(
+                removed,
+                expected,
+                "{} evicted a different count in round {round} ([{lo}, {hi}] % {modulus})",
+                map.name()
+            );
+        }
+        let reference: Vec<(u64, u64)> =
+            oracle.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect();
+        for map in maps {
+            assert_eq!(
+                map.entries_between(Bound::Unbounded, Bound::Unbounded),
+                reference,
+                "{} contents diverged in round {round}",
+                map.name()
+            );
+        }
+    }
+    // Drain everything through the map-face remove_range and confirm parity.
+    let expected = oracle.lock().unwrap().len();
+    for map in maps {
+        assert_eq!(map.remove_range(Bound::Unbounded, Bound::Unbounded), expected);
+        assert_eq!(map.len(), 0, "{} left residue after the full drain", map.name());
+    }
+    lfbst::validate::validate(&lfbst).expect("map tree must validate after the retain battery");
 }
 
 #[test]

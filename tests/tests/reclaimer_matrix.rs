@@ -137,6 +137,101 @@ fn upsert_vs_remove_race<R: Reclaimer>() {
     lfbst::validate::validate(&*map).expect("tree validates after the race");
 }
 
+/// The bulk-mutation matrix row: the streaming `remove_range`/`retain`
+/// sweeps must agree with the oracle on backend `R` exactly as single-key
+/// removals do — the sweep drives the same removal protocol, but retires
+/// victims through `retire_batch` windows, which is precisely the code path
+/// a backend could get wrong (freeing a chunk the guard still references,
+/// or never settling the window).
+fn bulk_sweep_conformance<R: Reclaimer>() {
+    let map: LfBst<u64, u64, R> = LfBst::new_in();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0xB01D);
+    for round in 0..30 {
+        for _ in 0..rng.gen_range(64..256) {
+            let k = rng.gen_range(0..512u64);
+            let v = rng.gen_range(0..100u64);
+            map.upsert(k, v);
+            oracle.insert(k, v);
+        }
+        if round % 3 == 0 {
+            let cutoff = rng.gen_range(0..100u64);
+            let expected = {
+                let doomed: Vec<u64> =
+                    oracle.iter().filter(|(_, &v)| v < cutoff).map(|(&k, _)| k).collect();
+                for k in &doomed {
+                    oracle.remove(k);
+                }
+                doomed.len()
+            };
+            assert_eq!(map.retain(|_, v| *v >= cutoff), expected, "retain<{cutoff} diverged");
+        } else {
+            let (a, b) = (rng.gen_range(0..512u64), rng.gen_range(0..512u64));
+            let (lo, hi) = (a.min(b), a.max(b));
+            let expected = {
+                let doomed: Vec<u64> = oracle.range(lo..hi).map(|(&k, _)| k).collect();
+                for k in &doomed {
+                    oracle.remove(k);
+                }
+                doomed.len()
+            };
+            assert_eq!(map.remove_range(lo..hi), expected, "remove_range {lo}..{hi} diverged");
+        }
+        assert_eq!(
+            map.entries_in_range(..).into_iter().collect::<Vec<_>>(),
+            oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+            "contents diverged after round {round}"
+        );
+    }
+    lfbst::validate::validate(&map).expect("tree validates after the sweep battery");
+}
+
+#[test]
+fn bulk_sweep_conformance_on_ebr() {
+    let _g = lock();
+    bulk_sweep_conformance::<Ebr>();
+}
+
+#[test]
+fn bulk_sweep_conformance_on_ibr() {
+    let _g = lock();
+    bulk_sweep_conformance::<Ibr>();
+}
+
+/// The `GarbageBound` interaction the bulk sweeps depend on: a batch-retire
+/// window settles the bound **once per chunk**, not once per retired node.
+/// With a ceiling far below one chunk's garbage, a sweep over many chunks
+/// must trip the bound at most a handful of times (one settle per window) —
+/// per-node enforcement would trip it thousands of times and pay the whole
+/// futile ladder each time.
+#[test]
+fn bulk_retirement_checks_the_bound_once_per_chunk() {
+    let _g = lock();
+    // 4 full sweep windows of lfbst::bulk::BULK_CHUNK = 512 doomed keys.
+    const N: u64 = 2048;
+    const CHUNKS: u64 = N / lfbst::bulk::BULK_CHUNK as u64;
+    let tree: LfBst<u64, ()> = LfBst::new();
+    for k in 0..N {
+        tree.insert(k);
+    }
+    <Ebr as Reclaimer>::collect();
+
+    let saved = garbage_bound();
+    set_garbage_bound(GarbageBound::nodes(64));
+    let before = <Ebr as Reclaimer>::stats();
+    assert_eq!(tree.remove_range(..), N as usize);
+    let delta = <Ebr as Reclaimer>::stats().since(&before);
+    set_garbage_bound(saved);
+
+    assert!(delta.nodes_retired >= N, "the sweep retired fewer nodes than it removed: {delta:?}");
+    assert!(delta.bound_trips >= 1, "the ceiling was never consulted: {delta:?}");
+    assert!(
+        delta.bound_trips <= 2 * CHUNKS,
+        "bound checked per node, not per chunk ({} trips over {CHUNKS} chunks): {delta:?}",
+        delta.bound_trips
+    );
+}
+
 #[test]
 fn set_conformance_on_ebr() {
     let _g = lock();
